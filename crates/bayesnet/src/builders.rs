@@ -1,0 +1,197 @@
+//! Topology families used by the paper's benchmark (Fig. 7).
+//!
+//! * **independent** — no edges (BN4); depth 0.
+//! * **chain** ("line-shaped") — `x0 → x1 → … → x{n-1}` (BN13–BN16);
+//!   depth = n.
+//! * **crown** — a two-layer band: roots `r0..r{k-1}` on top, children
+//!   `c0..c{k-1}` below, child `ci` drawing from roots `ri` and
+//!   `r((i+1) mod k)` (BN8, BN9, BN10–BN12, BN17, BN18); depth 2.
+//! * **layered** — nodes split into layers; every node below the top layer
+//!   takes up to two parents from the previous layer (BN1–BN3, BN5–BN7,
+//!   BN19, BN20); depth = number of layers.
+
+use crate::topology::{NodeSpec, TopologySpec};
+
+/// Fully independent attributes (depth 0).
+///
+/// # Panics
+/// Panics when `cards` is empty or any cardinality is < 2.
+pub fn independent(name: &str, cards: &[usize]) -> TopologySpec {
+    let nodes = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| NodeSpec {
+            name: format!("x{i}"),
+            cardinality: c,
+            parents: vec![],
+        })
+        .collect();
+    TopologySpec::new(name, nodes).expect("independent topology is always valid")
+}
+
+/// A chain `x0 → x1 → … → x{n-1}` ("line-shaped", depth = n).
+pub fn chain(name: &str, cards: &[usize]) -> TopologySpec {
+    let nodes = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| NodeSpec {
+            name: format!("x{i}"),
+            cardinality: c,
+            parents: if i == 0 { vec![] } else { vec![i - 1] },
+        })
+        .collect();
+    TopologySpec::new(name, nodes).expect("chain topology is always valid")
+}
+
+/// A crown: ⌈n/2⌉ roots, ⌊n/2⌋ children, child `i` with parents
+/// `root i` and `root (i+1) mod k` (deduplicated when k = 1). Depth 2.
+///
+/// # Panics
+/// Panics when `cards.len() < 2`.
+pub fn crown(name: &str, cards: &[usize]) -> TopologySpec {
+    let n = cards.len();
+    assert!(n >= 2, "crown needs at least two nodes");
+    let k_roots = n.div_ceil(2);
+    let mut nodes: Vec<NodeSpec> = Vec::with_capacity(n);
+    for (i, &c) in cards.iter().enumerate().take(k_roots) {
+        nodes.push(NodeSpec {
+            name: format!("r{i}"),
+            cardinality: c,
+            parents: vec![],
+        });
+    }
+    for (j, &c) in cards.iter().enumerate().skip(k_roots) {
+        let i = j - k_roots;
+        let mut parents = vec![i % k_roots, (i + 1) % k_roots];
+        parents.dedup();
+        nodes.push(NodeSpec {
+            name: format!("c{i}"),
+            cardinality: c,
+            parents,
+        });
+    }
+    TopologySpec::new(name, nodes).expect("crown topology is always valid")
+}
+
+/// A layered DAG: `layers[l]` nodes in layer `l`; each node below the top
+/// layer takes up to two parents from the previous layer (indices
+/// `i mod prev` and `(i+1) mod prev`, deduplicated). Depth = `layers.len()`.
+///
+/// # Panics
+/// Panics when layer sizes do not sum to `cards.len()` or any layer is empty.
+pub fn layered(name: &str, cards: &[usize], layers: &[usize]) -> TopologySpec {
+    assert_eq!(
+        layers.iter().sum::<usize>(),
+        cards.len(),
+        "layer sizes must sum to the node count"
+    );
+    assert!(layers.iter().all(|&l| l > 0), "layers must be non-empty");
+    let mut nodes: Vec<NodeSpec> = Vec::with_capacity(cards.len());
+    let mut layer_start = 0usize;
+    let mut prev_range: Option<(usize, usize)> = None;
+    for (l, &size) in layers.iter().enumerate() {
+        for i in 0..size {
+            let idx = layer_start + i;
+            let parents = match prev_range {
+                None => vec![],
+                Some((start, len)) => {
+                    let mut ps = vec![start + (i % len), start + ((i + 1) % len)];
+                    ps.sort_unstable();
+                    ps.dedup();
+                    ps
+                }
+            };
+            nodes.push(NodeSpec {
+                name: format!("l{l}n{i}"),
+                cardinality: cards[idx],
+                parents,
+            });
+        }
+        prev_range = Some((layer_start, size));
+        layer_start += size;
+    }
+    TopologySpec::new(name, nodes).expect("layered topology is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_has_depth_zero() {
+        let t = independent("i", &[2, 3, 4]);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.domain_size(), 24);
+    }
+
+    #[test]
+    fn chain_depth_equals_length() {
+        for n in 2..=6 {
+            let cards = vec![2; n];
+            let t = chain("c", &cards);
+            assert_eq!(t.depth(), n, "chain of {n}");
+            assert_eq!(t.num_edges(), n - 1);
+        }
+    }
+
+    #[test]
+    fn crown_has_depth_two_and_double_parents() {
+        let t = crown("cr", &[2, 2, 2, 2, 2, 2]);
+        assert_eq!(t.depth(), 2);
+        // 3 roots with no parents, 3 children with 2 parents each.
+        let roots = t.nodes().iter().filter(|n| n.parents.is_empty()).count();
+        assert_eq!(roots, 3);
+        assert!(t
+            .nodes()
+            .iter()
+            .filter(|n| !n.parents.is_empty())
+            .all(|n| n.parents.len() == 2));
+    }
+
+    #[test]
+    fn smallest_crown_dedupes_parents() {
+        let t = crown("cr2", &[2, 2]);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.nodes()[1].parents, vec![0]);
+    }
+
+    #[test]
+    fn odd_crown_keeps_extra_root() {
+        let t = crown("cr5", &[2, 2, 2, 2, 2]);
+        let roots = t.nodes().iter().filter(|n| n.parents.is_empty()).count();
+        assert_eq!(roots, 3);
+        assert_eq!(t.num_attrs(), 5);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn layered_depth_equals_layer_count() {
+        let t = layered("l", &[2; 10], &[3, 3, 2, 2]);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.num_attrs(), 10);
+        // Top layer has no parents; all others have 1-2 parents from the
+        // immediately preceding layer.
+        for (i, node) in t.nodes().iter().enumerate() {
+            if i < 3 {
+                assert!(node.parents.is_empty());
+            } else {
+                assert!(!node.parents.is_empty() && node.parents.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn layered_single_node_layers_form_chain() {
+        let t = layered("l1", &[2, 2, 2], &[1, 1, 1]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.nodes()[1].parents, vec![0]);
+        assert_eq!(t.nodes()[2].parents, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the node count")]
+    fn layered_rejects_mismatched_sizes() {
+        layered("bad", &[2, 2], &[1, 2]);
+    }
+}

@@ -1,0 +1,353 @@
+//! Discrete factors for exact inference.
+//!
+//! A factor is a non-negative table over a set of variables. Variables are
+//! kept in **ascending index order** and values are stored row-major with
+//! the **last variable least significant** — the same convention as
+//! [`mrsl_relation::JointIndexer`], so a final factor over the query targets
+//! can be returned as-is.
+
+/// A factor over a subset of network variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Builds a factor; `vars` must be strictly ascending and `values.len()`
+    /// must equal the product of `cards`.
+    ///
+    /// # Panics
+    /// Panics when the invariants are violated.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), cards.len(), "vars/cards length mismatch");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "vars must be strictly ascending"
+        );
+        let size: usize = cards.iter().product();
+        assert_eq!(values.len(), size, "values length mismatch");
+        Self { vars, cards, values }
+    }
+
+    /// A scalar factor (no variables).
+    pub fn scalar(value: f64) -> Self {
+        Self {
+            vars: vec![],
+            cards: vec![],
+            values: vec![value],
+        }
+    }
+
+    /// The variables, ascending.
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Cardinalities aligned with [`Factor::vars`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The underlying table.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of table entries.
+    pub fn size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the factor mentions `var`.
+    pub fn contains_var(&self, var: usize) -> bool {
+        self.vars.binary_search(&var).is_ok()
+    }
+
+    /// Strides aligned with `vars` (last var has stride 1).
+    fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.vars.len()];
+        for i in (0..self.vars.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.cards[i + 1];
+        }
+        strides
+    }
+
+    /// Pointwise product; the result ranges over the union of variables.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Merge variable lists.
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_self = match (self.vars.get(i), other.vars.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a == b {
+                        assert_eq!(
+                            self.cards[i], other.cards[j],
+                            "cardinality mismatch on shared var {a}"
+                        );
+                        vars.push(a);
+                        cards.push(self.cards[i]);
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a < b
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_self {
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            }
+        }
+
+        let size: usize = cards.iter().product();
+        // Map each result variable position to positions in the operands.
+        let pos_in = |f: &Factor, var: usize| f.vars.binary_search(&var).ok();
+        let self_strides = self.strides();
+        let other_strides = other.strides();
+        let mut self_map = vec![0usize; vars.len()]; // stride contribution per result var
+        let mut other_map = vec![0usize; vars.len()];
+        for (k, &v) in vars.iter().enumerate() {
+            if let Some(p) = pos_in(self, v) {
+                self_map[k] = self_strides[p];
+            }
+            if let Some(p) = pos_in(other, v) {
+                other_map[k] = other_strides[p];
+            }
+        }
+
+        // Odometer walk over the result assignment.
+        let mut assignment = vec![0usize; vars.len()];
+        let mut self_idx = 0usize;
+        let mut other_idx = 0usize;
+        let mut values = Vec::with_capacity(size);
+        for _ in 0..size {
+            values.push(self.values[self_idx] * other.values[other_idx]);
+            // Increment the mixed-radix counter from the least significant end.
+            for k in (0..vars.len()).rev() {
+                assignment[k] += 1;
+                self_idx += self_map[k];
+                other_idx += other_map[k];
+                if assignment[k] < cards[k] {
+                    break;
+                }
+                self_idx -= self_map[k] * cards[k];
+                other_idx -= other_map[k] * cards[k];
+                assignment[k] = 0;
+            }
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Sums out `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the factor.
+    pub fn marginalize(&self, var: usize) -> Factor {
+        let pos = self
+            .vars
+            .binary_search(&var)
+            .expect("marginalized var must be present");
+        let card = self.cards[pos];
+        let strides = self.strides();
+        let stride = strides[pos];
+
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let out_size: usize = cards.iter().product();
+        let mut values = vec![0.0f64; out_size];
+
+        // outer runs over variables before `pos`, inner over those after.
+        let inner = stride;
+        let outer = self.values.len() / (inner * card);
+        let mut out_idx = 0;
+        for o in 0..outer {
+            let base = o * inner * card;
+            for r in 0..inner {
+                let mut sum = 0.0;
+                let mut idx = base + r;
+                for _ in 0..card {
+                    sum += self.values[idx];
+                    idx += inner;
+                }
+                values[out_idx] = sum;
+                out_idx += 1;
+            }
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Fixes `var = value`, dropping the variable.
+    ///
+    /// # Panics
+    /// Panics if `var` is not present or `value` out of range.
+    pub fn reduce(&self, var: usize, value: usize) -> Factor {
+        let pos = self
+            .vars
+            .binary_search(&var)
+            .expect("reduced var must be present");
+        assert!(value < self.cards[pos], "value out of range");
+        let strides = self.strides();
+        let stride = strides[pos];
+        let card = self.cards[pos];
+
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let out_size: usize = cards.iter().product();
+        let mut values = Vec::with_capacity(out_size);
+
+        let inner = stride;
+        let outer = self.values.len() / (inner * card);
+        for o in 0..outer {
+            let base = o * inner * card + value * inner;
+            values.extend_from_slice(&self.values[base..base + inner]);
+        }
+        Factor { vars, cards, values }
+    }
+
+    /// Normalizes the table to sum 1. Returns `None` when the total mass is
+    /// zero or not finite (impossible evidence).
+    pub fn normalized(&self) -> Option<Factor> {
+        let total: f64 = self.values.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        Some(Factor {
+            vars: self.vars.clone(),
+            cards: self.cards.clone(),
+            values: self.values.iter().map(|v| v / total).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_ab() -> Factor {
+        // vars 0 (card 2), 1 (card 3); values [a][b].
+        Factor::new(
+            vec![0, 1],
+            vec![2, 3],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        )
+    }
+
+    #[test]
+    fn scalar_product_scales() {
+        let f = f_ab();
+        let g = Factor::scalar(2.0);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[0, 1]);
+        assert!((p.values()[3] - 0.8).abs() < 1e-12);
+        // Commutes.
+        let q = g.product(&f);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn product_over_shared_var() {
+        let f = f_ab();
+        // g over var 1 (card 3).
+        let g = Factor::new(vec![1], vec![3], vec![2.0, 3.0, 4.0]);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[0, 1]);
+        // entry (a=1, b=2) = 0.6 * 4.
+        assert!((p.values()[5] - 2.4).abs() < 1e-12);
+        // entry (a=0, b=1) = 0.2 * 3.
+        assert!((p.values()[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_over_disjoint_vars() {
+        let f = Factor::new(vec![0], vec![2], vec![0.5, 1.5]);
+        let g = Factor::new(vec![2], vec![2], vec![2.0, 4.0]);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[0, 2]);
+        assert_eq!(p.values(), &[1.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn product_interleaved_vars() {
+        // f over {0, 2}, g over {1}: result over {0, 1, 2}.
+        let f = Factor::new(vec![0, 2], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let g = Factor::new(vec![1], vec![2], vec![10.0, 100.0]);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[0, 1, 2]);
+        // (a,b,c) index = a*4 + b*2 + c; value = f[a][c] * g[b].
+        assert_eq!(p.values()[0], 1.0 * 10.0); // 0,0,0
+        assert_eq!(p.values()[3], 2.0 * 100.0); // 0,1,1
+        assert_eq!(p.values()[6], 3.0 * 100.0); // 1,1,0
+    }
+
+    #[test]
+    fn marginalize_sums_out() {
+        let f = f_ab();
+        let m = f.marginalize(0);
+        assert_eq!(m.vars(), &[1]);
+        assert!((m.values()[0] - 0.5).abs() < 1e-12);
+        assert!((m.values()[2] - 0.9).abs() < 1e-12);
+        let m2 = f.marginalize(1);
+        assert_eq!(m2.vars(), &[0]);
+        assert!((m2.values()[0] - 0.6).abs() < 1e-12);
+        assert!((m2.values()[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_to_scalar() {
+        let f = Factor::new(vec![3], vec![2], vec![0.25, 0.75]);
+        let s = f.marginalize(3);
+        assert!(s.vars().is_empty());
+        assert!((s.values()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_fixes_value() {
+        let f = f_ab();
+        let r = f.reduce(1, 2);
+        assert_eq!(r.vars(), &[0]);
+        assert_eq!(r.values(), &[0.3, 0.6]);
+        let r2 = f.reduce(0, 0);
+        assert_eq!(r2.vars(), &[1]);
+        assert_eq!(r2.values(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let f = Factor::new(vec![0], vec![2], vec![1.0, 3.0]);
+        let n = f.normalized().unwrap();
+        assert_eq!(n.values(), &[0.25, 0.75]);
+        assert!(Factor::new(vec![0], vec![2], vec![0.0, 0.0])
+            .normalized()
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_vars() {
+        Factor::new(vec![1, 0], vec![2, 2], vec![0.0; 4]);
+    }
+
+    #[test]
+    fn marginalize_then_reduce_commute_on_distinct_vars() {
+        let f = f_ab();
+        let a = f.marginalize(0).reduce(1, 1);
+        let b = f.reduce(1, 1).marginalize(0);
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,314 @@
+//! Instantiated Bayesian networks: topology + conditional probability tables.
+
+use crate::topology::TopologySpec;
+use mrsl_relation::{AttrId, CompleteTuple, Schema};
+use mrsl_util::dirichlet::sample_dirichlet;
+use mrsl_util::{derive_seed, seeded_rng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A conditional probability table `P(X | parents(X))`.
+///
+/// Rows are laid out per parent configuration (mixed radix over the parent
+/// list in declaration order, last parent least significant), each row a
+/// distribution over the node's values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cpt {
+    parents: Vec<usize>,
+    parent_cards: Vec<usize>,
+    cardinality: usize,
+    rows: Vec<f64>,
+}
+
+impl Cpt {
+    /// Builds a CPT; `rows` holds `parent_configs * cardinality` values,
+    /// each row summing to 1.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a row that is not a distribution.
+    pub fn new(
+        parents: Vec<usize>,
+        parent_cards: Vec<usize>,
+        cardinality: usize,
+        rows: Vec<f64>,
+    ) -> Self {
+        assert_eq!(parents.len(), parent_cards.len());
+        let configs: usize = parent_cards.iter().product();
+        assert_eq!(rows.len(), configs * cardinality, "CPT shape mismatch");
+        for (c, row) in rows.chunks(cardinality).enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6 && row.iter().all(|&p| p >= 0.0),
+                "row {c} is not a distribution (sum {sum})"
+            );
+        }
+        Self {
+            parents,
+            parent_cards,
+            cardinality,
+            rows,
+        }
+    }
+
+    /// Parent node indices.
+    pub fn parents(&self) -> &[usize] {
+        &self.parents
+    }
+
+    /// Node cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Number of parent configurations.
+    pub fn parent_configs(&self) -> usize {
+        self.parent_cards.iter().product()
+    }
+
+    /// Index of the parent configuration given the values of *all* nodes.
+    #[inline]
+    pub fn config_index(&self, all_values: &[u16]) -> usize {
+        let mut idx = 0usize;
+        for (p, &card) in self.parents.iter().zip(&self.parent_cards) {
+            idx = idx * card + all_values[*p] as usize;
+        }
+        idx
+    }
+
+    /// The distribution row for a parent configuration.
+    #[inline]
+    pub fn row(&self, config: usize) -> &[f64] {
+        &self.rows[config * self.cardinality..(config + 1) * self.cardinality]
+    }
+
+    /// `P(X = value | parents)` for the configuration taken from
+    /// `all_values`.
+    #[inline]
+    pub fn prob(&self, all_values: &[u16], value: u16) -> f64 {
+        self.row(self.config_index(all_values))[value as usize]
+    }
+
+    /// All rows, for conversion into a factor.
+    pub fn raw_rows(&self) -> &[f64] {
+        &self.rows
+    }
+}
+
+/// A Bayesian network instance: a topology with concrete CPTs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesianNetwork {
+    spec: TopologySpec,
+    #[serde(skip, default = "empty_schema")]
+    schema: Arc<Schema>,
+    cpts: Vec<Cpt>,
+}
+
+fn empty_schema() -> Arc<Schema> {
+    mrsl_relation::Schema::builder().build().expect("empty schema")
+}
+
+impl BayesianNetwork {
+    /// Randomly instantiates a topology: every CPT row is an independent
+    /// draw from a symmetric Dirichlet(α) (paper §VI-A "randomly selecting
+    /// probability distributions … in accordance with the topology").
+    pub fn instantiate(spec: &TopologySpec, alpha: f64, seed: u64) -> Self {
+        let mut cpts = Vec::with_capacity(spec.num_attrs());
+        for (i, node) in spec.nodes().iter().enumerate() {
+            let parent_cards: Vec<usize> = node
+                .parents
+                .iter()
+                .map(|&p| spec.nodes()[p].cardinality)
+                .collect();
+            let configs: usize = parent_cards.iter().product();
+            let mut rows = Vec::with_capacity(configs * node.cardinality);
+            let mut rng = seeded_rng(derive_seed(seed, &[i as u64]));
+            for _ in 0..configs {
+                rows.extend(sample_dirichlet(&mut rng, alpha, node.cardinality));
+            }
+            cpts.push(Cpt::new(
+                node.parents.clone(),
+                parent_cards,
+                node.cardinality,
+                rows,
+            ));
+        }
+        Self {
+            schema: spec.to_schema(),
+            spec: spec.clone(),
+            cpts,
+        }
+    }
+
+    /// Instantiates with uniform CPTs (every row uniform); useful as a
+    /// degenerate baseline in tests.
+    pub fn uniform(spec: &TopologySpec) -> Self {
+        let mut cpts = Vec::with_capacity(spec.num_attrs());
+        for node in spec.nodes() {
+            let parent_cards: Vec<usize> = node
+                .parents
+                .iter()
+                .map(|&p| spec.nodes()[p].cardinality)
+                .collect();
+            let configs: usize = parent_cards.iter().product();
+            let row = vec![1.0 / node.cardinality as f64; node.cardinality];
+            let rows = row.repeat(configs);
+            cpts.push(Cpt::new(
+                node.parents.clone(),
+                parent_cards,
+                node.cardinality,
+                rows,
+            ));
+        }
+        Self {
+            schema: spec.to_schema(),
+            spec: spec.clone(),
+            cpts,
+        }
+    }
+
+    /// Builds a network from explicit CPTs (validated against the topology).
+    ///
+    /// # Panics
+    /// Panics when a CPT's shape disagrees with the topology.
+    pub fn from_cpts(spec: &TopologySpec, cpts: Vec<Cpt>) -> Self {
+        assert_eq!(cpts.len(), spec.num_attrs(), "one CPT per node required");
+        for (i, (node, cpt)) in spec.nodes().iter().zip(&cpts).enumerate() {
+            assert_eq!(cpt.parents(), node.parents.as_slice(), "node {i} parents");
+            assert_eq!(cpt.cardinality(), node.cardinality, "node {i} cardinality");
+        }
+        Self {
+            schema: spec.to_schema(),
+            spec: spec.clone(),
+            cpts,
+        }
+    }
+
+    /// The topology.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// The relational schema of generated data.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The CPT of node `i`.
+    pub fn cpt(&self, i: usize) -> &Cpt {
+        &self.cpts[i]
+    }
+
+    /// All CPTs in node order.
+    pub fn cpts(&self) -> &[Cpt] {
+        &self.cpts
+    }
+
+    /// Joint probability of a complete tuple: `∏ᵢ P(xᵢ | parents(xᵢ))`.
+    pub fn joint_prob(&self, point: &CompleteTuple) -> f64 {
+        debug_assert_eq!(point.arity(), self.spec.num_attrs());
+        let values = point.raw();
+        self.cpts
+            .iter()
+            .enumerate()
+            .map(|(i, cpt)| cpt.prob(values, values[i]))
+            .product()
+    }
+
+    /// Exact marginal `P(Xᵢ = v)` computed by eliminating everything else;
+    /// convenience wrapper over [`crate::infer::conditional`].
+    pub fn marginal(&self, attr: AttrId) -> Vec<f64> {
+        crate::infer::conditional(
+            self,
+            mrsl_relation::AttrMask::single(attr),
+            &mrsl_relation::PartialTuple::all_missing(self.spec.num_attrs()),
+        )
+        .expect("unconditioned marginal always exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{chain, independent};
+
+    #[test]
+    fn cpt_indexing_is_mixed_radix() {
+        // Node 2 with parents [0, 1] of cards [2, 3].
+        let rows: Vec<f64> = (0..6).flat_map(|_| [0.25, 0.75]).collect();
+        let cpt = Cpt::new(vec![0, 1], vec![2, 3], 2, rows);
+        assert_eq!(cpt.parent_configs(), 6);
+        // all_values: node0=1, node1=2, node2=0 → config = 1*3 + 2 = 5.
+        assert_eq!(cpt.config_index(&[1, 2, 0]), 5);
+        assert_eq!(cpt.prob(&[1, 2, 0], 1), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a distribution")]
+    fn cpt_rejects_unnormalized_rows() {
+        Cpt::new(vec![], vec![], 2, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn instantiate_is_deterministic_per_seed() {
+        let spec = chain("c", &[2, 3, 2]);
+        let a = BayesianNetwork::instantiate(&spec, 1.0, 99);
+        let b = BayesianNetwork::instantiate(&spec, 1.0, 99);
+        let c = BayesianNetwork::instantiate(&spec, 1.0, 100);
+        for i in 0..3 {
+            assert_eq!(a.cpt(i).raw_rows(), b.cpt(i).raw_rows());
+        }
+        assert_ne!(a.cpt(0).raw_rows(), c.cpt(0).raw_rows());
+    }
+
+    #[test]
+    fn joint_prob_factorizes_for_independent_nodes() {
+        let spec = independent("i", &[2, 2]);
+        let bn = BayesianNetwork::instantiate(&spec, 1.0, 7);
+        let p00 = bn.joint_prob(&CompleteTuple::from_values(vec![0, 0]));
+        let p0 = bn.cpt(0).row(0)[0];
+        let q0 = bn.cpt(1).row(0)[0];
+        assert!((p00 - p0 * q0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_probs_sum_to_one() {
+        let spec = chain("c", &[2, 3, 2]);
+        let bn = BayesianNetwork::instantiate(&spec, 0.8, 3);
+        let mut total = 0.0;
+        for a in 0..2u16 {
+            for b in 0..3u16 {
+                for c in 0..2u16 {
+                    total += bn.joint_prob(&CompleteTuple::from_values(vec![a, b, c]));
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn uniform_network_has_uniform_joint() {
+        let spec = chain("c", &[2, 2]);
+        let bn = BayesianNetwork::uniform(&spec);
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                let p = bn.joint_prob(&CompleteTuple::from_values(vec![a, b]));
+                assert!((p - 0.25).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one CPT per node")]
+    fn from_cpts_checks_count() {
+        let spec = independent("i", &[2, 2]);
+        BayesianNetwork::from_cpts(&spec, vec![]);
+    }
+
+    #[test]
+    fn schema_matches_spec() {
+        let spec = chain("c", &[2, 5]);
+        let bn = BayesianNetwork::instantiate(&spec, 1.0, 0);
+        assert_eq!(bn.schema().attr_count(), 2);
+        assert_eq!(bn.schema().cardinality(AttrId(1)), 5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Forward sampling of complete tuples from a Bayesian network.
+//!
+//! The "BN Sampler" of the paper's framework (§VI-A), standard ancestral /
+//! forward sampling (Koller & Friedman §12.1): visit nodes in topological
+//! order, sampling each from its CPT row selected by the already-sampled
+//! parents.
+
+use crate::network::BayesianNetwork;
+use mrsl_relation::CompleteTuple;
+use mrsl_util::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// Samples one complete tuple.
+pub fn forward_sample<R: Rng + ?Sized>(bn: &BayesianNetwork, rng: &mut R) -> CompleteTuple {
+    let n = bn.spec().num_attrs();
+    let mut values = vec![0u16; n];
+    for &node in bn.spec().topo_order() {
+        let cpt = bn.cpt(node);
+        let row = cpt.row(cpt.config_index(&values));
+        values[node] = sample_categorical(row, rng);
+    }
+    CompleteTuple::from_values(values)
+}
+
+/// Samples a dataset of `n` tuples, deterministically from `seed`.
+pub fn sample_dataset(bn: &BayesianNetwork, n: usize, seed: u64) -> Vec<CompleteTuple> {
+    let mut rng = seeded_rng(derive_seed(seed, &[0x5a4d]));
+    (0..n).map(|_| forward_sample(bn, &mut rng)).collect()
+}
+
+/// Samples an index from an unnormalized non-negative weight row.
+///
+/// Exposed for reuse by the Gibbs sampler in `mrsl-core`.
+#[inline]
+pub fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> u16 {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must have positive mass");
+    let mut u: f64 = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i as u16;
+        }
+        u -= w;
+    }
+    // Floating-point edge: return the last value with positive weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("positive total implies a positive weight") as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{chain, crown};
+    use crate::network::BayesianNetwork;
+    use mrsl_util::seeded_rng;
+
+    #[test]
+    fn sample_categorical_respects_weights() {
+        let mut rng = seeded_rng(1);
+        let weights = [0.0, 0.7, 0.3];
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&weights, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let f1 = counts[1] as f64 / n as f64;
+        assert!((f1 - 0.7).abs() < 0.02, "f1 = {f1}");
+    }
+
+    #[test]
+    fn sample_categorical_handles_point_mass() {
+        let mut rng = seeded_rng(2);
+        for _ in 0..100 {
+            assert_eq!(sample_categorical(&[0.0, 1.0, 0.0], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic_per_seed() {
+        let spec = crown("c", &[2, 3, 2, 3]);
+        let bn = BayesianNetwork::instantiate(&spec, 1.0, 5);
+        let a = sample_dataset(&bn, 50, 11);
+        let b = sample_dataset(&bn, 50, 11);
+        let c = sample_dataset(&bn, 50, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn empirical_marginals_match_cpts_for_roots() {
+        // For a root node, the empirical frequency must approach its CPT row.
+        let spec = chain("c", &[3, 2]);
+        let bn = BayesianNetwork::instantiate(&spec, 1.0, 21);
+        let data = sample_dataset(&bn, 40_000, 1);
+        let mut counts = [0usize; 3];
+        for t in &data {
+            counts[t.raw()[0] as usize] += 1;
+        }
+        let root_row = bn.cpt(0).row(0);
+        for v in 0..3 {
+            let f = counts[v] as f64 / data.len() as f64;
+            assert!((f - root_row[v]).abs() < 0.015, "v={v}: {f} vs {}", root_row[v]);
+        }
+    }
+
+    #[test]
+    fn empirical_conditional_matches_cpt_for_child() {
+        let spec = chain("c", &[2, 2]);
+        let bn = BayesianNetwork::instantiate(&spec, 1.0, 33);
+        let data = sample_dataset(&bn, 60_000, 2);
+        // P̂(x1 = 1 | x0 = 0) ≈ CPT row for config x0=0.
+        let (mut n0, mut n01) = (0usize, 0usize);
+        for t in &data {
+            if t.raw()[0] == 0 {
+                n0 += 1;
+                if t.raw()[1] == 1 {
+                    n01 += 1;
+                }
+            }
+        }
+        assert!(n0 > 1000, "degenerate instance");
+        let expected = bn.cpt(1).row(0)[1];
+        let got = n01 as f64 / n0 as f64;
+        assert!((got - expected).abs() < 0.02, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn sampled_values_are_in_domain() {
+        let spec = crown("c", &[4, 3, 5, 2]);
+        let bn = BayesianNetwork::instantiate(&spec, 0.5, 9);
+        for t in sample_dataset(&bn, 500, 3) {
+            for (i, node) in spec.nodes().iter().enumerate() {
+                assert!((t.raw()[i] as usize) < node.cardinality);
+            }
+        }
+    }
+}

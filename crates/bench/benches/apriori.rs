@@ -1,0 +1,54 @@
+//! Bench: the Apriori miner in isolation (the dominant cost inside
+//! Algorithm 1, supporting the Fig. 4 analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrsl_bench::training_set;
+use mrsl_itemset::{AprioriConfig, FrequentItemsets};
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori_mining");
+    group.sample_size(10);
+    for name in ["BN8", "BN10", "BN13"] {
+        let (bn, data) = training_set(name, 10_000, 7);
+        group.throughput(Throughput::Elements(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
+            b.iter(|| {
+                FrequentItemsets::mine(
+                    bn.schema(),
+                    data,
+                    &AprioriConfig {
+                        support_threshold: 0.005,
+                        max_itemsets: 1000,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_itemsets_cap(c: &mut Criterion) {
+    // The paper's maxItemsets = 1000 cap "effectively controls
+    // model-building time": measure with and without.
+    let mut group = c.benchmark_group("apriori_max_itemsets_cap");
+    group.sample_size(10);
+    let (bn, data) = training_set("BN12", 10_000, 7);
+    for &(label, cap) in &[("capped_1000", 1_000usize), ("uncapped", usize::MAX)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            b.iter(|| {
+                FrequentItemsets::mine(
+                    bn.schema(),
+                    &data,
+                    &AprioriConfig {
+                        support_threshold: 0.001,
+                        max_itemsets: cap,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining, bench_max_itemsets_cap);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Bench: multi-attribute Gibbs inference per tuple (supports Fig. 10's
+//! cost axis — sampling cost grows linearly in samples per tuple — and
+//! ablates the number of missing attributes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrsl_bench::{learned_model, workload};
+use mrsl_core::{infer_joint, GibbsConfig, VotingConfig};
+
+fn bench_samples_per_tuple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_samples_per_tuple");
+    group.sample_size(10);
+    let (bn, model) = learned_model("BN9", 8_000, 0.005, 5);
+    let tuples = workload(&bn, 8, 3, 1);
+    for &n in &[100usize, 500, 2_000] {
+        let config = GibbsConfig {
+            burn_in: 100,
+            samples: n,
+            voting: VotingConfig::best_averaged(),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
+            b.iter(|| {
+                for (i, t) in tuples.iter().enumerate() {
+                    std::hint::black_box(infer_joint(&model, t, config, i as u64));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_missing_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_vs_missing_attrs");
+    group.sample_size(10);
+    let (bn, model) = learned_model("BN18", 8_000, 0.005, 5);
+    let config = GibbsConfig {
+        burn_in: 100,
+        samples: 500,
+        voting: VotingConfig::best_averaged(),
+    };
+    for &k in &[2usize, 4, 6] {
+        // Build tuples with exactly k missing attributes.
+        let tuples: Vec<_> = workload(&bn, 200, k, k as u64)
+            .into_iter()
+            .filter(|t| t.missing_mask().count() == k)
+            .take(5)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &tuples, |b, tuples| {
+            b.iter(|| {
+                for (i, t) in tuples.iter().enumerate() {
+                    std::hint::black_box(infer_joint(&model, t, &config, i as u64));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samples_per_tuple, bench_missing_count);
+criterion_main!(benches);

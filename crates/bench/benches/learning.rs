@@ -1,0 +1,58 @@
+//! Bench: MRSL learning time (regenerates the trends of Fig. 4(a)/(b)).
+//!
+//! Sweeps the training set size at fixed support (4a) and the support
+//! threshold at fixed training size (4b) on a representative network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrsl_bench::training_set;
+use mrsl_core::{LearnConfig, MrslModel};
+
+fn bench_training_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_learning_vs_training_size");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let (bn, data) = training_set("BN9", n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                MrslModel::learn(
+                    bn.schema(),
+                    data,
+                    &LearnConfig {
+                        support_threshold: 0.02,
+                        max_itemsets: 1000,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_support(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_learning_vs_support");
+    group.sample_size(10);
+    let (bn, data) = training_set("BN10", 10_000, 42);
+    for &theta in &[0.001f64, 0.01, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("theta_{theta}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    MrslModel::learn(
+                        bn.schema(),
+                        &data,
+                        &LearnConfig {
+                            support_threshold: theta,
+                            max_itemsets: 1000,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_size, bench_support);
+criterion_main!(benches);

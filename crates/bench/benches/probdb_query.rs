@@ -1,0 +1,61 @@
+//! Bench: query evaluation on the derived probabilistic database —
+//! exact BID evaluation vs Monte-Carlo world sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrsl_bench::{network, workload};
+use mrsl_core::{derive_probabilistic_db, DeriveConfig, GibbsConfig, LearnConfig};
+use mrsl_probdb::montecarlo::mc_expected_count;
+use mrsl_probdb::query::{count_distribution, expected_count, Predicate};
+use mrsl_probdb::ProbDb;
+use mrsl_relation::{AttrId, Relation, ValueId};
+
+fn derived_db(blocks: usize) -> ProbDb {
+    let bn = network("BN9", 5);
+    let mut rel = Relation::new(bn.schema().clone());
+    for p in mrsl_bayesnet::sampler::sample_dataset(&bn, 2_000, 1) {
+        rel.push_complete(p).expect("arity ok");
+    }
+    for t in workload(&bn, blocks, 2, 3) {
+        rel.push(t).expect("arity ok");
+    }
+    let config = DeriveConfig {
+        learn: LearnConfig {
+            support_threshold: 0.01,
+            max_itemsets: 1000,
+        },
+        gibbs: GibbsConfig {
+            burn_in: 50,
+            samples: 300,
+            ..GibbsConfig::default()
+        },
+        ..DeriveConfig::default()
+    };
+    derive_probabilistic_db(&rel, &config).db
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probdb_queries");
+    group.sample_size(20);
+    let db = derived_db(500);
+    let pred = Predicate::any().and_eq(AttrId(0), ValueId(1));
+
+    group.bench_function("exact_expected_count", |b| {
+        b.iter(|| std::hint::black_box(expected_count(&db, &pred)))
+    });
+    group.bench_function("exact_count_distribution", |b| {
+        b.iter(|| std::hint::black_box(count_distribution(&db, &pred)))
+    });
+    for &samples in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("monte_carlo_expected_count", samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| std::hint::black_box(mc_expected_count(&db, &pred, samples, 3)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench regenerates one timing-oriented table/figure of the paper
+//! (see DESIGN.md §3); these helpers build the datasets and models they
+//! share so the benches measure only the operation under test.
+
+use mrsl_bayesnet::catalog::by_name;
+use mrsl_bayesnet::BayesianNetwork;
+use mrsl_core::{LearnConfig, MrslModel};
+use mrsl_relation::{AttrId, CompleteTuple, PartialTuple};
+use mrsl_util::{derive_seed, seeded_rng};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Instantiates a catalog network deterministically.
+pub fn network(name: &str, seed: u64) -> BayesianNetwork {
+    let spec = by_name(name)
+        .unwrap_or_else(|| panic!("{name} not in catalog"))
+        .topology;
+    BayesianNetwork::instantiate(&spec, 0.5, seed)
+}
+
+/// Samples a training set from a catalog network.
+pub fn training_set(name: &str, n: usize, seed: u64) -> (BayesianNetwork, Vec<CompleteTuple>) {
+    let bn = network(name, seed);
+    let data = mrsl_bayesnet::sampler::sample_dataset(&bn, n, derive_seed(seed, &[1]));
+    (bn, data)
+}
+
+/// Learns a model from a catalog network at the given θ.
+pub fn learned_model(
+    name: &str,
+    train: usize,
+    theta: f64,
+    seed: u64,
+) -> (BayesianNetwork, MrslModel) {
+    let (bn, data) = training_set(name, train, seed);
+    let model = MrslModel::learn(
+        bn.schema(),
+        &data,
+        &LearnConfig {
+            support_threshold: theta,
+            max_itemsets: 1000,
+        },
+    );
+    (bn, model)
+}
+
+/// Builds a workload of incomplete tuples with 1..=max_k values hidden
+/// uniformly per tuple.
+pub fn workload(bn: &BayesianNetwork, size: usize, max_k: usize, seed: u64) -> Vec<PartialTuple> {
+    let points = mrsl_bayesnet::sampler::sample_dataset(bn, size, derive_seed(seed, &[2]));
+    let arity = bn.schema().attr_count();
+    let mut rng = seeded_rng(derive_seed(seed, &[3]));
+    points
+        .iter()
+        .map(|p| {
+            let k = rng.gen_range(1..=max_k.min(arity - 1).max(1));
+            let mut attrs: Vec<u16> = (0..arity as u16).collect();
+            attrs.shuffle(&mut rng);
+            let mut t = p.to_partial();
+            for &a in &attrs[..k] {
+                t = t.without_attr(AttrId(a));
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let (_, a) = training_set("BN8", 100, 7);
+        let (_, b) = training_set("BN8", 100, 7);
+        assert_eq!(a, b);
+        let (_, m1) = learned_model("BN8", 500, 0.01, 7);
+        let (_, m2) = learned_model("BN8", 500, 0.01, 7);
+        assert_eq!(m1.size(), m2.size());
+    }
+
+    #[test]
+    fn workload_respects_bounds() {
+        let bn = network("BN9", 3);
+        for t in workload(&bn, 50, 3, 1) {
+            let k = t.missing_mask().count();
+            assert!((1..=3).contains(&k));
+        }
+    }
+}

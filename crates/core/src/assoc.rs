@@ -1,0 +1,149 @@
+//! Association rules over frequent itemsets (Def. 2.5, `ComputeAssocRules`).
+//!
+//! An association rule here is a pair of itemsets `⟨body ∪ {a = v}, body⟩`:
+//! the *head* is a single attribute-value assignment, the *body* the
+//! remaining assignments. Confidence is `supp(body ∪ head) / supp(body)` —
+//! an estimate of `P(a = v | body)`. Following §III, **no confidence
+//! threshold is applied**; every frequent itemset containing the head
+//! attribute yields a rule.
+
+use mrsl_itemset::{FrequentItemsets, Item, Itemset};
+use mrsl_relation::AttrId;
+use serde::{Deserialize, Serialize};
+
+/// An association rule `body ⇒ (attr = value)` with its supports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// The rule body (the complete part of the subsuming tuple `t2`).
+    pub body: Itemset,
+    /// The single head assignment.
+    pub head: Item,
+    /// `supp(body)` — the support of the subsuming tuple.
+    pub support_body: f64,
+    /// `supp(body ∪ {head})` — the support of the subsumed tuple.
+    pub support_full: f64,
+}
+
+impl AssociationRule {
+    /// `conf(r) = supp(t1) / supp(t2)` (Def. 2.5): the estimated
+    /// conditional probability of the head given the body.
+    pub fn confidence(&self) -> f64 {
+        debug_assert!(self.support_body > 0.0, "frequent bodies have support > 0");
+        self.support_full / self.support_body
+    }
+}
+
+/// `ComputeAssocRules(a, freqItemsets)` of Algorithm 1: all rules whose
+/// head assigns attribute `attr`, one per frequent itemset containing
+/// `attr`.
+///
+/// Downward closure guarantees each rule's body is itself frequent, so the
+/// body support lookup cannot fail.
+pub fn compute_assoc_rules(attr: AttrId, freq: &FrequentItemsets) -> Vec<AssociationRule> {
+    let mut rules = Vec::new();
+    for fs in freq.iter() {
+        let Some(value) = fs.itemset.value_of(attr) else {
+            continue;
+        };
+        let body = fs.itemset.without_attr(attr);
+        let support_body = freq
+            .support_of(&body)
+            .expect("downward closure: body of a frequent itemset is frequent");
+        rules.push(AssociationRule {
+            body,
+            head: Item::new(attr, value),
+            support_body,
+            support_full: fs.support,
+        });
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_itemset::AprioriConfig;
+    use mrsl_relation::relation::fig1_relation;
+    use mrsl_relation::ValueId;
+
+    fn mined(theta: f64) -> FrequentItemsets {
+        let rel = fig1_relation();
+        FrequentItemsets::mine(
+            rel.schema(),
+            rel.complete_part(),
+            &AprioriConfig {
+                support_threshold: theta,
+                max_itemsets: 1000,
+            },
+        )
+    }
+
+    #[test]
+    fn rules_cover_every_frequent_itemset_with_head_attr() {
+        let freq = mined(0.05);
+        let age = AttrId(0);
+        let rules = compute_assoc_rules(age, &freq);
+        let expected = freq
+            .iter()
+            .filter(|fs| fs.itemset.value_of(age).is_some())
+            .count();
+        assert_eq!(rules.len(), expected);
+        assert!(!rules.is_empty());
+        // Every head assigns `age` and no body mentions it.
+        for r in &rules {
+            assert_eq!(r.head.attr(), age);
+            assert_eq!(r.body.value_of(age), None);
+        }
+    }
+
+    #[test]
+    fn confidence_matches_hand_computation() {
+        // conf(age=20 | edu=HS) = supp{age=20, edu=HS} / supp{edu=HS}
+        //                       = (3/8) / (4/8) = 0.75 on Fig. 1's Rc.
+        let freq = mined(0.01);
+        let rules = compute_assoc_rules(AttrId(0), &freq);
+        let r = rules
+            .iter()
+            .find(|r| {
+                r.head.value() == ValueId(0)
+                    && r.body.len() == 1
+                    && r.body.value_of(AttrId(1)) == Some(ValueId(0))
+            })
+            .expect("rule ⟨edu=HS ⇒ age=20⟩ exists");
+        assert!((r.confidence() - 0.75).abs() < 1e-12);
+        assert!((r.support_body - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_body_rules_estimate_marginals() {
+        let freq = mined(0.01);
+        let rules = compute_assoc_rules(AttrId(0), &freq);
+        // Rules with empty body: one per frequent age value; confidence is
+        // the raw value frequency.
+        let marginals: Vec<&AssociationRule> =
+            rules.iter().filter(|r| r.body.is_empty()).collect();
+        assert_eq!(marginals.len(), 3); // ages 20, 30, 40 all frequent at θ=0.01
+        let total: f64 = marginals.iter().map(|r| r.confidence()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidences_within_unit_interval() {
+        let freq = mined(0.01);
+        for attr in 0..4u16 {
+            for r in compute_assoc_rules(AttrId(attr), &freq) {
+                let c = r.confidence();
+                assert!((0.0..=1.0 + 1e-12).contains(&c), "confidence {c}");
+                assert!(r.support_full <= r.support_body + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn no_rules_for_attr_with_no_frequent_values() {
+        // θ > 0.5 kills every singleton (each value covers ≤ 4/8 points),
+        // so no itemset mentions any attribute.
+        let freq = mined(0.6);
+        assert!(compute_assoc_rules(AttrId(0), &freq).is_empty());
+    }
+}

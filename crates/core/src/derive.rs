@@ -1,0 +1,296 @@
+//! End-to-end derivation of a probabilistic database (the paper's title).
+//!
+//! Ties the phases together: learn the MRSL model from `Rc`, estimate `Δt`
+//! for every incomplete tuple in `Ri` (single-attribute voting when one
+//! value is missing, workload-driven Gibbs sampling otherwise), and emit a
+//! disjoint-independent probabilistic database: the complete tuples are
+//! certain, and each incomplete tuple becomes a block of mutually exclusive
+//! completions weighted by `Δt`.
+
+use crate::config::{GibbsConfig, LearnConfig, VotingConfig};
+use crate::infer::dag::{sample_workload, SamplingCost, WorkloadStrategy};
+use crate::infer::gibbs::JointEstimate;
+use crate::infer::single::infer_single;
+use crate::model::MrslModel;
+use mrsl_probdb::{Alternative, Block, ProbDb};
+use mrsl_relation::{CompleteTuple, PartialTuple, Relation};
+use mrsl_util::Stopwatch;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of the full derivation pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeriveConfig {
+    /// Learning-phase parameters (Algorithm 1).
+    pub learn: LearnConfig,
+    /// Voting used for single-attribute inference and inside Gibbs.
+    pub voting: VotingConfig,
+    /// Gibbs parameters for tuples with multiple missing values.
+    pub gibbs: GibbsConfig,
+    /// Workload strategy for multi-attribute tuples.
+    pub strategy: WorkloadStrategy,
+    /// Completions with estimated probability below this are dropped from
+    /// the emitted block (the rest renormalize). 0 keeps everything with
+    /// non-zero mass.
+    pub min_block_prob: f64,
+    /// Master seed for the sampling phase.
+    pub seed: u64,
+}
+
+impl Default for DeriveConfig {
+    fn default() -> Self {
+        Self {
+            learn: LearnConfig::default(),
+            voting: VotingConfig::best_averaged(),
+            gibbs: GibbsConfig::default(),
+            strategy: WorkloadStrategy::TupleDag,
+            min_block_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of [`derive_probabilistic_db`].
+#[derive(Debug)]
+pub struct DeriveOutput {
+    /// The derived disjoint-independent database.
+    pub db: ProbDb,
+    /// The learned model (reusable for further inference).
+    pub model: MrslModel,
+    /// Per-incomplete-tuple estimates, aligned with
+    /// `relation.incomplete_part()`.
+    pub estimates: Vec<JointEstimate>,
+    /// Cost of the multi-attribute sampling phase.
+    pub sampling_cost: SamplingCost,
+    /// Wall-clock time of the whole derivation.
+    pub elapsed: Duration,
+}
+
+/// Runs the full pipeline on `relation`.
+///
+/// Single-missing-value tuples use Algorithm 2 directly (their `Δt` *is*
+/// the voted CPD); tuples with two or more missing values go through the
+/// workload sampler.
+pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> DeriveOutput {
+    let sw = Stopwatch::start();
+    let schema = relation.schema();
+    let model = MrslModel::learn(schema, relation.complete_part(), &config.learn);
+
+    // Partition Ri by number of missing values.
+    let incomplete = relation.incomplete_part();
+    let mut estimates: Vec<Option<JointEstimate>> = vec![None; incomplete.len()];
+    let mut multi_workload: Vec<PartialTuple> = Vec::new();
+    let mut multi_slots: Vec<usize> = Vec::new();
+    for (i, t) in incomplete.iter().enumerate() {
+        let missing = t.missing_mask();
+        if missing.count() == 1 {
+            let attr = missing.iter().next().expect("one missing attribute");
+            let cpd = infer_single(&model, t, attr, &config.voting);
+            let indexer = mrsl_relation::JointIndexer::new(schema, missing);
+            estimates[i] = Some(JointEstimate {
+                indexer,
+                probs: cpd,
+                sample_count: 0,
+            });
+        } else {
+            multi_workload.push(t.clone());
+            multi_slots.push(i);
+        }
+    }
+
+    let mut sampling_cost = SamplingCost::default();
+    if !multi_workload.is_empty() {
+        let result = sample_workload(
+            &model,
+            &multi_workload,
+            &config.gibbs,
+            config.strategy,
+            config.seed,
+        );
+        sampling_cost = result.cost;
+        for (slot, est) in multi_slots.into_iter().zip(result.estimates) {
+            estimates[slot] = Some(est);
+        }
+    }
+    let estimates: Vec<JointEstimate> = estimates
+        .into_iter()
+        .map(|e| e.expect("every incomplete tuple received an estimate"))
+        .collect();
+
+    // Assemble the probabilistic database.
+    let mut db = ProbDb::new(schema.clone());
+    for point in relation.complete_part() {
+        db.push_certain(point.clone())
+            .expect("schema arity verified by the relation");
+    }
+    for (key, (t, est)) in incomplete.iter().zip(&estimates).enumerate() {
+        let block = estimate_to_block(key, t, est, config.min_block_prob);
+        db.push_block(block).expect("blocks validated on build");
+    }
+
+    DeriveOutput {
+        db,
+        model,
+        estimates,
+        sampling_cost,
+        elapsed: sw.elapsed(),
+    }
+}
+
+/// Converts `Δt` into a block of complete alternatives.
+fn estimate_to_block(
+    key: usize,
+    t: &PartialTuple,
+    est: &JointEstimate,
+    min_prob: f64,
+) -> Block {
+    let arity = t.arity();
+    let mut alternatives = Vec::new();
+    for (idx, &p) in est.probs.iter().enumerate() {
+        if p <= min_prob || p <= 0.0 {
+            continue;
+        }
+        let mut values = vec![0u16; arity];
+        for asg in t.assignments() {
+            values[asg.attr.index()] = asg.value.0;
+        }
+        for (attr, v) in est.indexer.decode(idx) {
+            values[attr.index()] = v.0;
+        }
+        alternatives.push(Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob: p,
+        });
+    }
+    if alternatives.is_empty() {
+        // Pruning removed everything (extreme min_prob): fall back to the
+        // most probable completion with probability 1.
+        let best = est.top1();
+        let mut values = vec![0u16; arity];
+        for asg in t.assignments() {
+            values[asg.attr.index()] = asg.value.0;
+        }
+        for (attr, v) in est.indexer.decode(best) {
+            values[attr.index()] = v.0;
+        }
+        alternatives.push(Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob: 1.0,
+        });
+    }
+    Block::normalized(key, alternatives).expect("non-empty alternatives")
+}
+
+/// Re-export used by `estimate_to_block` tests.
+pub use crate::infer::dag::WorkloadStrategy as Strategy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_relation::relation::fig1_relation;
+    use mrsl_relation::AttrId;
+
+    fn quick_config() -> DeriveConfig {
+        DeriveConfig {
+            learn: LearnConfig {
+                support_threshold: 0.01,
+                max_itemsets: 1000,
+            },
+            gibbs: GibbsConfig {
+                burn_in: 30,
+                samples: 300,
+                voting: VotingConfig::best_averaged(),
+            },
+            ..DeriveConfig::default()
+        }
+    }
+
+    #[test]
+    fn derives_block_per_incomplete_tuple() {
+        let rel = fig1_relation();
+        let out = derive_probabilistic_db(&rel, &quick_config());
+        assert_eq!(out.db.certain().len(), 8);
+        assert_eq!(out.db.blocks().len(), 9);
+        assert_eq!(out.estimates.len(), 9);
+        // Every block's alternatives agree with its source tuple's
+        // observed values.
+        for (block, t) in out.db.blocks().iter().zip(rel.incomplete_part()) {
+            for alt in block.alternatives() {
+                assert!(t.matches_point(&alt.tuple));
+            }
+            let total: f64 = block.alternatives().iter().map(|a| a.prob).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_missing_tuples_use_voting_not_sampling() {
+        let rel = fig1_relation();
+        let out = derive_probabilistic_db(&rel, &quick_config());
+        // t3 = ⟨20, ?, 50K, ?⟩ has two missing; t16 = ⟨40, HS, ?, 500K⟩ one.
+        let t16_idx = rel
+            .incomplete_part()
+            .iter()
+            .position(|t| t.missing_mask().count() == 1)
+            .expect("fig1 has single-missing tuples");
+        assert_eq!(out.estimates[t16_idx].sample_count, 0, "exact, not sampled");
+        let multi_idx = rel
+            .incomplete_part()
+            .iter()
+            .position(|t| t.missing_mask().count() >= 2)
+            .unwrap();
+        assert!(out.estimates[multi_idx].sample_count > 0);
+    }
+
+    #[test]
+    fn derived_db_answers_queries() {
+        use mrsl_probdb::query::{expected_count, Predicate};
+        let rel = fig1_relation();
+        let out = derive_probabilistic_db(&rel, &quick_config());
+        // Expected number of profiles with age=20 lies between the certain
+        // matches (4) and certain + all possibly-20 blocks.
+        let pred = Predicate::any().and_eq(AttrId(0), mrsl_relation::ValueId(0));
+        let e = expected_count(&out.db, &pred);
+        assert!((4.0..=4.0 + 9.0).contains(&e), "expected count {e}");
+        // Tuples observed as age=20 contribute ~1 each: t1, t3, t5 are
+        // age=20 blocks.
+        assert!(e > 6.5, "expected count {e}");
+    }
+
+    #[test]
+    fn min_block_prob_prunes_alternatives() {
+        let rel = fig1_relation();
+        let loose = derive_probabilistic_db(&rel, &quick_config());
+        let mut strict_cfg = quick_config();
+        strict_cfg.min_block_prob = 0.2;
+        let strict = derive_probabilistic_db(&rel, &strict_cfg);
+        assert!(strict.db.alternative_count() <= loose.db.alternative_count());
+        for block in strict.db.blocks() {
+            let total: f64 = block.alternatives().iter().map(|a| a.prob).sum();
+            assert!((total - 1.0).abs() < 1e-9, "pruned blocks renormalize");
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let rel = fig1_relation();
+        let a = derive_probabilistic_db(&rel, &quick_config());
+        let b = derive_probabilistic_db(&rel, &quick_config());
+        for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+            assert_eq!(ea.probs, eb.probs);
+        }
+    }
+
+    #[test]
+    fn relation_without_incomplete_tuples_yields_certain_db() {
+        let rel = fig1_relation();
+        let mut complete_only = Relation::new(rel.schema().clone());
+        for p in rel.complete_part() {
+            complete_only.push_complete(p.clone()).unwrap();
+        }
+        let out = derive_probabilistic_db(&complete_only, &quick_config());
+        assert_eq!(out.db.blocks().len(), 0);
+        assert_eq!(out.db.world_count(), 1);
+        assert_eq!(out.sampling_cost.total_draws, 0);
+    }
+}

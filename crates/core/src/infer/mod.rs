@@ -1,0 +1,14 @@
+//! Inference over a learned MRSL model.
+//!
+//! * [`single`] — Algorithm 2: one missing attribute, voting over matching
+//!   meta-rules.
+//! * [`gibbs`] — §V-A: ordered Gibbs sampling for joint distributions over
+//!   multiple missing attributes.
+//! * [`dag`] — §V-B / Algorithm 3: the tuple-DAG workload optimization.
+//! * [`independent`] — the independence-assuming baseline of §V, kept for
+//!   ablation studies.
+
+pub mod dag;
+pub mod gibbs;
+pub mod independent;
+pub mod single;

@@ -1,0 +1,460 @@
+//! The per-attribute meta-rule semi-lattice (Defs. 2.7–2.8).
+//!
+//! Meta-rules for one head attribute are ordered by body subsumption:
+//! `m2 ≺ m1` (m1 subsumes m2) when `body(m1) ⊂ body(m2)`. The empty-body
+//! meta-rule `P(a)` is the top of the lattice. Frequent-itemset downward
+//! closure makes the body family downward-closed, so the Hasse diagram's
+//! cover edges are exactly "extend the body by one item"; each edge stores
+//! its delta item, which lets matching check a single assignment per edge.
+//!
+//! **Matching** (`GetMatchingMetaRules` of Algorithm 2): a meta-rule
+//! matches an evidence tuple when its body assignments all appear in the
+//! evidence. Matches are found by descending from the root and expanding
+//! only matching nodes; *best* (most specific) matches are the matching
+//! nodes with no matching child.
+
+use crate::config::VoterChoice;
+use crate::meta_rule::MetaRule;
+use mrsl_itemset::{Item, Itemset};
+use mrsl_relation::{AttrId, AttrMask, PartialTuple};
+use mrsl_util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Handle of a meta-rule within its [`Mrsl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MetaRuleId(pub u32);
+
+impl MetaRuleId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cover edge to a child meta-rule, annotated with the item the child's
+/// body adds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Edge {
+    child: MetaRuleId,
+    delta: Item,
+}
+
+/// The meta-rule semi-lattice for one attribute (`MRSL_a`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mrsl {
+    head_attr: AttrId,
+    cardinality: usize,
+    rules: Vec<MetaRule>,
+    edges: Vec<Vec<Edge>>,
+    parents: Vec<Vec<MetaRuleId>>,
+    levels: Vec<Vec<MetaRuleId>>,
+    root: MetaRuleId,
+    #[serde(skip)]
+    by_body: FxHashMap<Itemset, MetaRuleId>,
+}
+
+/// Reusable scratch buffers for lattice matching; create one per thread /
+/// sampler and pass to [`Mrsl::collect_matches`] to avoid per-call
+/// allocation in the Gibbs hot loop.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    visited: Vec<u64>,
+    has_matching_child: Vec<u64>,
+    stack: Vec<u32>,
+    /// Matching meta-rule ids, filled by `collect_matches`.
+    pub matches: Vec<u32>,
+}
+
+impl MatchScratch {
+    fn reset(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        self.visited.clear();
+        self.visited.resize(words, 0);
+        self.has_matching_child.clear();
+        self.has_matching_child.resize(words, 0);
+        self.stack.clear();
+        self.matches.clear();
+    }
+
+    #[inline]
+    fn mark(bits: &mut [u64], i: u32) -> bool {
+        let word = &mut bits[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    #[inline]
+    fn is_set(bits: &[u64], i: u32) -> bool {
+        bits[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+}
+
+impl Mrsl {
+    /// Builds the lattice from meta-rules for `head_attr`.
+    ///
+    /// A meta-rule with an empty body must be present — it is the lattice
+    /// root and guarantees every inference task has at least one voter (the
+    /// model-learning pipeline always provides it).
+    ///
+    /// # Panics
+    /// Panics when no empty-body meta-rule exists, when two meta-rules
+    /// share a body, or when a rule's head attribute disagrees.
+    pub fn new(head_attr: AttrId, cardinality: usize, mut rules: Vec<MetaRule>) -> Self {
+        rules.sort_by(|a, b| (a.level(), a.body()).cmp(&(b.level(), b.body())));
+        let mut by_body: FxHashMap<Itemset, MetaRuleId> = FxHashMap::default();
+        let mut levels: Vec<Vec<MetaRuleId>> = Vec::new();
+        for (i, rule) in rules.iter().enumerate() {
+            assert_eq!(rule.head_attr(), head_attr, "head attribute mismatch");
+            assert_eq!(rule.cpd().len(), cardinality, "CPD arity mismatch");
+            assert!(
+                rule.body().value_of(head_attr).is_none(),
+                "body must not assign the head attribute"
+            );
+            let id = MetaRuleId(i as u32);
+            let prev = by_body.insert(rule.body().clone(), id);
+            assert!(prev.is_none(), "duplicate meta-rule body");
+            while levels.len() <= rule.level() {
+                levels.push(Vec::new());
+            }
+            levels[rule.level()].push(id);
+        }
+        let root = *by_body
+            .get(&Itemset::empty())
+            .expect("MRSL requires the empty-body root meta-rule P(a)");
+
+        // Cover edges: parent body = child body minus one item. Downward
+        // closure of mined bodies guarantees the parent exists; a missing
+        // parent (hand-built lattices) simply omits that edge.
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); rules.len()];
+        let mut parents: Vec<Vec<MetaRuleId>> = vec![Vec::new(); rules.len()];
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.level() == 0 {
+                continue;
+            }
+            let child = MetaRuleId(i as u32);
+            for &item in rule.body().items() {
+                let parent_body = rule.body().without_attr(item.attr());
+                if let Some(&parent) = by_body.get(&parent_body) {
+                    edges[parent.index()].push(Edge { child, delta: item });
+                    parents[child.index()].push(parent);
+                }
+            }
+        }
+        Self {
+            head_attr,
+            cardinality,
+            rules,
+            edges,
+            parents,
+            levels,
+            root,
+            by_body,
+        }
+    }
+
+    /// The head attribute.
+    pub fn head_attr(&self) -> AttrId {
+        self.head_attr
+    }
+
+    /// Domain cardinality of the head attribute.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Number of meta-rules (the model-size unit of Fig. 4(c)).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// A lattice always holds at least the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The meta-rule for `id`.
+    pub fn rule(&self, id: MetaRuleId) -> &MetaRule {
+        &self.rules[id.index()]
+    }
+
+    /// All meta-rules (sorted by level, then body).
+    pub fn rules(&self) -> &[MetaRule] {
+        &self.rules
+    }
+
+    /// The root meta-rule `P(a)`.
+    pub fn root(&self) -> MetaRuleId {
+        self.root
+    }
+
+    /// Ids at body-size `level`.
+    pub fn level(&self, level: usize) -> &[MetaRuleId] {
+        self.levels.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Deepest populated level.
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Looks up a meta-rule by body.
+    pub fn find(&self, body: &Itemset) -> Option<MetaRuleId> {
+        self.by_body.get(body).copied()
+    }
+
+    /// Direct children (more specific covers) of `id`.
+    pub fn children(&self, id: MetaRuleId) -> impl Iterator<Item = MetaRuleId> + '_ {
+        self.edges[id.index()].iter().map(|e| e.child)
+    }
+
+    /// Direct parents (more general covers) of `id`.
+    pub fn parents(&self, id: MetaRuleId) -> &[MetaRuleId] {
+        &self.parents[id.index()]
+    }
+
+    /// Rebuilds the body index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_body = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.body().clone(), MetaRuleId(i as u32)))
+            .collect();
+    }
+
+    /// Core matching routine over a raw evidence assignment: `values[i]` is
+    /// the value of attribute `i`, valid where `evidence_mask` is set.
+    /// Fills `scratch.matches` with all matching ids under `choice`.
+    ///
+    /// The root always matches, so the result is never empty.
+    pub fn collect_matches(
+        &self,
+        values: &[u16],
+        evidence_mask: AttrMask,
+        choice: VoterChoice,
+        scratch: &mut MatchScratch,
+    ) {
+        scratch.reset(self.rules.len());
+        scratch.stack.push(self.root.0);
+        MatchScratch::mark(&mut scratch.visited, self.root.0);
+        let mut all_matches: Vec<u32> = Vec::new();
+        while let Some(id) = scratch.stack.pop() {
+            all_matches.push(id);
+            for edge in &self.edges[id as usize] {
+                let a = edge.delta.attr();
+                if evidence_mask.contains(a) && values[a.index()] == edge.delta.value().0 {
+                    // The child matches: remember the parent is not "best".
+                    MatchScratch::mark(&mut scratch.has_matching_child, id);
+                    if MatchScratch::mark(&mut scratch.visited, edge.child.0) {
+                        scratch.stack.push(edge.child.0);
+                    }
+                }
+            }
+        }
+        match choice {
+            VoterChoice::All => scratch.matches = all_matches,
+            VoterChoice::Best => {
+                scratch.matches = all_matches
+                    .into_iter()
+                    .filter(|&id| !MatchScratch::is_set(&scratch.has_matching_child, id))
+                    .collect();
+            }
+        }
+    }
+
+    /// Convenience matching over a [`PartialTuple`]; allocates, so not for
+    /// hot loops. The head attribute is ignored even if assigned in `t`
+    /// (bodies never mention it).
+    pub fn matching(&self, t: &PartialTuple, choice: VoterChoice) -> Vec<MetaRuleId> {
+        let mut values = vec![0u16; t.arity()];
+        for asg in t.assignments() {
+            values[asg.attr.index()] = asg.value.0;
+        }
+        let mut scratch = MatchScratch::default();
+        self.collect_matches(&values, t.mask(), choice, &mut scratch);
+        scratch.matches.into_iter().map(MetaRuleId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_relation::ValueId;
+
+    /// Builds the Fig. 2 MRSL for `age` by hand: bodies over edu/inc/nw.
+    fn fig2_lattice() -> Mrsl {
+        let age = AttrId(0);
+        let item = |a: u16, v: u16| Item::new(AttrId(a), ValueId(v));
+        let mk = |body: Vec<Item>, w: f64, cpd: &[f64]| {
+            MetaRule::new(age, Itemset::new(body), w, cpd)
+        };
+        let rules = vec![
+            mk(vec![], 1.0, &[0.31, 0.38, 0.32]),                     // P(age)
+            mk(vec![item(1, 0)], 0.41, &[0.15, 0.70, 0.15]),          // edu=HS
+            mk(vec![item(2, 0)], 0.57, &[0.31, 0.41, 0.28]),          // inc=50K
+            mk(vec![item(2, 1)], 0.43, &[0.21, 0.21, 0.58]),          // inc=100K
+            mk(vec![item(3, 1)], 0.61, &[0.31, 0.38, 0.32]),          // nw=500K
+            mk(vec![item(1, 0), item(2, 0)], 0.30, &[0.15, 0.70, 0.15]), // edu=HS ∧ inc=50K
+        ];
+        Mrsl::new(age, 3, rules)
+    }
+
+    #[test]
+    fn builds_fig2_shape() {
+        let l = fig2_lattice();
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.level(0).len(), 1);
+        assert_eq!(l.level(1).len(), 4);
+        assert_eq!(l.level(2).len(), 1);
+        assert_eq!(l.max_level(), 2);
+        // Root has 4 children; the level-2 node has 2 parents.
+        assert_eq!(l.children(l.root()).count(), 4);
+        let deep = l.level(2)[0];
+        assert_eq!(l.parents(deep).len(), 2);
+    }
+
+    #[test]
+    fn matching_all_reproduces_paper_example() {
+        // t1 = ⟨age=?, edu=HS, inc=50K, nw=500K⟩ matches five meta-rules:
+        // P(age), P(age|edu=HS), P(age|inc=50K), P(age|nw=500K),
+        // P(age|edu=HS ∧ inc=50K).
+        let l = fig2_lattice();
+        let t = PartialTuple::from_options(&[None, Some(0), Some(0), Some(1)]);
+        let matches = l.matching(&t, VoterChoice::All);
+        assert_eq!(matches.len(), 5);
+        // inc=100K does not match.
+        let inc100 = l
+            .find(&Itemset::new(vec![Item::new(AttrId(2), ValueId(1))]))
+            .unwrap();
+        assert!(!matches.contains(&inc100));
+    }
+
+    #[test]
+    fn matching_best_selects_most_specific() {
+        // Best voters for t1: the maximal matches — P(age|nw=500K) and
+        // P(age|edu=HS ∧ inc=50K). P(age|edu=HS) and P(age|inc=50K) are
+        // subsumed by the level-2 match; P(age) by everything.
+        let l = fig2_lattice();
+        let t = PartialTuple::from_options(&[None, Some(0), Some(0), Some(1)]);
+        let best = l.matching(&t, VoterChoice::Best);
+        assert_eq!(best.len(), 2);
+        let bodies: Vec<usize> = best.iter().map(|&id| l.rule(id).level()).collect();
+        assert!(bodies.contains(&1)); // nw=500K
+        assert!(bodies.contains(&2)); // edu=HS ∧ inc=50K
+        for &id in &best {
+            let body = l.rule(id).body();
+            assert!(
+                body.value_of(AttrId(3)).is_some() || body.len() == 2,
+                "unexpected best voter {body:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_always_matches_even_with_no_evidence() {
+        let l = fig2_lattice();
+        let t = PartialTuple::all_missing(4);
+        let all = l.matching(&t, VoterChoice::All);
+        assert_eq!(all, vec![l.root()]);
+        let best = l.matching(&t, VoterChoice::Best);
+        assert_eq!(best, vec![l.root()]);
+    }
+
+    #[test]
+    fn best_equals_all_when_single_match() {
+        let l = fig2_lattice();
+        // Evidence only on edu=BS: nothing below the root matches.
+        let t = PartialTuple::from_options(&[None, Some(1), None, None]);
+        assert_eq!(l.matching(&t, VoterChoice::All).len(), 1);
+        assert_eq!(l.matching(&t, VoterChoice::Best).len(), 1);
+    }
+
+    #[test]
+    fn matches_are_downward_closed() {
+        // Every ancestor of a match is also a match.
+        let l = fig2_lattice();
+        let t = PartialTuple::from_options(&[None, Some(0), Some(0), None]);
+        let matches = l.matching(&t, VoterChoice::All);
+        for &id in &matches {
+            for &p in l.parents(id) {
+                assert!(matches.contains(&p), "parent of a match must match");
+            }
+        }
+        // And best ⊆ all.
+        let best = l.matching(&t, VoterChoice::Best);
+        for b in &best {
+            assert!(matches.contains(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root meta-rule")]
+    fn requires_root() {
+        let age = AttrId(0);
+        let body = Itemset::new(vec![Item::new(AttrId(1), ValueId(0))]);
+        let rules = vec![MetaRule::new(age, body, 0.5, &[0.5, 0.5])];
+        Mrsl::new(age, 2, rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate meta-rule body")]
+    fn rejects_duplicate_bodies() {
+        let age = AttrId(0);
+        let rules = vec![
+            MetaRule::new(age, Itemset::empty(), 1.0, &[0.5, 0.5]),
+            MetaRule::new(age, Itemset::empty(), 1.0, &[0.4, 0.6]),
+        ];
+        Mrsl::new(age, 2, rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "body must not assign the head")]
+    fn rejects_head_in_body() {
+        let age = AttrId(0);
+        let rules = vec![
+            MetaRule::new(age, Itemset::empty(), 1.0, &[0.5, 0.5]),
+            MetaRule::new(
+                age,
+                Itemset::new(vec![Item::new(age, ValueId(0))]),
+                0.5,
+                &[0.5, 0.5],
+            ),
+        ];
+        Mrsl::new(age, 2, rules);
+    }
+
+    #[test]
+    fn collect_matches_reuses_scratch() {
+        let l = fig2_lattice();
+        let mut scratch = MatchScratch::default();
+        let values = [0u16, 0, 0, 1];
+        let mask = AttrMask::from_attrs([AttrId(1), AttrId(2), AttrId(3)]);
+        l.collect_matches(&values, mask, VoterChoice::All, &mut scratch);
+        assert_eq!(scratch.matches.len(), 5);
+        // Second call with different evidence reuses the buffers.
+        l.collect_matches(&values, AttrMask::EMPTY, VoterChoice::All, &mut scratch);
+        assert_eq!(scratch.matches.len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_matching() {
+        let l = fig2_lattice();
+        let json = serde_json_like_roundtrip(&l);
+        let t = PartialTuple::from_options(&[None, Some(0), Some(0), Some(1)]);
+        assert_eq!(
+            l.matching(&t, VoterChoice::Best).len(),
+            json.matching(&t, VoterChoice::Best).len()
+        );
+    }
+
+    fn serde_json_like_roundtrip(l: &Mrsl) -> Mrsl {
+        // Simulates what serde would do: drop the skipped index, rebuild.
+        let mut clone = l.clone();
+        clone.by_body = FxHashMap::default();
+        clone.rebuild_index();
+        clone
+    }
+}

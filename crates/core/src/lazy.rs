@@ -1,0 +1,274 @@
+//! Lazy, query-targeted derivation (the paper's §VIII future work).
+//!
+//! "Our approach opens new possibilities for partial materialization of
+//! probability values, as well as for lazy, query-targeted learning and
+//! inference." Instead of materializing `Δt` for *every* incomplete tuple,
+//! [`derive_for_query`] derives blocks only for the tuples that can affect
+//! a given selection predicate:
+//!
+//! * tuples whose **observed** portion already violates the predicate can
+//!   never satisfy it — their selection probability is 0 regardless of the
+//!   missing values, so no inference is spent on them;
+//! * tuples that satisfy the predicate on the predicate's attributes with
+//!   everything relevant observed have probability 1 — also no inference;
+//! * only tuples whose missing attributes overlap the predicate need `Δt`.
+//!
+//! The result reports the exact per-tuple selection probabilities and the
+//! expected count, plus how much inference work was skipped.
+
+use crate::config::GibbsConfig;
+use crate::infer::dag::{sample_workload, SamplingCost, WorkloadStrategy};
+use crate::model::MrslModel;
+use mrsl_probdb::query::Predicate;
+use mrsl_relation::{PartialTuple, Relation};
+use serde::{Deserialize, Serialize};
+
+/// Why a tuple did or did not need inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LazyDisposition {
+    /// The observed portion contradicts the predicate: probability 0.
+    RuledOut,
+    /// The observed portion satisfies every predicate clause: probability 1.
+    Certain,
+    /// The predicate touches missing attributes: inferred probability.
+    Inferred,
+}
+
+/// Per-incomplete-tuple result of a lazy query derivation.
+#[derive(Debug, Clone)]
+pub struct LazySelection {
+    /// How the tuple was handled.
+    pub disposition: LazyDisposition,
+    /// Probability the tuple satisfies the predicate.
+    pub prob: f64,
+}
+
+/// Output of [`derive_for_query`].
+#[derive(Debug)]
+pub struct LazyQueryOutput {
+    /// One entry per tuple of `relation.incomplete_part()`.
+    pub selections: Vec<LazySelection>,
+    /// Number of certain (complete) tuples satisfying the predicate.
+    pub certain_matches: usize,
+    /// Expected number of tuples satisfying the predicate, over the whole
+    /// relation (certain matches + block probabilities).
+    pub expected_count: f64,
+    /// Cost of the sampling actually performed.
+    pub sampling_cost: SamplingCost,
+    /// Tuples whose inference was skipped thanks to laziness.
+    pub skipped: usize,
+}
+
+/// Evaluates `P(t satisfies pred)` for every tuple of `relation`, deriving
+/// distributions **only where the predicate requires them**.
+pub fn derive_for_query(
+    relation: &Relation,
+    model: &MrslModel,
+    pred: &Predicate,
+    gibbs: &GibbsConfig,
+    strategy: WorkloadStrategy,
+    seed: u64,
+) -> LazyQueryOutput {
+    let certain_matches = relation
+        .complete_part()
+        .iter()
+        .filter(|t| pred.eval(t))
+        .count();
+
+    // Classify incomplete tuples.
+    let incomplete = relation.incomplete_part();
+    let mut selections: Vec<Option<LazySelection>> = vec![None; incomplete.len()];
+    let mut workload: Vec<PartialTuple> = Vec::new();
+    let mut slots: Vec<usize> = Vec::new();
+    for (i, t) in incomplete.iter().enumerate() {
+        let mut contradicted = false;
+        let mut needs_inference = false;
+        for &(attr, value) in pred.clauses() {
+            match t.get(attr) {
+                Some(v) if v == value => {}
+                Some(_) => {
+                    contradicted = true;
+                    break;
+                }
+                None => needs_inference = true,
+            }
+        }
+        if contradicted {
+            selections[i] = Some(LazySelection {
+                disposition: LazyDisposition::RuledOut,
+                prob: 0.0,
+            });
+        } else if !needs_inference {
+            selections[i] = Some(LazySelection {
+                disposition: LazyDisposition::Certain,
+                prob: 1.0,
+            });
+        } else {
+            workload.push(t.clone());
+            slots.push(i);
+        }
+    }
+    let skipped = incomplete.len() - workload.len();
+
+    // Infer Δt only for the undecided tuples, then marginalize onto the
+    // predicate clauses over missing attributes.
+    let mut sampling_cost = SamplingCost::default();
+    if !workload.is_empty() {
+        let result = sample_workload(model, &workload, gibbs, strategy, seed);
+        sampling_cost = result.cost;
+        for ((slot, t), est) in slots.iter().zip(&workload).zip(&result.estimates) {
+            let missing_clauses: Vec<_> = pred
+                .clauses()
+                .iter()
+                .filter(|(a, _)| t.get(*a).is_none())
+                .collect();
+            let mut prob = 0.0;
+            for (idx, &p) in est.probs.iter().enumerate() {
+                let combo = est.indexer.decode(idx);
+                let ok = missing_clauses.iter().all(|&&(a, v)| {
+                    combo
+                        .iter()
+                        .find(|&&(ca, _)| ca == a)
+                        .map(|&(_, cv)| cv == v)
+                        .unwrap_or(true)
+                });
+                if ok {
+                    prob += p;
+                }
+            }
+            selections[*slot] = Some(LazySelection {
+                disposition: LazyDisposition::Inferred,
+                prob,
+            });
+        }
+    }
+
+    let selections: Vec<LazySelection> = selections
+        .into_iter()
+        .map(|s| s.expect("every tuple classified"))
+        .collect();
+    let expected_count =
+        certain_matches as f64 + selections.iter().map(|s| s.prob).sum::<f64>();
+    LazyQueryOutput {
+        selections,
+        certain_matches,
+        expected_count,
+        sampling_cost,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LearnConfig, VotingConfig};
+    use crate::derive::{derive_probabilistic_db, DeriveConfig};
+    use mrsl_probdb::query::expected_count;
+    use mrsl_relation::relation::fig1_relation;
+    use mrsl_relation::{AttrId, ValueId};
+
+    fn setup() -> (Relation, MrslModel, GibbsConfig) {
+        let rel = fig1_relation();
+        let learn = LearnConfig {
+            support_threshold: 0.01,
+            max_itemsets: 1000,
+        };
+        let model = MrslModel::learn(rel.schema(), rel.complete_part(), &learn);
+        let gibbs = GibbsConfig {
+            burn_in: 50,
+            samples: 600,
+            voting: VotingConfig::best_averaged(),
+        };
+        (rel, model, gibbs)
+    }
+
+    #[test]
+    fn classifies_tuples_correctly() {
+        let (rel, model, gibbs) = setup();
+        // pred: age = 30. Incomplete tuples with age observed ≠ 30 are
+        // ruled out; with age = 30 observed they're certain; with age
+        // missing they need inference.
+        let pred = Predicate::any().and_eq(AttrId(0), ValueId(1));
+        let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        assert_eq!(out.selections.len(), 9);
+        // t8 = ⟨?, HS, ?, ?⟩ is the only tuple with age missing.
+        let inferred = out
+            .selections
+            .iter()
+            .filter(|s| s.disposition == LazyDisposition::Inferred)
+            .count();
+        assert_eq!(inferred, 1);
+        let certain = out
+            .selections
+            .iter()
+            .filter(|s| s.disposition == LazyDisposition::Certain)
+            .count();
+        assert_eq!(certain, 3); // t10, t11, t12 observe age = 30
+        assert_eq!(out.skipped, 8);
+        // Certain complete matches: age=30 points are t9 only.
+        assert_eq!(out.certain_matches, 1);
+    }
+
+    #[test]
+    fn lazy_matches_full_materialization() {
+        let (rel, model, gibbs) = setup();
+        let pred = Predicate::any().and_eq(AttrId(2), ValueId(1)); // inc=100K
+        let lazy = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        // Fully materialize with the same parameters and compare.
+        let full = derive_probabilistic_db(
+            &rel,
+            &DeriveConfig {
+                learn: LearnConfig {
+                    support_threshold: 0.01,
+                    max_itemsets: 1000,
+                },
+                gibbs,
+                seed: 1,
+                ..DeriveConfig::default()
+            },
+        );
+        let full_expected = expected_count(&full.db, &pred);
+        assert!(
+            (lazy.expected_count - full_expected).abs() < 0.6,
+            "lazy {} vs full {}",
+            lazy.expected_count,
+            full_expected
+        );
+    }
+
+    #[test]
+    fn lazy_saves_inference_work() {
+        let (rel, model, gibbs) = setup();
+        // A very selective predicate on observed values skips most tuples.
+        let pred = Predicate::any()
+            .and_eq(AttrId(0), ValueId(1))
+            .and_eq(AttrId(1), ValueId(2)); // age=30 ∧ edu=MS: only t12 certain
+        let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        assert!(out.skipped >= 7, "skipped {}", out.skipped);
+        assert_eq!(out.sampling_cost.chains, 1); // only t8 needs sampling
+        // t12 observes both clauses: probability exactly 1.
+        assert!(out
+            .selections
+            .iter()
+            .any(|s| s.disposition == LazyDisposition::Certain && s.prob == 1.0));
+    }
+
+    #[test]
+    fn empty_predicate_is_all_certain() {
+        let (rel, model, gibbs) = setup();
+        let out = derive_for_query(
+            &rel,
+            &model,
+            &Predicate::any(),
+            &gibbs,
+            WorkloadStrategy::TupleDag,
+            1,
+        );
+        assert!(out
+            .selections
+            .iter()
+            .all(|s| s.disposition == LazyDisposition::Certain));
+        assert_eq!(out.expected_count, rel.len() as f64);
+        assert_eq!(out.sampling_cost.total_draws, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Meta-rule semi-lattices (MRSL) — the paper's primary contribution.
+//!
+//! An MRSL model is an *inference ensemble* learned from the complete part
+//! of a relation and used to derive probability distributions for the
+//! missing values of the incomplete part, yielding a disjoint-independent
+//! probabilistic database.
+//!
+//! Learning (paper §III, Algorithm 1):
+//! * [`assoc`] — association rules over frequent itemsets (Def. 2.5).
+//! * [`meta_rule`] — meta-rules: grouped rules sharing a body, their
+//!   smoothed CPD estimates and support weights (Def. 2.6).
+//! * [`lattice`] — the per-attribute semi-lattice ordered by body
+//!   subsumption (Defs. 2.7, 2.8), with voter matching.
+//! * [`model`] — the MRSL model (one lattice per attribute, Def. 2.9) and
+//!   the end-to-end learning pipeline.
+//!
+//! Inference (paper §IV–§V):
+//! * [`infer::single`] — Algorithm 2: voting inference for one missing
+//!   attribute (`all`/`best` voters, `averaged`/`weighted` schemes).
+//! * [`infer::gibbs`] — ordered Gibbs sampling for multiple missing
+//!   attributes, with a CPD cache.
+//! * [`infer::dag`] — Algorithm 3: the tuple-DAG workload optimization that
+//!   shares samples between tuples related by subsumption.
+//! * [`infer::independent`] — the independence-assuming baseline the paper
+//!   argues against in §V (kept for ablation).
+//!
+//! End to end:
+//! * [`derive`](mod@derive) — learns a model and converts every incomplete
+//!   tuple's estimate `Δt` into a block of a disjoint-independent
+//!   probabilistic database ([`mrsl_probdb::ProbDb`]).
+//! * [`lazy`] — query-targeted partial derivation (§VIII future work).
+
+pub mod assoc;
+pub mod config;
+pub mod derive;
+pub mod infer;
+pub mod lattice;
+pub mod lazy;
+pub mod meta_rule;
+pub mod model;
+
+pub use config::{GibbsConfig, LearnConfig, VoterChoice, VotingConfig, VotingScheme};
+pub use derive::{derive_probabilistic_db, DeriveConfig, DeriveOutput};
+pub use infer::dag::{
+    sample_workload, SamplingCost, TupleDag, WorkloadResult, WorkloadStrategy,
+};
+pub use infer::gibbs::{infer_joint, JointEstimate};
+pub use infer::independent::infer_joint_independent;
+pub use infer::single::infer_single;
+pub use lattice::{MetaRuleId, Mrsl};
+pub use lazy::{derive_for_query, LazyDisposition, LazyQueryOutput, LazySelection};
+pub use meta_rule::MetaRule;
+pub use model::{LearnStats, MrslModel};

@@ -1,0 +1,241 @@
+//! Meta-rules: grouped association rules with smoothed CPD estimates
+//! (Def. 2.6, `ComputeMetaRules`).
+//!
+//! Association rules with the same body and head attribute but different
+//! head values are combined into one meta-rule whose estimated CPD `Δ(m)`
+//! collects the rules' confidences. Because some head values may fall below
+//! the support threshold, the confidences need not sum to 1; §III smooths
+//! each CPD by (1) spreading the residual probability mass equally over the
+//! whole domain, (2) flooring every entry at `1e-5` so Gibbs transitions
+//! stay positive, and (3) renormalizing.
+
+use crate::assoc::AssociationRule;
+use mrsl_itemset::Itemset;
+use mrsl_relation::AttrId;
+use mrsl_util::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The positivity floor the paper assigns to every CPD entry.
+pub const SMOOTH_FLOOR: f64 = 1e-5;
+
+/// A meta-rule: an estimated CPD for `head_attr` given `body`, weighted by
+/// the body's support.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaRule {
+    head_attr: AttrId,
+    body: Itemset,
+    weight: f64,
+    cpd: Vec<f64>,
+    mined_values: usize,
+}
+
+impl MetaRule {
+    /// Builds a meta-rule directly from a raw (possibly deficient)
+    /// confidence vector; applies the paper's smoothing.
+    ///
+    /// # Panics
+    /// Panics if `raw_confidences` is empty or the weight is not in (0, 1].
+    pub fn new(head_attr: AttrId, body: Itemset, weight: f64, raw_confidences: &[f64]) -> Self {
+        assert!(!raw_confidences.is_empty(), "empty CPD");
+        assert!(
+            weight > 0.0 && weight <= 1.0 + 1e-9,
+            "weight {weight} outside (0, 1]"
+        );
+        let mined_values = raw_confidences.iter().filter(|&&c| c > 0.0).count();
+        Self {
+            head_attr,
+            body,
+            weight,
+            cpd: smooth_cpd(raw_confidences),
+            mined_values,
+        }
+    }
+
+    /// The head attribute (`head(m)`).
+    pub fn head_attr(&self) -> AttrId {
+        self.head_attr
+    }
+
+    /// The body (`body(m)`, the common attribute-value assignments).
+    pub fn body(&self) -> &Itemset {
+        &self.body
+    }
+
+    /// The meta-rule weight: the support of the body itemset (§III,
+    /// "we record the support of the frequent itemset that corresponds to
+    /// the body of the meta-rule as that meta-rule's support").
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The smoothed, strictly positive CPD estimate `Δ(m)`.
+    pub fn cpd(&self) -> &[f64] {
+        &self.cpd
+    }
+
+    /// How many head values were backed by a mined rule (the rest got only
+    /// smoothed residual mass).
+    pub fn mined_values(&self) -> usize {
+        self.mined_values
+    }
+
+    /// Body size — the meta-rule's level within its semi-lattice.
+    pub fn level(&self) -> usize {
+        self.body.len()
+    }
+}
+
+/// §III smoothing: spread residual mass uniformly, floor at
+/// [`SMOOTH_FLOOR`], renormalize. The result is strictly positive and sums
+/// to 1.
+pub fn smooth_cpd(raw: &[f64]) -> Vec<f64> {
+    let k = raw.len();
+    let total: f64 = raw.iter().sum();
+    // Residual mass not covered by mined rules (clamped: floating error can
+    // push the sum of confidences a hair above 1).
+    let residual = (1.0 - total).max(0.0);
+    let mut cpd: Vec<f64> = raw
+        .iter()
+        .map(|&c| (c + residual / k as f64).max(SMOOTH_FLOOR))
+        .collect();
+    let sum: f64 = cpd.iter().sum();
+    cpd.iter_mut().for_each(|p| *p /= sum);
+    cpd
+}
+
+/// `ComputeMetaRules` of Algorithm 1: groups rules by body and emits one
+/// meta-rule per distinct body.
+///
+/// `cardinality` is the head attribute's domain size; rules are assumed to
+/// all have head attribute `attr`.
+pub fn compute_meta_rules(
+    attr: AttrId,
+    cardinality: usize,
+    rules: &[AssociationRule],
+) -> Vec<MetaRule> {
+    let mut grouped: FxHashMap<&Itemset, Vec<&AssociationRule>> = FxHashMap::default();
+    for r in rules {
+        debug_assert_eq!(r.head.attr(), attr);
+        grouped.entry(&r.body).or_default().push(r);
+    }
+    let mut metas: Vec<MetaRule> = grouped
+        .into_iter()
+        .map(|(body, group)| {
+            let mut raw = vec![0.0f64; cardinality];
+            let weight = group[0].support_body;
+            for r in &group {
+                raw[r.head.value().index()] = r.confidence();
+            }
+            MetaRule::new(attr, body.clone(), weight, &raw)
+        })
+        .collect();
+    // Deterministic order: by level then body.
+    metas.sort_by(|a, b| (a.level(), a.body()).cmp(&(b.level(), b.body())));
+    metas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_itemset::Item;
+    use mrsl_relation::ValueId;
+
+    #[test]
+    fn smoothing_preserves_complete_cpds() {
+        let cpd = smooth_cpd(&[0.15, 0.70, 0.15]);
+        assert!((cpd.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (got, want) in cpd.iter().zip([0.15, 0.70, 0.15]) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn smoothing_spreads_residual_mass_equally() {
+        // Only one value mined with confidence 0.4: residual 0.6 spread as
+        // 0.2 each → [0.6, 0.2, 0.2].
+        let cpd = smooth_cpd(&[0.4, 0.0, 0.0]);
+        assert!((cpd[0] - 0.6).abs() < 1e-9);
+        assert!((cpd[1] - 0.2).abs() < 1e-9);
+        assert!((cpd[2] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_output_is_strictly_positive() {
+        let cpd = smooth_cpd(&[1.0, 0.0]);
+        assert!(cpd.iter().all(|&p| p >= SMOOTH_FLOOR / 2.0));
+        assert!(cpd[1] > 0.0);
+        assert!((cpd.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_handles_overshoot() {
+        // Confidences can sum slightly above 1 from floating error.
+        let cpd = smooth_cpd(&[0.7, 0.3 + 1e-12]);
+        assert!((cpd.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meta_rule_groups_by_body() {
+        let attr = AttrId(0);
+        let body_a = Itemset::new(vec![Item::new(AttrId(1), ValueId(0))]);
+        let body_b = Itemset::empty();
+        let rule = |body: &Itemset, v: u16, sf: f64, sb: f64| AssociationRule {
+            body: body.clone(),
+            head: Item::new(attr, ValueId(v)),
+            support_full: sf,
+            support_body: sb,
+        };
+        let rules = vec![
+            rule(&body_a, 0, 0.06, 0.41),
+            rule(&body_a, 1, 0.29, 0.41),
+            rule(&body_a, 2, 0.06, 0.41),
+            rule(&body_b, 0, 0.31, 1.0),
+            rule(&body_b, 1, 0.38, 1.0),
+        ];
+        let metas = compute_meta_rules(attr, 3, &rules);
+        assert_eq!(metas.len(), 2);
+        // Sorted by level: empty body first.
+        assert_eq!(metas[0].level(), 0);
+        assert_eq!(metas[1].level(), 1);
+        // The paper's example: P(age | edu=HS) ≈ [0.15, 0.70, 0.15].
+        let m = &metas[1];
+        assert!((m.weight() - 0.41).abs() < 1e-12);
+        assert_eq!(m.mined_values(), 3);
+        let expected = [0.06 / 0.41, 0.29 / 0.41, 0.06 / 0.41];
+        for (got, want) in m.cpd().iter().zip(expected) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn missing_head_values_receive_residual_mass() {
+        let attr = AttrId(0);
+        let rules = vec![AssociationRule {
+            body: Itemset::empty(),
+            head: Item::new(attr, ValueId(1)),
+            support_full: 0.5,
+            support_body: 1.0,
+        }];
+        let metas = compute_meta_rules(attr, 4, &rules);
+        assert_eq!(metas.len(), 1);
+        let cpd = metas[0].cpd();
+        assert_eq!(metas[0].mined_values(), 1);
+        // Residual 0.5 split over 4 values: unmined get 0.125, mined 0.625.
+        assert!((cpd[1] - 0.625).abs() < 1e-9);
+        for v in [0, 2, 3] {
+            assert!((cpd[v] - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_zero_weight() {
+        MetaRule::new(AttrId(0), Itemset::empty(), 0.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CPD")]
+    fn rejects_empty_cpd() {
+        MetaRule::new(AttrId(0), Itemset::empty(), 1.0, &[]);
+    }
+}

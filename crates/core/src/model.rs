@@ -1,0 +1,240 @@
+//! The MRSL model: one semi-lattice per attribute (Def. 2.9, Algorithm 1).
+
+use crate::assoc::compute_assoc_rules;
+use crate::config::LearnConfig;
+use crate::lattice::Mrsl;
+use crate::meta_rule::{compute_meta_rules, MetaRule};
+use mrsl_itemset::{FrequentItemsets, Itemset, MiningStats};
+use mrsl_relation::{AttrId, CompleteTuple, Schema};
+use mrsl_util::Stopwatch;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Statistics of one learning run (the quantities of Fig. 4).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LearnStats {
+    /// Frequent-itemset mining statistics.
+    pub mining: MiningStats,
+    /// Association rules generated across all attributes.
+    pub num_assoc_rules: usize,
+    /// Total meta-rules — the paper's "model size" (Fig. 4(c)).
+    pub num_meta_rules: usize,
+    /// Meta-rules per attribute, in attribute order.
+    pub per_attr_sizes: Vec<usize>,
+    /// Wall-clock learning time (Fig. 4(a), 4(b)).
+    pub elapsed: Duration,
+}
+
+/// The learned MRSL model: a meta-rule semi-lattice per attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MrslModel {
+    schema: Arc<Schema>,
+    lattices: Vec<Mrsl>,
+    stats: LearnStats,
+}
+
+impl MrslModel {
+    /// Algorithm 1: learns the model from the complete part of a relation.
+    ///
+    /// Steps: mine frequent itemsets (Apriori with θ and `maxItemsets`);
+    /// per attribute, derive association rules, group them into meta-rules
+    /// and assemble the semi-lattice.
+    ///
+    /// The empty-body root meta-rule `P(a)` is materialized even when some
+    /// of `a`'s values fall below the support threshold: the root CPD is
+    /// the raw value-frequency histogram over `points` (smoothed like any
+    /// other CPD). This matches Fig. 2 — "the top-level meta-rule P(age)
+    /// lists the frequencies of the values of age in the known portion of
+    /// the dataset" — and guarantees inference always has at least one
+    /// voter.
+    pub fn learn(schema: &Arc<Schema>, points: &[CompleteTuple], config: &LearnConfig) -> Self {
+        let sw = Stopwatch::start();
+        let freq = FrequentItemsets::mine(schema, points, &config.apriori());
+
+        let mut lattices = Vec::with_capacity(schema.attr_count());
+        let mut num_assoc_rules = 0usize;
+        let mut per_attr_sizes = Vec::with_capacity(schema.attr_count());
+        for (attr, attribute) in schema.iter() {
+            let rules = compute_assoc_rules(attr, &freq);
+            num_assoc_rules += rules.len();
+            let mut metas = compute_meta_rules(attr, attribute.cardinality(), &rules);
+            if metas.first().map(|m| m.level() != 0).unwrap_or(true) {
+                metas.insert(0, frequency_root(attr, attribute.cardinality(), points));
+            }
+            per_attr_sizes.push(metas.len());
+            lattices.push(Mrsl::new(attr, attribute.cardinality(), metas));
+        }
+
+        let num_meta_rules = per_attr_sizes.iter().sum();
+        let stats = LearnStats {
+            mining: freq.stats().clone(),
+            num_assoc_rules,
+            num_meta_rules,
+            per_attr_sizes,
+            elapsed: sw.elapsed(),
+        };
+        Self {
+            schema: schema.clone(),
+            lattices,
+            stats,
+        }
+    }
+
+    /// The schema the model was learned over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The semi-lattice for `attr`.
+    pub fn mrsl(&self, attr: AttrId) -> &Mrsl {
+        &self.lattices[attr.index()]
+    }
+
+    /// All lattices, in attribute order.
+    pub fn lattices(&self) -> &[Mrsl] {
+        &self.lattices
+    }
+
+    /// Total number of meta-rules — the model-size measure of Fig. 4(c)
+    /// and Fig. 9.
+    pub fn size(&self) -> usize {
+        self.lattices.iter().map(Mrsl::len).sum()
+    }
+
+    /// Learning statistics.
+    pub fn stats(&self) -> &LearnStats {
+        &self.stats
+    }
+
+    /// Rebuilds skipped indexes after deserialization.
+    pub fn after_deserialize(mut self) -> Self {
+        for lattice in &mut self.lattices {
+            lattice.rebuild_index();
+        }
+        self
+    }
+}
+
+/// Builds the fallback root `P(a)` from raw value frequencies (uniform when
+/// `points` is empty).
+fn frequency_root(attr: AttrId, cardinality: usize, points: &[CompleteTuple]) -> MetaRule {
+    let mut counts = vec![0usize; cardinality];
+    for p in points {
+        counts[p.value(attr).index()] += 1;
+    }
+    let total: usize = counts.iter().sum();
+    let raw: Vec<f64> = if total == 0 {
+        vec![1.0 / cardinality as f64; cardinality]
+    } else {
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    };
+    MetaRule::new(attr, Itemset::empty(), 1.0, &raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_relation::relation::fig1_relation;
+
+    fn learn_fig1(theta: f64) -> MrslModel {
+        let rel = fig1_relation();
+        MrslModel::learn(
+            rel.schema(),
+            rel.complete_part(),
+            &LearnConfig {
+                support_threshold: theta,
+                max_itemsets: 1000,
+            },
+        )
+    }
+
+    #[test]
+    fn learns_one_lattice_per_attribute() {
+        let m = learn_fig1(0.05);
+        assert_eq!(m.lattices().len(), 4);
+        for (attr, _) in m.schema().iter() {
+            assert_eq!(m.mrsl(attr).head_attr(), attr);
+            assert!(!m.mrsl(attr).is_empty());
+        }
+        assert_eq!(m.size(), m.stats().num_meta_rules);
+        assert_eq!(
+            m.stats().per_attr_sizes.iter().sum::<usize>(),
+            m.stats().num_meta_rules
+        );
+    }
+
+    #[test]
+    fn root_cpd_is_value_frequency_histogram() {
+        // age over Fig. 1's Rc: 20 ×4, 30 ×1, 40 ×3 → [0.5, 0.125, 0.375].
+        let m = learn_fig1(0.01);
+        let mrsl = m.mrsl(AttrId(0));
+        let root = mrsl.rule(mrsl.root());
+        let expected = [0.5, 0.125, 0.375];
+        for (got, want) in root.cpd().iter().zip(expected) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert_eq!(root.weight(), 1.0);
+    }
+
+    #[test]
+    fn high_threshold_still_produces_roots() {
+        // θ = 0.9 kills every itemset; the injected frequency roots keep
+        // each lattice non-empty.
+        let m = learn_fig1(0.9);
+        for (attr, _) in m.schema().iter() {
+            assert_eq!(m.mrsl(attr).len(), 1, "only the root survives");
+            assert_eq!(m.mrsl(attr).rule(m.mrsl(attr).root()).level(), 0);
+        }
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn lower_threshold_grows_the_model() {
+        let coarse = learn_fig1(0.3);
+        let fine = learn_fig1(0.01);
+        assert!(
+            fine.size() > coarse.size(),
+            "{} vs {}",
+            fine.size(),
+            coarse.size()
+        );
+    }
+
+    #[test]
+    fn empty_relation_learns_uniform_roots() {
+        let rel = fig1_relation();
+        let m = MrslModel::learn(rel.schema(), &[], &LearnConfig::default());
+        let mrsl = m.mrsl(AttrId(0));
+        let root = mrsl.rule(mrsl.root());
+        for &p in root.cpd() {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_track_mining_and_time() {
+        let m = learn_fig1(0.05);
+        assert!(m.stats().num_assoc_rules > 0);
+        assert!(!m.stats().mining.level_counts.is_empty());
+    }
+
+    #[test]
+    fn meta_rule_weights_are_body_supports() {
+        let rel = fig1_relation();
+        let m = learn_fig1(0.01);
+        for lattice in m.lattices() {
+            for rule in lattice.rules() {
+                let body_tuple = rule.body().to_tuple(4);
+                let support = rel.support(&body_tuple);
+                assert!(
+                    (rule.weight() - support).abs() < 1e-9,
+                    "weight {} vs support {} for {:?}",
+                    rule.weight(),
+                    support,
+                    rule.body()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig. 11: efficiency of multi-variable inference — sample size and
+//! wall-clock time as a function of workload size, tuple-DAG vs the
+//! tuple-at-a-time baseline (500 samples per tuple).
+
+use crate::experiments::{grid, ExpOptions};
+use crate::missing::inject_missing_varying;
+use crate::report::Report;
+use crate::runner::run_parallel;
+use mrsl_core::{sample_workload, GibbsConfig, VotingConfig, WorkloadStrategy};
+use mrsl_util::table::fmt_f;
+use mrsl_util::Table;
+
+fn workload_sizes(opts: &ExpOptions) -> Vec<usize> {
+    if opts.full {
+        vec![500, 1_000, 2_000, 3_000]
+    } else {
+        vec![100, 250, 500]
+    }
+}
+
+fn networks(opts: &ExpOptions) -> Vec<&'static str> {
+    if opts.full {
+        vec!["BN1", "BN2", "BN3", "BN5", "BN8", "BN9", "BN10", "BN13", "BN17"]
+    } else {
+        vec!["BN8", "BN9", "BN13"]
+    }
+}
+
+fn params(opts: &ExpOptions) -> (usize, f64, usize, usize) {
+    // (train, support, samples per tuple N, burn-in B)
+    if opts.full {
+        (20_000, 0.002, 500, 100)
+    } else {
+        (5_000, 0.005, 500, 100)
+    }
+}
+
+/// Regenerates Fig. 11: per (network, workload size, strategy), the total
+/// number of sampled points and the wall-clock time of inference.
+pub fn run(opts: &ExpOptions) -> Report {
+    let (train, support, samples, burn_in) = params(opts);
+    let gibbs = GibbsConfig {
+        burn_in,
+        samples,
+        voting: VotingConfig::best_averaged(),
+    };
+    let mut table = Table::new([
+        "network",
+        "workload",
+        "strategy",
+        "sample size (draws)",
+        "shared",
+        "time (s)",
+    ]);
+
+    for name in networks(opts) {
+        let net = mrsl_bayesnet::catalog::by_name(name).expect("catalog name").topology;
+        let max_workload = *workload_sizes(opts).iter().max().expect("non-empty");
+        let single = ExpOptions {
+            instances: 1,
+            splits: 1,
+            ..*opts
+        };
+        let cells = grid(std::slice::from_ref(&net), &single, train, max_workload, |s| {
+            s.support = support;
+        });
+        // Timing experiment: run cells sequentially.
+        let rows = run_parallel(cells, 1, |spec| {
+            let ctx = spec.build();
+            let max_k = ctx.bn.spec().num_attrs() - 1;
+            let mut out = Vec::new();
+            for &w in &workload_sizes(opts) {
+                let workload =
+                    inject_missing_varying(&ctx.test_points[..w], max_k, spec.seed ^ w as u64);
+                for strategy in [WorkloadStrategy::TupleAtATime, WorkloadStrategy::TupleDag] {
+                    let result =
+                        sample_workload(&ctx.model, &workload, &gibbs, strategy, spec.seed);
+                    out.push((w, strategy, result.cost));
+                }
+            }
+            out
+        });
+        for row in rows.into_iter().flatten() {
+            let (w, strategy, cost) = row;
+            table.push_row([
+                name.to_string(),
+                w.to_string(),
+                match strategy {
+                    WorkloadStrategy::TupleAtATime => "tuple-at-a-time".to_string(),
+                    WorkloadStrategy::TupleDag => "tuple-DAG".to_string(),
+                },
+                cost.total_draws.to_string(),
+                cost.shared_samples.to_string(),
+                fmt_f(cost.elapsed.as_secs_f64(), 3),
+            ]);
+        }
+    }
+    Report::new(
+        "fig11",
+        format!("Efficiency of multi-variable inference (N = {samples}/tuple, B = {burn_in})"),
+        table,
+    )
+    .note("paper: sample size and wall-clock grow linearly with workload size; tuple-DAG beats tuple-at-a-time by up to ~an order of magnitude")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CellSpec;
+
+    #[test]
+    fn dag_beats_baseline_on_sample_size() {
+        let net = mrsl_bayesnet::catalog::by_name("BN8").unwrap().topology;
+        let mut spec = CellSpec::new(net, 3_000, 150);
+        spec.support = 0.005;
+        let ctx = spec.build();
+        let workload = inject_missing_varying(&ctx.test_points, 3, 5);
+        let gibbs = GibbsConfig {
+            burn_in: 50,
+            samples: 200,
+            voting: VotingConfig::best_averaged(),
+        };
+        let base = sample_workload(
+            &ctx.model,
+            &workload,
+            &gibbs,
+            WorkloadStrategy::TupleAtATime,
+            1,
+        );
+        let dag = sample_workload(&ctx.model, &workload, &gibbs, WorkloadStrategy::TupleDag, 1);
+        assert!(
+            dag.cost.total_draws < base.cost.total_draws,
+            "dag {} vs baseline {}",
+            dag.cost.total_draws,
+            base.cost.total_draws
+        );
+        assert!(dag.cost.shared_samples > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 6: KL divergence and top-1 accuracy as a function of the support
+//! threshold, for the four voting methods (training = 100,000 in the
+//! paper).
+
+use crate::experiments::{grid, mean, sweep_networks, ExpOptions};
+use crate::report::Report;
+use crate::runner::run_parallel;
+use mrsl_core::VotingConfig;
+use mrsl_util::table::fmt_f;
+use mrsl_util::Table;
+
+fn supports(opts: &ExpOptions) -> Vec<f64> {
+    if opts.full {
+        vec![0.001, 0.01, 0.02, 0.05, 0.1]
+    } else {
+        vec![0.002, 0.01, 0.02, 0.05, 0.1]
+    }
+}
+
+fn training(opts: &ExpOptions) -> (usize, usize) {
+    if opts.full {
+        (100_000, 2_000)
+    } else {
+        (8_000, 400)
+    }
+}
+
+/// Regenerates both panels of Fig. 6 (KL and top-1 per support threshold
+/// and voting method).
+pub fn run(opts: &ExpOptions) -> Report {
+    let nets = sweep_networks(opts);
+    let votings = VotingConfig::table2_order();
+    let (train, test) = training(opts);
+
+    let mut header: Vec<String> = vec!["support".into()];
+    for v in &votings {
+        header.push(format!("{} KL", v.label()));
+    }
+    for v in &votings {
+        header.push(format!("{} top-1", v.label()));
+    }
+    let mut table = Table::new(header);
+
+    for theta in supports(opts) {
+        let cells = grid(&nets, opts, train, test, |s| s.support = theta);
+        let scores = run_parallel(cells, opts.threads, |spec| {
+            let ctx = spec.build();
+            votings.map(|v| ctx.eval_single(&v))
+        });
+        let mut row = vec![fmt_f(theta, 3)];
+        for vi in 0..votings.len() {
+            row.push(fmt_f(mean(scores.iter().map(|s| s[vi].kl)), 3));
+        }
+        for vi in 0..votings.len() {
+            row.push(fmt_f(mean(scores.iter().map(|s| s[vi].top1)), 3));
+        }
+        table.push_row(row);
+    }
+
+    Report::new(
+        "fig6",
+        format!("KL divergence and top-1 accuracy vs support (training = {train})"),
+        table,
+    )
+    .note("paper: lower support thresholds give higher accuracy; best at θ = 0.001 with best-* voting")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_bayesnet::catalog::by_name;
+
+    #[test]
+    fn lower_support_is_no_worse() {
+        // With a meaningful training set, θ=0.002 must not lose badly to
+        // θ=0.1 — finer rules can only add evidence.
+        let opts = ExpOptions {
+            instances: 1,
+            splits: 1,
+            ..ExpOptions::default()
+        };
+        let net = by_name("BN13").unwrap().topology;
+        let kl_at = |theta: f64| {
+            let cells = grid(std::slice::from_ref(&net), &opts, 4_000, 200, |s| {
+                s.support = theta;
+            });
+            let scores = run_parallel(cells, 1, |spec| {
+                spec.build().eval_single(&VotingConfig::best_averaged())
+            });
+            mean(scores.iter().map(|s| s.kl))
+        };
+        let fine = kl_at(0.002);
+        let coarse = kl_at(0.1);
+        assert!(
+            fine <= coarse + 0.02,
+            "fine θ should not be worse: {fine} vs {coarse}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 9: single-attribute inference time as a function of model size,
+//! for test batches of different sizes, with a linear fit.
+//!
+//! Model size is varied by picking networks of different complexity at a
+//! low support threshold; each observation is (model size, wall-clock time
+//! of inferring the whole batch).
+
+use crate::experiments::{grid, ExpOptions};
+use crate::report::Report;
+use crate::runner::run_parallel;
+use mrsl_core::VotingConfig;
+use mrsl_util::stats::linear_fit;
+use mrsl_util::table::fmt_f;
+use mrsl_util::Table;
+
+fn networks() -> Vec<&'static str> {
+    vec![
+        "BN8", "BN9", "BN10", "BN11", "BN13", "BN14", "BN15", "BN17", "BN18",
+    ]
+}
+
+fn params(opts: &ExpOptions) -> (usize, f64, Vec<usize>) {
+    if opts.full {
+        (50_000, 0.001, vec![1_000, 5_000, 10_000])
+    } else {
+        (6_000, 0.002, vec![1_000, 5_000])
+    }
+}
+
+/// Regenerates Fig. 9: per (network, batch) the model size and batch
+/// inference time, plus the per-batch linear fits the paper draws.
+pub fn run(opts: &ExpOptions) -> Report {
+    let (train, support, batches) = params(opts);
+    let mut table = Table::new([
+        "network",
+        "model size",
+        "batch (tuples)",
+        "inference time (s)",
+        "per tuple (ms)",
+    ]);
+    let mut per_batch: Vec<(usize, Vec<(f64, f64)>)> =
+        batches.iter().map(|&b| (b, Vec::new())).collect();
+
+    for name in networks() {
+        let net = mrsl_bayesnet::catalog::by_name(name).expect("catalog name").topology;
+        let max_batch = *batches.iter().max().expect("non-empty batches");
+        let single = ExpOptions {
+            splits: 1,
+            instances: 1,
+            ..*opts
+        };
+        let cells = grid(std::slice::from_ref(&net), &single, train, max_batch, |s| {
+            s.support = support;
+        });
+        // Timing: sequential execution.
+        let outputs = run_parallel(cells, 1, |spec| {
+            let mut spec = spec;
+            let mut rows = Vec::new();
+            for &batch in &batches {
+                spec.test_size = batch;
+                let ctx = spec.build();
+                let secs = ctx.time_single_batch(&VotingConfig::best_averaged());
+                rows.push((ctx.model.size(), batch, secs));
+            }
+            rows
+        });
+        for rows in outputs {
+            for (size, batch, secs) in rows {
+                table.push_row([
+                    name.to_string(),
+                    size.to_string(),
+                    batch.to_string(),
+                    fmt_f(secs, 4),
+                    fmt_f(secs * 1e3 / batch as f64, 4),
+                ]);
+                per_batch
+                    .iter_mut()
+                    .find(|(b, _)| *b == batch)
+                    .expect("batch tracked")
+                    .1
+                    .push((size as f64, secs));
+            }
+        }
+    }
+
+    let mut report = Report::new(
+        "fig9",
+        format!("Inference time vs model size (support = {support}, training = {train})"),
+        table,
+    );
+    for (batch, points) in &per_batch {
+        if points.len() >= 2 {
+            let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+            if xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9) {
+                let (slope, intercept) = linear_fit(&xs, &ys);
+                report = report.note(format!(
+                    "batch {batch}: time ≈ {:.3e}·size + {:.4} s (linear fit)",
+                    slope, intercept
+                ));
+            }
+        }
+    }
+    report.note("paper: inference time scales linearly with model size; ~0.15 ms/tuple for models ≤ 10k rules")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_networks_and_batches() {
+        let opts = ExpOptions {
+            instances: 1,
+            splits: 1,
+            ..ExpOptions::default()
+        };
+        // Shrink the work: just validate on the default (non-full) params
+        // shape using the public entry point would be slow; instead check
+        // params consistency.
+        let (_, _, batches) = params(&opts);
+        assert!(!batches.is_empty());
+        assert_eq!(networks().len(), 9);
+    }
+}

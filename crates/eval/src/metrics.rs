@@ -1,0 +1,119 @@
+//! Accuracy metrics (§VI-A "Measuring Accuracy").
+
+/// Floor applied to estimate entries before taking logs, so KL stays
+/// finite when an empirical histogram has empty cells. The learned CPDs
+/// themselves are already strictly positive by meta-rule smoothing.
+pub const EST_FLOOR: f64 = 1e-9;
+
+/// Kullback-Leibler divergence `KL(truth ‖ estimate)` in nats.
+///
+/// The paper "compare\[s\] the probability distributions predicted by MRSL
+/// to the true probability distributions of the Bayesian network, using KL
+/// divergence"; the true distribution is the reference.
+///
+/// # Panics
+/// Panics when lengths differ or the truth is not a distribution.
+pub fn kl_divergence(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "length mismatch");
+    debug_assert!(
+        (truth.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+        "truth must sum to 1"
+    );
+    let mut kl = 0.0;
+    for (&p, &q) in truth.iter().zip(estimate) {
+        if p > 0.0 {
+            kl += p * (p / q.max(EST_FLOOR)).ln();
+        }
+    }
+    // Numerical noise can push a perfect match a hair below zero.
+    kl.max(0.0)
+}
+
+/// True when the estimate's most probable value equals the truth's
+/// ("% of correct top-1 guesses"). Ties broken by first index on both
+/// sides, which is deterministic and symmetric.
+pub fn top1_match(truth: &[f64], estimate: &[f64]) -> bool {
+    argmax(truth) == argmax(estimate)
+}
+
+/// Total variation distance `½ Σ |p − q|`; an auxiliary metric used by the
+/// workspace's own sanity experiments.
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_positive_for_different() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let kl = kl_divergence(&p, &q);
+        // 0.9 ln(1.8) + 0.1 ln(0.2) ≈ 0.368.
+        assert!((kl - (0.9f64 * 1.8f64.ln() + 0.1f64 * 0.2f64.ln())).abs() < 1e-12);
+        assert!(kl > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.6, 0.4];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_finite_with_zero_estimate_cells() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite());
+        assert!(kl > 1.0); // 0.5 ln(0.5/1e-9) is large but finite.
+    }
+
+    #[test]
+    fn kl_ignores_zero_truth_cells() {
+        let p = [1.0, 0.0];
+        let q = [0.9, 0.1];
+        assert!((kl_divergence(&p, &q) - (1.0f64 / 0.9).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn kl_rejects_length_mismatch() {
+        kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn top1_matches_argmax() {
+        assert!(top1_match(&[0.1, 0.9], &[0.4, 0.6]));
+        assert!(!top1_match(&[0.1, 0.9], &[0.6, 0.4]));
+        assert!(top1_match(&[0.5, 0.5], &[0.5, 0.5])); // tie → first index
+    }
+
+    #[test]
+    fn tv_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        let tv = total_variation(&[0.7, 0.3], &[0.5, 0.5]);
+        assert!((tv - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Missing-value injection.
+//!
+//! "The test set is further processed and one or several attributes in
+//! each tuple are replaced with '?'. Which attributes are replaced in a
+//! given tuple is chosen uniformly at random" (§VI-A).
+
+use mrsl_relation::{AttrId, CompleteTuple, PartialTuple};
+use mrsl_util::{derive_seed, seeded_rng};
+use rand::seq::SliceRandom;
+
+/// Replaces exactly `k` uniformly chosen attribute values per tuple with
+/// `?`. Deterministic per `seed`.
+///
+/// # Panics
+/// Panics when `k` is 0 or exceeds the tuple arity.
+pub fn inject_missing(
+    points: &[CompleteTuple],
+    k: usize,
+    seed: u64,
+) -> Vec<PartialTuple> {
+    let mut rng = seeded_rng(derive_seed(seed, &[0x4d15, k as u64]));
+    points
+        .iter()
+        .map(|p| {
+            let arity = p.arity();
+            assert!(k >= 1 && k <= arity, "cannot hide {k} of {arity} attributes");
+            let mut attrs: Vec<u16> = (0..arity as u16).collect();
+            attrs.shuffle(&mut rng);
+            let mut t = p.to_partial();
+            for &a in &attrs[..k] {
+                t = t.without_attr(AttrId(a));
+            }
+            t
+        })
+        .collect()
+}
+
+/// Replaces a per-tuple uniformly chosen number `k ∈ [1, max_k]` of
+/// attribute values with `?` — the mixed workloads of the Fig. 11
+/// experiment ("a workload of incomplete tuples with a varying number of
+/// missing values").
+///
+/// # Panics
+/// Panics when `max_k` is 0 or exceeds the tuple arity.
+pub fn inject_missing_varying(
+    points: &[CompleteTuple],
+    max_k: usize,
+    seed: u64,
+) -> Vec<PartialTuple> {
+    let mut rng = seeded_rng(derive_seed(seed, &[0x4d16, max_k as u64]));
+    points
+        .iter()
+        .map(|p| {
+            let arity = p.arity();
+            assert!(
+                max_k >= 1 && max_k <= arity,
+                "cannot hide up to {max_k} of {arity} attributes"
+            );
+            let k = rand::Rng::gen_range(&mut rng, 1..=max_k);
+            let mut attrs: Vec<u16> = (0..arity as u16).collect();
+            attrs.shuffle(&mut rng);
+            let mut t = p.to_partial();
+            for &a in &attrs[..k] {
+                t = t.without_attr(AttrId(a));
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize) -> Vec<CompleteTuple> {
+        (0..n)
+            .map(|i| CompleteTuple::from_values(vec![i as u16 % 2, 0, 1, 0]))
+            .collect()
+    }
+
+    #[test]
+    fn hides_exactly_k_attributes() {
+        for k in 1..=4 {
+            for t in inject_missing(&points(20), k, 3) {
+                assert_eq!(t.missing_mask().count(), k);
+                assert_eq!(t.mask().count(), 4 - k);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_observed_values() {
+        let pts = points(10);
+        let injected = inject_missing(&pts, 2, 9);
+        for (t, p) in injected.iter().zip(&pts) {
+            assert!(t.matches_point(p), "observed values must be unchanged");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_tuples() {
+        let pts = points(50);
+        let a = inject_missing(&pts, 1, 5);
+        let b = inject_missing(&pts, 1, 5);
+        assert_eq!(a, b);
+        // With 50 tuples and 4 attributes, the hidden attribute must vary.
+        let distinct: std::collections::HashSet<u64> =
+            a.iter().map(|t| t.missing_mask().bits()).collect();
+        assert!(distinct.len() > 1, "injection should vary across tuples");
+    }
+
+    #[test]
+    fn choice_is_roughly_uniform() {
+        let pts = points(8000);
+        let injected = inject_missing(&pts, 1, 11);
+        let mut counts = [0usize; 4];
+        for t in &injected {
+            let hidden = t.missing_mask().iter().next().unwrap();
+            counts[hidden.index()] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 8000.0;
+            assert!((f - 0.25).abs() < 0.03, "attr frequency {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hide")]
+    fn rejects_hiding_everything_plus_one() {
+        inject_missing(&points(1), 5, 0);
+    }
+
+    #[test]
+    fn varying_injection_spans_the_range() {
+        let injected = inject_missing_varying(&points(500), 3, 7);
+        let mut seen = std::collections::HashSet::new();
+        for t in &injected {
+            let k = t.missing_mask().count();
+            assert!((1..=3).contains(&k));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 3, "all missing counts 1..=3 should occur");
+    }
+
+    #[test]
+    fn varying_injection_is_deterministic() {
+        let pts = points(50);
+        assert_eq!(
+            inject_missing_varying(&pts, 2, 9),
+            inject_missing_varying(&pts, 2, 9)
+        );
+    }
+}

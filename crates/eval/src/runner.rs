@@ -1,0 +1,108 @@
+//! A small thread-pool grid runner.
+//!
+//! Evaluation cells (network × instance × split) are independent; the
+//! experiments fan them out over worker threads and fold the results. The
+//! algorithms under test stay single-threaded — parallelism only shortens
+//! the wall-clock of the *grid*, and timing-sensitive experiments pass
+//! `threads = 1`.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Runs `f` over `jobs` on `threads` workers, returning results in job
+/// order. `threads = 0` means "one per available core".
+pub fn run_parallel<I, T, F>(jobs: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let threads = effective_threads(threads, jobs.len());
+    if threads <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, I)>();
+    for job in jobs.into_iter().enumerate() {
+        tx.send(job).expect("unbounded channel accepts all jobs");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<T>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, job)) = rx.recv() {
+                    let out = f(job);
+                    let mut guard = results.lock();
+                    if guard.len() <= idx {
+                        guard.resize_with(idx + 1, || None);
+                    }
+                    guard[idx] = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job produced a result"))
+        .collect()
+}
+
+/// Resolves a thread-count request against the machine and job count.
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let limit = if requested == 0 { available } else { requested };
+    limit.clamp(1, jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let out = run_parallel(jobs, 4, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..57).collect();
+        let out = run_parallel(jobs, 3, |x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+    }
+
+    #[test]
+    fn single_thread_path_works() {
+        let out = run_parallel(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_jobs_yield_empty_results() {
+        let out: Vec<i32> = run_parallel(Vec::<i32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(1, 100), 1);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(8, 0), 1);
+    }
+}

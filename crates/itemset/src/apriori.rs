@@ -1,0 +1,440 @@
+//! Level-wise Apriori with the paper's two termination conditions.
+//!
+//! `ComputeFreqItemsets(θ, maxItemsets)` of Algorithm 1: bottom-up, starting
+//! from frequent 1-itemsets, joining pairs of (k−1)-itemsets that share a
+//! (k−2)-prefix, pruning candidates with an infrequent subset, and counting
+//! support via tidset intersection. Mining stops at round `k` when no new
+//! frequent itemsets are found **or** more than `max_itemsets` were found at
+//! that round (the itemsets of the truncating round are kept; only deeper
+//! rounds are skipped — this matches the paper's description of the
+//! optimization that bounds model-building time).
+//!
+//! The empty itemset (support 1) is always present: it anchors the root
+//! meta-rule `P(a)` of every MRSL.
+
+use crate::item::{Item, Itemset};
+use crate::tidset::TidSet;
+use mrsl_relation::{CompleteTuple, Schema, ValueId};
+use mrsl_util::FxHashMap;
+use mrsl_util::Stopwatch;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Handle of a frequent itemset within a [`FrequentItemsets`] collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ItemsetId(pub u32);
+
+impl ItemsetId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A mined frequent itemset with its absolute and relative support.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Number of points in `Rc` matching the itemset.
+    pub count: usize,
+    /// `count / |Rc|` (Def. 2.3); 1.0 for the empty itemset.
+    pub support: f64,
+}
+
+/// Mining parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AprioriConfig {
+    /// Support threshold θ: itemsets with support below this are discarded.
+    pub support_threshold: f64,
+    /// Stop after a round that finds more than this many frequent itemsets.
+    /// The paper sets 1000 and reports it "effectively controls
+    /// model-building time, without a significant effect on accuracy".
+    pub max_itemsets: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        Self {
+            support_threshold: 0.01,
+            max_itemsets: 1000,
+        }
+    }
+}
+
+/// Statistics of one mining run (reported by the Fig. 4 experiments).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MiningStats {
+    /// Number of frequent itemsets found per level (level 0 = empty itemset).
+    pub level_counts: Vec<usize>,
+    /// Candidates generated per level before pruning/counting.
+    pub candidates_generated: usize,
+    /// True when mining stopped because a round exceeded `max_itemsets`.
+    pub truncated: bool,
+    /// Wall-clock mining time.
+    pub elapsed: Duration,
+}
+
+/// The output of mining: an arena of frequent itemsets with an index by
+/// itemset and by level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrequentItemsets {
+    sets: Vec<FrequentItemset>,
+    #[serde(skip)]
+    index: FxHashMap<Itemset, ItemsetId>,
+    levels: Vec<Vec<ItemsetId>>,
+    num_points: usize,
+    stats: MiningStats,
+}
+
+impl FrequentItemsets {
+    /// Mines `points` with the given configuration.
+    ///
+    /// `schema` provides the attribute domains used to enumerate 1-items.
+    pub fn mine(schema: &Schema, points: &[CompleteTuple], config: &AprioriConfig) -> Self {
+        let sw = Stopwatch::start();
+        let n = points.len();
+        let mut sets: Vec<FrequentItemset> = Vec::new();
+        let mut levels: Vec<Vec<ItemsetId>> = Vec::new();
+        let mut stats = MiningStats::default();
+
+        // Level 0: the empty itemset, support 1 by definition.
+        sets.push(FrequentItemset {
+            itemset: Itemset::empty(),
+            count: n,
+            support: 1.0,
+        });
+        levels.push(vec![ItemsetId(0)]);
+        stats.level_counts.push(1);
+
+        // The threshold in absolute counts; an itemset is frequent when
+        // `count ≥ θ·n` (with a tiny epsilon for floating-point robustness).
+        let min_count = (config.support_threshold * n as f64 - 1e-9).ceil().max(0.0) as usize;
+
+        // Level 1: one counting pass over the points.
+        let mut level_sets: Vec<(Itemset, TidSet)> = Vec::new();
+        if n > 0 {
+            for (aid, attr) in schema.iter() {
+                let mut tidsets: Vec<TidSet> =
+                    (0..attr.cardinality()).map(|_| TidSet::new(n)).collect();
+                for (tid, p) in points.iter().enumerate() {
+                    tidsets[p.value(aid).index()].insert(tid);
+                }
+                for (v, tids) in tidsets.into_iter().enumerate() {
+                    let count = tids.count();
+                    if count >= min_count && count > 0 {
+                        let item = Item::new(aid, ValueId(v as u16));
+                        level_sets.push((Itemset::new(vec![item]), tids));
+                    }
+                }
+            }
+        }
+
+        let mut truncated = false;
+        while !level_sets.is_empty() {
+            level_sets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut level_ids = Vec::with_capacity(level_sets.len());
+            for (itemset, tids) in &level_sets {
+                let id = ItemsetId(sets.len() as u32);
+                sets.push(FrequentItemset {
+                    itemset: itemset.clone(),
+                    count: tids.count(),
+                    support: tids.count() as f64 / n as f64,
+                });
+                level_ids.push(id);
+            }
+            stats.level_counts.push(level_ids.len());
+            let found_this_round = level_ids.len();
+            levels.push(level_ids);
+
+            if found_this_round > config.max_itemsets {
+                truncated = true;
+                break;
+            }
+
+            // Generate candidates for the next level by prefix join.
+            let mut next: Vec<(Itemset, TidSet)> = Vec::new();
+            let frequent_now: FxHashMap<&Itemset, ()> =
+                level_sets.iter().map(|(s, _)| (s, ())).collect();
+            let k = level_sets[0].0.len();
+            let mut group_start = 0;
+            while group_start < level_sets.len() {
+                let prefix = &level_sets[group_start].0.items()[..k - 1];
+                let mut group_end = group_start + 1;
+                while group_end < level_sets.len()
+                    && &level_sets[group_end].0.items()[..k - 1] == prefix
+                {
+                    group_end += 1;
+                }
+                for i in group_start..group_end {
+                    for j in (i + 1)..group_end {
+                        let (si, ti) = &level_sets[i];
+                        let (sj, tj) = &level_sets[j];
+                        let last_i = si.items()[k - 1];
+                        let last_j = sj.items()[k - 1];
+                        // One value per attribute: skip same-attribute joins.
+                        if last_i.attr() == last_j.attr() {
+                            continue;
+                        }
+                        stats.candidates_generated += 1;
+                        let candidate = si.with_item(last_j);
+                        // Prune: every (k)-subset must be frequent. The two
+                        // parents are; check the remaining k-1 subsets.
+                        if !subsets_frequent(&candidate, &frequent_now, last_i, last_j) {
+                            continue;
+                        }
+                        let tids = ti.intersect(tj);
+                        let count = tids.count();
+                        if count >= min_count && count > 0 {
+                            next.push((candidate, tids));
+                        }
+                    }
+                }
+                group_start = group_end;
+            }
+            level_sets = next;
+        }
+
+        stats.truncated = truncated;
+        stats.elapsed = sw.elapsed();
+        let index = sets
+            .iter()
+            .enumerate()
+            .map(|(i, fs)| (fs.itemset.clone(), ItemsetId(i as u32)))
+            .collect();
+        FrequentItemsets {
+            sets,
+            index,
+            levels,
+            num_points: n,
+            stats,
+        }
+    }
+
+    /// Number of frequent itemsets (including the empty itemset).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when only the empty itemset was mined.
+    pub fn is_empty(&self) -> bool {
+        self.sets.len() <= 1
+    }
+
+    /// The itemset arena entry for `id`.
+    pub fn get(&self, id: ItemsetId) -> &FrequentItemset {
+        &self.sets[id.index()]
+    }
+
+    /// Looks up the id of an itemset.
+    pub fn id_of(&self, itemset: &Itemset) -> Option<ItemsetId> {
+        self.index.get(itemset).copied()
+    }
+
+    /// Relative support of an itemset, if frequent.
+    pub fn support_of(&self, itemset: &Itemset) -> Option<f64> {
+        self.id_of(itemset).map(|id| self.get(id).support)
+    }
+
+    /// Absolute match count of an itemset, if frequent.
+    pub fn count_of(&self, itemset: &Itemset) -> Option<usize> {
+        self.id_of(itemset).map(|id| self.get(id).count)
+    }
+
+    /// Iterates over all frequent itemsets.
+    pub fn iter(&self) -> impl Iterator<Item = &FrequentItemset> {
+        self.sets.iter()
+    }
+
+    /// Ids of the frequent itemsets of size `k` (empty slice if none).
+    pub fn level(&self, k: usize) -> &[ItemsetId] {
+        self.levels.get(k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Largest itemset size mined.
+    pub fn max_level(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// `|Rc|` — the number of points mining ran over.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Mining statistics.
+    pub fn stats(&self) -> &MiningStats {
+        &self.stats
+    }
+}
+
+/// Checks that every (k−1)-subset of `candidate` is frequent, skipping the
+/// two join parents which are frequent by construction.
+fn subsets_frequent(
+    candidate: &Itemset,
+    frequent: &FxHashMap<&Itemset, ()>,
+    parent_last_a: Item,
+    parent_last_b: Item,
+) -> bool {
+    for drop in candidate.items() {
+        // Dropping either of the two "last" items reproduces a join parent.
+        if *drop == parent_last_a || *drop == parent_last_b {
+            continue;
+        }
+        let sub = candidate.without_attr(drop.attr());
+        if !frequent.contains_key(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_relation::relation::fig1_relation;
+    use mrsl_relation::AttrId;
+
+    fn mine_fig1(theta: f64) -> FrequentItemsets {
+        let rel = fig1_relation();
+        FrequentItemsets::mine(
+            rel.schema(),
+            rel.complete_part(),
+            &AprioriConfig {
+                support_threshold: theta,
+                max_itemsets: 1000,
+            },
+        )
+    }
+
+    fn item(a: u16, v: u16) -> Item {
+        Item::new(AttrId(a), ValueId(v))
+    }
+
+    #[test]
+    fn empty_itemset_is_always_present() {
+        let f = mine_fig1(0.9);
+        assert_eq!(f.support_of(&Itemset::empty()), Some(1.0));
+        assert_eq!(f.level(0).len(), 1);
+    }
+
+    #[test]
+    fn fig1_singleton_supports() {
+        // Rc = {t2,t4,t6,t7,t9,t13,t15,t17}; age=20 on 4/8 points,
+        // edu=HS on 4/8, inc=50K on 4/8, nw=500K on 4/8.
+        let f = mine_fig1(0.05);
+        let supp = |a, v| f.support_of(&Itemset::new(vec![item(a, v)])).unwrap();
+        assert!((supp(0, 0) - 0.5).abs() < 1e-12); // age=20
+        assert!((supp(1, 0) - 0.5).abs() < 1e-12); // edu=HS
+        assert!((supp(2, 0) - 0.5).abs() < 1e-12); // inc=50K
+        assert!((supp(3, 1) - 0.5).abs() < 1e-12); // nw=500K
+    }
+
+    #[test]
+    fn fig1_pair_support_matches_brute_force() {
+        let rel = fig1_relation();
+        let f = mine_fig1(0.01);
+        // supp(age=20 ∧ edu=HS) = |{t4,t6,t7}| / 8.
+        let pair = Itemset::new(vec![item(0, 0), item(1, 0)]);
+        assert!((f.support_of(&pair).unwrap() - 3.0 / 8.0).abs() < 1e-12);
+        // Every mined support equals a brute-force count over Rc.
+        for fs in f.iter() {
+            let brute = rel
+                .complete_part()
+                .iter()
+                .filter(|p| fs.itemset.matches_tuple(&p.to_partial()))
+                .count();
+            assert_eq!(fs.count, brute, "itemset {:?}", fs.itemset);
+        }
+    }
+
+    #[test]
+    fn threshold_filters_infrequent() {
+        // With θ = 0.3 only itemsets matching ≥ 3 of the 8 points survive
+        // (min_count = ceil(2.4) = 3).
+        let f = mine_fig1(0.3);
+        for fs in f.iter() {
+            assert!(
+                fs.itemset.is_empty() || fs.support >= 0.3 - 1e-9,
+                "{:?} has support {}",
+                fs.itemset,
+                fs.support
+            );
+        }
+        // age=30 appears once (t9) → excluded.
+        assert_eq!(f.support_of(&Itemset::new(vec![item(0, 1)])), None);
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let f = mine_fig1(0.1);
+        for fs in f.iter() {
+            for drop in fs.itemset.items() {
+                let sub = fs.itemset.without_attr(drop.attr());
+                let sub_support = f
+                    .support_of(&sub)
+                    .unwrap_or_else(|| panic!("subset {sub:?} of {:?} missing", fs.itemset));
+                assert!(sub_support >= fs.support - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn max_itemsets_truncates_deeper_levels() {
+        // With max_itemsets = 2, level 1 (which has > 2 itemsets at θ=0.01)
+        // is kept but no deeper level is mined.
+        let rel = fig1_relation();
+        let f = FrequentItemsets::mine(
+            rel.schema(),
+            rel.complete_part(),
+            &AprioriConfig {
+                support_threshold: 0.01,
+                max_itemsets: 2,
+            },
+        );
+        assert!(f.stats().truncated);
+        assert_eq!(f.max_level(), 1);
+        assert!(f.level(1).len() > 2);
+        assert!(f.level(2).is_empty());
+    }
+
+    #[test]
+    fn zero_points_yields_only_empty_itemset() {
+        let rel = fig1_relation();
+        let f = FrequentItemsets::mine(rel.schema(), &[], &AprioriConfig::default());
+        assert_eq!(f.len(), 1);
+        assert!(f.is_empty());
+        assert_eq!(f.num_points(), 0);
+    }
+
+    #[test]
+    fn level_counts_match_levels() {
+        let f = mine_fig1(0.05);
+        for k in 0..=f.max_level() {
+            assert_eq!(f.stats().level_counts[k], f.level(k).len());
+        }
+        assert!(!f.stats().truncated);
+        assert!(f.stats().candidates_generated > 0);
+    }
+
+    #[test]
+    fn no_itemset_assigns_attr_twice() {
+        let f = mine_fig1(0.01);
+        for fs in f.iter() {
+            let attrs = fs.itemset.attr_mask();
+            assert_eq!(attrs.count(), fs.itemset.len());
+        }
+    }
+
+    #[test]
+    fn full_width_itemsets_reachable_with_zero_threshold() {
+        let f = mine_fig1(0.0);
+        // At θ=0 every observed point's full itemset is frequent.
+        assert_eq!(f.max_level(), 4);
+        let rel = fig1_relation();
+        for p in rel.complete_part() {
+            let is = Itemset::from_tuple(&p.to_partial());
+            assert!(f.support_of(&is).is_some(), "point itemset {is:?} missing");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Items and itemsets of attribute-value pairs.
+
+use mrsl_relation::{Assignment, AttrId, AttrMask, PartialTuple, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// One attribute-value pair, packed into 32 bits (attribute in the high
+/// half). The packing makes item comparison a single integer compare and
+/// keeps itemsets cache-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Item(u32);
+
+impl Item {
+    /// Packs `(attr, value)`.
+    #[inline]
+    pub fn new(attr: AttrId, value: ValueId) -> Self {
+        Item(((attr.0 as u32) << 16) | value.0 as u32)
+    }
+
+    /// The attribute half.
+    #[inline]
+    pub fn attr(self) -> AttrId {
+        AttrId((self.0 >> 16) as u16)
+    }
+
+    /// The value half.
+    #[inline]
+    pub fn value(self) -> ValueId {
+        ValueId((self.0 & 0xffff) as u16)
+    }
+
+    /// As an [`Assignment`].
+    #[inline]
+    pub fn assignment(self) -> Assignment {
+        Assignment::new(self.attr(), self.value())
+    }
+}
+
+impl From<Assignment> for Item {
+    fn from(a: Assignment) -> Self {
+        Item::new(a.attr, a.value)
+    }
+}
+
+/// A set of items, sorted by attribute, with at most one value per attribute.
+///
+/// Corresponds to "the complete part of a tuple" (paper footnote 1). The
+/// empty itemset is valid and has support 1 by definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Itemset {
+    items: Box<[Item]>,
+}
+
+impl Itemset {
+    /// The empty itemset.
+    pub fn empty() -> Self {
+        Itemset { items: Box::new([]) }
+    }
+
+    /// Builds an itemset from items; sorts and enforces the one-value-per-
+    /// attribute invariant.
+    ///
+    /// # Panics
+    /// Panics if two items share an attribute.
+    pub fn new(mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        for w in items.windows(2) {
+            assert!(
+                w[0].attr() != w[1].attr(),
+                "itemset assigns attribute {:?} twice",
+                w[0].attr()
+            );
+        }
+        Itemset {
+            items: items.into_boxed_slice(),
+        }
+    }
+
+    /// Builds from the complete portion of a tuple.
+    pub fn from_tuple(t: &PartialTuple) -> Self {
+        Itemset {
+            items: t.assignments().map(Item::from).collect(),
+        }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True for the empty itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The sorted items.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The attributes covered by this itemset.
+    pub fn attr_mask(&self) -> AttrMask {
+        AttrMask::from_attrs(self.items.iter().map(|i| i.attr()))
+    }
+
+    /// The value assigned to `attr`, if present.
+    pub fn value_of(&self, attr: AttrId) -> Option<ValueId> {
+        self.items
+            .binary_search_by_key(&attr, |i| i.attr())
+            .ok()
+            .map(|idx| self.items[idx].value())
+    }
+
+    /// True when `self ⊆ other` (every item of `self` appears in `other`).
+    pub fn is_subset(&self, other: &Itemset) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        // Both sorted: linear merge scan.
+        let mut oi = other.items.iter();
+        'outer: for item in self.items.iter() {
+            for candidate in oi.by_ref() {
+                match candidate.cmp(item) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// True when every assignment of `self` is present in the tuple `t`.
+    pub fn matches_tuple(&self, t: &PartialTuple) -> bool {
+        self.items
+            .iter()
+            .all(|i| t.get(i.attr()) == Some(i.value()))
+    }
+
+    /// This itemset with `item` added (replacing nothing; `item.attr()` must
+    /// not already be assigned).
+    ///
+    /// # Panics
+    /// Panics if the attribute is already assigned.
+    #[must_use]
+    pub fn with_item(&self, item: Item) -> Itemset {
+        let mut items = self.items.to_vec();
+        items.push(item);
+        Itemset::new(items)
+    }
+
+    /// This itemset with the item for `attr` removed (no-op if absent).
+    #[must_use]
+    pub fn without_attr(&self, attr: AttrId) -> Itemset {
+        Itemset {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|i| i.attr() != attr)
+                .collect(),
+        }
+    }
+
+    /// Converts to a [`PartialTuple`] over a schema of `arity` attributes.
+    pub fn to_tuple(&self, arity: usize) -> PartialTuple {
+        let assignments: Vec<Assignment> =
+            self.items.iter().map(|i| i.assignment()).collect();
+        PartialTuple::from_assignments(arity, &assignments)
+    }
+}
+
+impl FromIterator<Item> for Itemset {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
+        Itemset::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(a: u16, v: u16) -> Item {
+        Item::new(AttrId(a), ValueId(v))
+    }
+
+    #[test]
+    fn item_packs_and_unpacks() {
+        let i = item(3, 7);
+        assert_eq!(i.attr(), AttrId(3));
+        assert_eq!(i.value(), ValueId(7));
+        assert_eq!(i.assignment(), Assignment::new(AttrId(3), ValueId(7)));
+    }
+
+    #[test]
+    fn item_order_is_attr_major() {
+        assert!(item(0, 9) < item(1, 0));
+        assert!(item(1, 0) < item(1, 1));
+    }
+
+    #[test]
+    fn itemset_sorts_on_construction() {
+        let s = Itemset::new(vec![item(2, 0), item(0, 1)]);
+        assert_eq!(s.items()[0].attr(), AttrId(0));
+        assert_eq!(s.items()[1].attr(), AttrId(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn itemset_rejects_duplicate_attr() {
+        Itemset::new(vec![item(1, 0), item(1, 1)]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let small = Itemset::new(vec![item(0, 1)]);
+        let big = Itemset::new(vec![item(0, 1), item(2, 3)]);
+        let other = Itemset::new(vec![item(0, 2), item(2, 3)]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(Itemset::empty().is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(!small.is_subset(&other)); // same attr, different value
+    }
+
+    #[test]
+    fn value_of_finds_by_attr() {
+        let s = Itemset::new(vec![item(0, 1), item(5, 2)]);
+        assert_eq!(s.value_of(AttrId(5)), Some(ValueId(2)));
+        assert_eq!(s.value_of(AttrId(1)), None);
+    }
+
+    #[test]
+    fn matches_tuple_checks_values() {
+        let s = Itemset::new(vec![item(0, 1), item(2, 0)]);
+        let t_ok = PartialTuple::from_options(&[Some(1), Some(5), Some(0), None]);
+        let t_missing = PartialTuple::from_options(&[Some(1), None, None, None]);
+        let t_wrong = PartialTuple::from_options(&[Some(1), None, Some(1), None]);
+        assert!(s.matches_tuple(&t_ok));
+        assert!(!s.matches_tuple(&t_missing));
+        assert!(!s.matches_tuple(&t_wrong));
+        assert!(Itemset::empty().matches_tuple(&t_missing));
+    }
+
+    #[test]
+    fn with_and_without() {
+        let s = Itemset::new(vec![item(1, 1)]);
+        let s2 = s.with_item(item(0, 0));
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.items()[0], item(0, 0));
+        let s3 = s2.without_attr(AttrId(1));
+        assert_eq!(s3.len(), 1);
+        assert_eq!(s3.value_of(AttrId(0)), Some(ValueId(0)));
+        // Removing an absent attribute is a no-op.
+        assert_eq!(s3.without_attr(AttrId(9)), s3);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let s = Itemset::new(vec![item(0, 1), item(3, 1)]);
+        let t = s.to_tuple(4);
+        assert_eq!(Itemset::from_tuple(&t), s);
+        assert_eq!(t.mask().count(), 2);
+    }
+
+    #[test]
+    fn attr_mask_covers_items() {
+        let s = Itemset::new(vec![item(0, 1), item(3, 1)]);
+        assert!(s.attr_mask().contains(AttrId(0)));
+        assert!(s.attr_mask().contains(AttrId(3)));
+        assert!(!s.attr_mask().contains(AttrId(1)));
+    }
+}

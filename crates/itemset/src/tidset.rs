@@ -1,0 +1,186 @@
+//! Transaction-id bitsets for support counting.
+//!
+//! Apriori's dominant cost is support counting. Instead of re-scanning the
+//! relation per candidate, each frequent itemset carries the bitset of the
+//! point ids it matches; a candidate's tidset is the AND of its two join
+//! parents' tidsets (the candidate is their union, so its matchers are the
+//! intersection). Counting is then one popcount pass over `u64` blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-universe bitset over transaction (point) ids `0..universe`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TidSet {
+    blocks: Box<[u64]>,
+    universe: usize,
+}
+
+impl TidSet {
+    /// An empty set over `universe` transactions.
+    pub fn new(universe: usize) -> Self {
+        TidSet {
+            blocks: vec![0u64; universe.div_ceil(64)].into_boxed_slice(),
+            universe,
+        }
+    }
+
+    /// A set containing all of `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::new(universe);
+        for (i, block) in s.blocks.iter_mut().enumerate() {
+            let bits_here = (universe - i * 64).min(64);
+            *block = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds transaction `tid`.
+    ///
+    /// # Panics
+    /// Panics if `tid` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, tid: usize) {
+        assert!(tid < self.universe, "tid {tid} out of universe {}", self.universe);
+        self.blocks[tid / 64] |= 1u64 << (tid % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        tid < self.universe && self.blocks[tid / 64] & (1u64 << (tid % 64)) != 0
+    }
+
+    /// Number of transactions in the set.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn intersect_count(&self, other: &TidSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Materialized intersection.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn intersect(&self, other: &TidSet) -> TidSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        TidSet {
+            blocks: self
+                .blocks
+                .iter()
+                .zip(other.blocks.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Iterates over member transaction ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut bits = block;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(bi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = TidSet::new(130);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500)); // out of universe → false, not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        TidSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_has_exact_count() {
+        for n in [0usize, 1, 63, 64, 65, 128, 200] {
+            let s = TidSet::full(n);
+            assert_eq!(s.count(), n, "universe {n}");
+        }
+    }
+
+    #[test]
+    fn intersection_and_count_agree() {
+        let mut a = TidSet::new(100);
+        let mut b = TidSet::new(100);
+        for i in (0..100).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.insert(i);
+        }
+        let both = a.intersect(&b);
+        // Multiples of 6 below 100: 0, 6, ..., 96 → 17 of them.
+        assert_eq!(both.count(), 17);
+        assert_eq!(a.intersect_count(&b), 17);
+        assert!(both.contains(12));
+        assert!(!both.contains(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universe_panics() {
+        let _ = TidSet::new(5).intersect_count(&TidSet::new(6));
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let mut s = TidSet::new(70);
+        for &i in &[69, 3, 64, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 69]);
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let s = TidSet::new(0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

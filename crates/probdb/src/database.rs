@@ -1,0 +1,139 @@
+//! The probabilistic database container.
+
+use crate::block::{Block, BlockError};
+use mrsl_relation::{CompleteTuple, RelationError, Schema};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A block-independent-disjoint probabilistic database: certain tuples
+/// (probability 1) plus independent blocks of mutually exclusive
+/// alternatives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbDb {
+    schema: Arc<Schema>,
+    certain: Vec<CompleteTuple>,
+    blocks: Vec<Block>,
+}
+
+impl ProbDb {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            certain: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Adds a certain tuple.
+    pub fn push_certain(&mut self, t: CompleteTuple) -> Result<(), RelationError> {
+        if t.arity() != self.schema.attr_count() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.attr_count(),
+                got: t.arity(),
+            });
+        }
+        self.certain.push(t);
+        Ok(())
+    }
+
+    /// Adds a block.
+    ///
+    /// # Panics
+    /// Panics (debug) if an alternative has the wrong arity.
+    pub fn push_block(&mut self, b: Block) -> Result<(), BlockError> {
+        debug_assert!(b
+            .alternatives()
+            .iter()
+            .all(|a| a.tuple.arity() == self.schema.attr_count()));
+        self.blocks.push(b);
+        Ok(())
+    }
+
+    /// The certain tuples.
+    pub fn certain(&self) -> &[CompleteTuple] {
+        &self.certain
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of possible worlds: the product of block sizes.
+    pub fn world_count(&self) -> u128 {
+        self.blocks.iter().map(|b| b.len() as u128).product()
+    }
+
+    /// Total number of alternatives stored (a size measure of the derived
+    /// model, comparable to the paper's block example in Fig. 1).
+    pub fn alternative_count(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Alternative;
+    use mrsl_relation::schema::fig1_schema;
+
+    fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+        Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        }
+    }
+
+    fn two_block_db() -> ProbDb {
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 1, 0, 0]))
+            .unwrap();
+        db.push_block(
+            Block::new(0, vec![alt(vec![0, 0, 0, 0], 0.5), alt(vec![0, 0, 1, 0], 0.5)]).unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                1,
+                vec![
+                    alt(vec![1, 2, 0, 0], 0.30),
+                    alt(vec![1, 2, 0, 1], 0.45),
+                    alt(vec![1, 2, 1, 0], 0.10),
+                    alt(vec![1, 2, 1, 1], 0.15),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn counts_worlds_and_alternatives() {
+        let db = two_block_db();
+        assert_eq!(db.world_count(), 8);
+        assert_eq!(db.alternative_count(), 6);
+        assert_eq!(db.certain().len(), 1);
+        assert_eq!(db.blocks().len(), 2);
+    }
+
+    #[test]
+    fn empty_db_has_one_world() {
+        let db = ProbDb::new(fig1_schema());
+        assert_eq!(db.world_count(), 1);
+        assert_eq!(db.alternative_count(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_arity_certain() {
+        let mut db = ProbDb::new(fig1_schema());
+        let e = db.push_certain(CompleteTuple::from_values(vec![0, 0]));
+        assert!(matches!(e, Err(RelationError::ArityMismatch { .. })));
+    }
+}

@@ -1,0 +1,28 @@
+//! Disjoint-independent probabilistic databases.
+//!
+//! The paper's output "adheres to the disjoint-independent model" (§I-A,
+//! citing Dalvi & Suciu): each incomplete tuple gives rise to a *block* of
+//! mutually exclusive complete tuples with probabilities summing to 1; a
+//! possible world picks one alternative per block, independently across
+//! blocks. This crate is the substrate that receives the derived model:
+//!
+//! * [`block`] — blocks of mutually exclusive alternatives.
+//! * [`database`] — [`ProbDb`]: certain tuples + blocks over one schema.
+//! * [`world`] — possible-world semantics: enumeration (small databases)
+//!   and world sampling.
+//! * [`query`] — exact query evaluation under BID semantics: selection
+//!   marginals, expected counts, the full count distribution
+//!   (Poisson-binomial DP), value marginals and top-k by probability.
+//! * [`montecarlo`] — Monte-Carlo query evaluation used to cross-check the
+//!   exact evaluator.
+
+pub mod block;
+pub mod database;
+pub mod montecarlo;
+pub mod query;
+pub mod world;
+
+pub use block::{Alternative, Block, BlockError};
+pub use database::ProbDb;
+pub use query::Predicate;
+pub use world::PossibleWorld;

@@ -1,0 +1,95 @@
+//! Monte-Carlo query evaluation over sampled worlds.
+//!
+//! Exponentially many worlds make enumeration infeasible beyond toy sizes;
+//! sampling worlds gives unbiased estimates of any world-level aggregate
+//! (the MCDB approach the paper cites as related work). Used here mainly as
+//! an independent cross-check of the exact evaluator in [`crate::query`].
+
+use crate::database::ProbDb;
+use crate::query::Predicate;
+use crate::world::sample_world;
+use mrsl_util::{seeded_rng, OnlineStats};
+
+/// Monte-Carlo estimate of the expected count of tuples satisfying `pred`.
+///
+/// Returns `(mean, std_error)` over `n` sampled worlds.
+pub fn mc_expected_count(db: &ProbDb, pred: &Predicate, n: usize, seed: u64) -> (f64, f64) {
+    assert!(n > 0, "need at least one sample");
+    let mut rng = seeded_rng(seed);
+    let mut stats = OnlineStats::new();
+    for _ in 0..n {
+        let w = sample_world(db, &mut rng);
+        let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
+        stats.push(c as f64);
+    }
+    (stats.mean(), stats.std_dev() / (n as f64).sqrt())
+}
+
+/// Monte-Carlo estimate of the count distribution `P(count = k)`.
+pub fn mc_count_distribution(db: &ProbDb, pred: &Predicate, n: usize, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "need at least one sample");
+    let mut rng = seeded_rng(seed);
+    let max_count = db.certain().len() + db.blocks().len();
+    let mut hist = vec![0.0f64; max_count + 1];
+    for _ in 0..n {
+        let w = sample_world(db, &mut rng);
+        let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
+        hist[c] += 1.0;
+    }
+    hist.iter_mut().for_each(|h| *h /= n as f64);
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Alternative, Block};
+    use crate::query::{count_distribution, expected_count};
+    use mrsl_relation::schema::fig1_schema;
+    use mrsl_relation::{AttrId, CompleteTuple, ValueId};
+
+    fn db() -> ProbDb {
+        let alt = |values: Vec<u16>, prob: f64| Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        };
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 0, 1, 0]))
+            .unwrap();
+        db.push_block(
+            Block::new(0, vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)]).unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(1, vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn mc_expected_count_agrees_with_exact() {
+        let db = db();
+        let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
+        let exact = expected_count(&db, &pred);
+        let (mc, se) = mc_expected_count(&db, &pred, 20_000, 7);
+        assert!((mc - exact).abs() < 4.0 * se + 0.02, "{mc} vs {exact} (se {se})");
+    }
+
+    #[test]
+    fn mc_count_distribution_agrees_with_exact() {
+        let db = db();
+        let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
+        let exact = count_distribution(&db, &pred);
+        let mc = mc_count_distribution(&db, &pred, 30_000, 11);
+        for (k, &e) in exact.iter().enumerate() {
+            assert!((mc[k] - e).abs() < 0.02, "k={k}: {} vs {e}", mc[k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        mc_expected_count(&db(), &Predicate::any(), 0, 0);
+    }
+}

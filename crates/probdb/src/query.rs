@@ -1,0 +1,250 @@
+//! Exact query evaluation under BID semantics.
+//!
+//! Disjoint-independent databases admit efficient exact evaluation for the
+//! query shapes used by the examples: per-block selection marginals,
+//! expected counts, the exact distribution of a COUNT(*) aggregate
+//! (a Poisson-binomial computed by dynamic programming over blocks), value
+//! marginals, and ranking tuples by membership probability.
+
+use crate::database::ProbDb;
+use mrsl_relation::{AttrId, CompleteTuple, ValueId};
+use serde::{Deserialize, Serialize};
+
+/// A conjunctive equality predicate `a1 = v1 ∧ … ∧ ak = vk`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    clauses: Vec<(AttrId, ValueId)>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Adds an equality clause.
+    #[must_use]
+    pub fn and_eq(mut self, attr: AttrId, value: ValueId) -> Self {
+        self.clauses.push((attr, value));
+        self
+    }
+
+    /// Evaluates the predicate on a complete tuple.
+    pub fn eval(&self, t: &CompleteTuple) -> bool {
+        self.clauses.iter().all(|&(a, v)| t.value(a) == v)
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[(AttrId, ValueId)] {
+        &self.clauses
+    }
+}
+
+/// Probability, per block, that the block's true tuple satisfies `pred`,
+/// in block order.
+pub fn block_selection_probs(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
+    db.blocks()
+        .iter()
+        .map(|b| b.prob_satisfies(|t| pred.eval(t)))
+        .collect()
+}
+
+/// Expected number of tuples satisfying `pred`: certain matches plus the
+/// sum of block marginals (linearity of expectation across blocks).
+pub fn expected_count(db: &ProbDb, pred: &Predicate) -> f64 {
+    let certain = db.certain().iter().filter(|t| pred.eval(t)).count() as f64;
+    certain + block_selection_probs(db, pred).iter().sum::<f64>()
+}
+
+/// Exact distribution of `COUNT(*) WHERE pred` over possible worlds.
+///
+/// Blocks contribute independent Bernoulli trials with their selection
+/// marginals; certain tuples shift the distribution. The result is a vector
+/// `d` with `d[k] = P(count = k)`, computed by the standard O(n²)
+/// Poisson-binomial DP.
+pub fn count_distribution(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
+    let base = db.certain().iter().filter(|t| pred.eval(t)).count();
+    let probs = block_selection_probs(db, pred);
+    let mut dist = vec![0.0f64; probs.len() + 1];
+    dist[0] = 1.0;
+    let mut upper = 0usize;
+    for &p in &probs {
+        upper += 1;
+        for k in (0..=upper).rev() {
+            let stay = dist[k] * (1.0 - p);
+            let come = if k > 0 { dist[k - 1] * p } else { 0.0 };
+            dist[k] = stay + come;
+        }
+    }
+    // Shift by the certain matches.
+    let mut shifted = vec![0.0f64; base + dist.len()];
+    for (k, &p) in dist.iter().enumerate() {
+        shifted[base + k] = p;
+    }
+    shifted
+}
+
+/// Marginal distribution of `attr` over a random world's tuple *from one
+/// block*, averaged over blocks and certain tuples — i.e. the expected
+/// histogram of `attr` normalized by the expected table size.
+pub fn value_marginal(db: &ProbDb, attr: AttrId) -> Vec<f64> {
+    let card = db.schema().cardinality(attr);
+    let mut hist = vec![0.0f64; card];
+    for t in db.certain() {
+        hist[t.value(attr).index()] += 1.0;
+    }
+    for b in db.blocks() {
+        for a in b.alternatives() {
+            hist[a.tuple.value(attr).index()] += a.prob;
+        }
+    }
+    let total: f64 = hist.iter().sum();
+    if total > 0.0 {
+        hist.iter_mut().for_each(|h| *h /= total);
+    }
+    hist
+}
+
+/// A tuple with its membership probability, as returned by [`top_k`].
+#[derive(Debug, Clone)]
+pub struct RankedTuple {
+    /// The tuple.
+    pub tuple: CompleteTuple,
+    /// Probability that the tuple appears in a random world.
+    pub prob: f64,
+    /// Block key, or `None` for certain tuples.
+    pub block: Option<usize>,
+}
+
+/// The `k` most probable tuples satisfying `pred` (certain tuples have
+/// probability 1). Ties are broken deterministically by block order.
+pub fn top_k(db: &ProbDb, pred: &Predicate, k: usize) -> Vec<RankedTuple> {
+    let mut ranked: Vec<RankedTuple> = db
+        .certain()
+        .iter()
+        .filter(|t| pred.eval(t))
+        .map(|t| RankedTuple {
+            tuple: t.clone(),
+            prob: 1.0,
+            block: None,
+        })
+        .collect();
+    for b in db.blocks() {
+        for a in b.alternatives() {
+            if pred.eval(&a.tuple) {
+                ranked.push(RankedTuple {
+                    tuple: a.tuple.clone(),
+                    prob: a.prob,
+                    block: Some(b.key()),
+                });
+            }
+        }
+    }
+    ranked.sort_by(|x, y| y.prob.partial_cmp(&x.prob).expect("finite probs"));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Alternative, Block};
+    use crate::world::enumerate_worlds;
+    use mrsl_relation::schema::fig1_schema;
+
+    fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+        Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        }
+    }
+
+    fn db() -> ProbDb {
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 0, 1, 0]))
+            .unwrap();
+        db.push_block(
+            Block::new(0, vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)]).unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(1, vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)]).unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let p = Predicate::any()
+            .and_eq(AttrId(0), ValueId(0))
+            .and_eq(AttrId(2), ValueId(1));
+        assert!(p.eval(&CompleteTuple::from_values(vec![0, 5, 1, 0])));
+        assert!(!p.eval(&CompleteTuple::from_values(vec![1, 5, 1, 0])));
+        assert!(Predicate::any().eval(&CompleteTuple::from_values(vec![9, 9, 9, 9])));
+    }
+
+    #[test]
+    fn expected_count_matches_world_enumeration() {
+        let db = db();
+        let pred = Predicate::any().and_eq(AttrId(2), ValueId(1)); // inc = 100K
+        let exact = expected_count(&db, &pred);
+        let brute: f64 = enumerate_worlds(&db, 100)
+            .iter()
+            .map(|w| w.prob * w.tuples.iter().filter(|t| pred.eval(t)).count() as f64)
+            .sum();
+        assert!((exact - brute).abs() < 1e-12, "{exact} vs {brute}");
+        // 1 (certain) + 0.7 + 0.6.
+        assert!((exact - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_distribution_matches_world_enumeration() {
+        let db = db();
+        let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
+        let dist = count_distribution(&db, &pred);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut brute = vec![0.0f64; dist.len()];
+        for w in enumerate_worlds(&db, 100) {
+            let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
+            brute[c] += w.prob;
+        }
+        for (k, (&a, &b)) in dist.iter().zip(&brute).enumerate() {
+            assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
+        }
+        // Mean of the distribution equals the expected count.
+        let mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        assert!((mean - expected_count(&db, &pred)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_distribution_with_impossible_pred_is_point_mass() {
+        let db = db();
+        let pred = Predicate::any().and_eq(AttrId(1), ValueId(2)); // edu=MS: nowhere
+        let dist = count_distribution(&db, &pred);
+        assert!((dist[0] - 1.0).abs() < 1e-12);
+        assert!(dist[1..].iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    fn value_marginal_is_normalized_and_weighted() {
+        let db = db();
+        let m = value_marginal(&db, AttrId(2));
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // inc=100K mass: certain 1 + 0.7 + 0.6 of 3 expected tuples.
+        assert!((m[1] - 2.3 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_ranks_by_probability() {
+        let db = db();
+        let all = top_k(&db, &Predicate::any(), 10);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].prob, 1.0);
+        assert!(all[0].block.is_none());
+        assert!(all.windows(2).all(|w| w[0].prob >= w[1].prob));
+        let top2 = top_k(&db, &Predicate::any(), 2);
+        assert_eq!(top2.len(), 2);
+        assert!((top2[1].prob - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Human-readable rendering of tuples and relations.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::{CompleteTuple, PartialTuple};
+use mrsl_util::Table;
+
+/// Renders a partial tuple as `⟨age=20, edu=HS, inc=?, nw=?⟩`.
+pub fn render_partial(schema: &Schema, t: &PartialTuple) -> String {
+    let mut parts = Vec::with_capacity(schema.attr_count());
+    for (id, attr) in schema.iter() {
+        match t.get(id) {
+            Some(v) => parts.push(format!("{}={}", attr.name(), attr.value_label(v))),
+            None => parts.push(format!("{}=?", attr.name())),
+        }
+    }
+    format!("⟨{}⟩", parts.join(", "))
+}
+
+/// Renders a complete tuple as `⟨age=20, edu=HS, inc=50K, nw=100K⟩`.
+pub fn render_complete(schema: &Schema, t: &CompleteTuple) -> String {
+    render_partial(schema, &t.to_partial())
+}
+
+/// Renders a relation as an aligned ASCII table (complete part first).
+pub fn render_relation(rel: &Relation) -> String {
+    let schema = rel.schema();
+    let mut table = Table::new(
+        std::iter::once("id".to_string())
+            .chain(schema.iter().map(|(_, a)| a.name().to_string())),
+    );
+    let mut id = 0usize;
+    for t in rel.complete_part() {
+        id += 1;
+        table.push_row(
+            std::iter::once(format!("c{id}")).chain(
+                schema
+                    .iter()
+                    .map(|(aid, attr)| attr.value_label(t.value(aid)).to_string()),
+            ),
+        );
+    }
+    let mut iid = 0usize;
+    for t in rel.incomplete_part() {
+        iid += 1;
+        table.push_row(std::iter::once(format!("i{iid}")).chain(schema.iter().map(
+            |(aid, attr)| match t.get(aid) {
+                Some(v) => attr.value_label(v).to_string(),
+                None => "?".to_string(),
+            },
+        )));
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::fig1_relation;
+    use crate::schema::fig1_schema;
+
+    #[test]
+    fn renders_partial_with_question_marks() {
+        let schema = fig1_schema();
+        let t = PartialTuple::from_options(&[Some(0), Some(0), None, None]);
+        let s = render_partial(&schema, &t);
+        assert_eq!(s, "⟨age=20, edu=HS, inc=?, nw=?⟩");
+    }
+
+    #[test]
+    fn renders_complete_tuple() {
+        let schema = fig1_schema();
+        let t = CompleteTuple::from_values(vec![0, 1, 0, 0]);
+        let s = render_complete(&schema, &t);
+        assert!(s.contains("edu=BS") && !s.contains('?'));
+    }
+
+    #[test]
+    fn renders_relation_with_all_rows() {
+        let r = fig1_relation();
+        let s = render_relation(&r);
+        // Header + rule + 17 tuples.
+        assert_eq!(s.lines().count(), 19);
+        assert!(s.contains('?'));
+        assert!(s.contains("age"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for schema construction and data loading.
+
+use std::fmt;
+
+/// Errors raised while building schemas, constructing tuples, or parsing data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// An attribute name was declared twice.
+    DuplicateAttribute(String),
+    /// More attributes than [`crate::mask::AttrMask`] can address (64).
+    TooManyAttributes(usize),
+    /// An attribute was declared with an empty domain.
+    EmptyDomain(String),
+    /// A domain value label was declared twice for one attribute.
+    DuplicateValue { attr: String, value: String },
+    /// Lookup of an unknown attribute name.
+    UnknownAttribute(String),
+    /// Lookup of an unknown value label for a known attribute.
+    UnknownValue { attr: String, value: String },
+    /// A tuple had the wrong number of fields for its schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Parse-level problem with an input file (message includes line number).
+    Parse(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            Self::TooManyAttributes(n) => {
+                write!(f, "{n} attributes exceed the supported maximum of 64")
+            }
+            Self::EmptyDomain(a) => write!(f, "attribute `{a}` has an empty domain"),
+            Self::DuplicateValue { attr, value } => {
+                write!(f, "duplicate value `{value}` in domain of `{attr}`")
+            }
+            Self::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            Self::UnknownValue { attr, value } => {
+                write!(f, "unknown value `{value}` for attribute `{attr}`")
+            }
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            Self::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::UnknownValue {
+            attr: "age".into(),
+            value: "17".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains("17"));
+
+        assert!(RelationError::TooManyAttributes(65).to_string().contains("64"));
+        assert!(RelationError::ArityMismatch { expected: 4, got: 3 }
+            .to_string()
+            .contains('4'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(RelationError::DuplicateAttribute("x".into()));
+    }
+}

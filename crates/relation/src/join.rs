@@ -1,0 +1,245 @@
+//! Primary-/foreign-key joins between incomplete relations.
+//!
+//! The paper assumes a single relation but notes (§I-B) that with multiple
+//! relations "we may exploit correlations that hold across relations, by
+//! computing a primary-foreign key join when appropriate" and then apply
+//! the learning pipeline to the joined relation. This module implements
+//! that preprocessing step.
+//!
+//! Semantics: `join(left, lk, right, rk)` matches each left tuple whose
+//! key attribute `lk` is **observed** against the right tuples whose key
+//! `rk` equals it (right tuples with a missing key never match). The
+//! result schema is the left schema followed by the right schema minus its
+//! key column; missing values carry over, so a join of two incomplete
+//! tuples is an incomplete joined tuple. Left tuples with a missing key
+//! are dropped — their join partner is undefined — and counted in the
+//! returned statistics.
+
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema, SchemaBuilder};
+use crate::tuple::PartialTuple;
+use crate::RelationError;
+use mrsl_util::FxHashMap;
+use std::sync::Arc;
+
+/// Join statistics: what was matched and what was skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Output tuples produced.
+    pub matched: usize,
+    /// Left tuples dropped because their key was missing.
+    pub left_missing_key: usize,
+    /// Right tuples unusable because their key was missing.
+    pub right_missing_key: usize,
+    /// Left tuples with an observed key that matched no right tuple.
+    pub left_unmatched: usize,
+}
+
+/// Joins `left ⋈ right` on `left.lk = right.rk`.
+///
+/// Requires the two key attributes to have identical domains (label lists
+/// in the same order).
+pub fn join(
+    left: &Relation,
+    lk: AttrId,
+    right: &Relation,
+    rk: AttrId,
+) -> Result<(Relation, JoinStats), RelationError> {
+    let ls = left.schema();
+    let rs = right.schema();
+    if ls.attr(lk).labels() != rs.attr(rk).labels() {
+        return Err(RelationError::Parse(format!(
+            "join keys `{}` and `{}` have different domains",
+            ls.attr(lk).name(),
+            rs.attr(rk).name()
+        )));
+    }
+
+    let joined_schema = joined_schema(ls, rs, rk)?;
+    let mut stats = JoinStats::default();
+
+    // Index the right side by key value.
+    let mut by_key: FxHashMap<u16, Vec<PartialTuple>> = FxHashMap::default();
+    let right_tuples = right
+        .complete_part()
+        .iter()
+        .map(|p| p.to_partial())
+        .chain(right.incomplete_part().iter().cloned());
+    for t in right_tuples {
+        match t.get(rk) {
+            Some(v) => by_key.entry(v.0).or_default().push(t),
+            None => stats.right_missing_key += 1,
+        }
+    }
+
+    let mut out = Relation::new(joined_schema.clone());
+    let left_tuples = left
+        .complete_part()
+        .iter()
+        .map(|p| p.to_partial())
+        .chain(left.incomplete_part().iter().cloned());
+    let left_arity = ls.attr_count();
+    for lt in left_tuples {
+        let Some(key) = lt.get(lk) else {
+            stats.left_missing_key += 1;
+            continue;
+        };
+        let Some(partners) = by_key.get(&key.0) else {
+            stats.left_unmatched += 1;
+            continue;
+        };
+        for rt in partners {
+            let mut slots: Vec<Option<u16>> =
+                Vec::with_capacity(joined_schema.attr_count());
+            for a in ls.attr_ids() {
+                slots.push(lt.get(a).map(|v| v.0));
+            }
+            for a in rs.attr_ids() {
+                if a != rk {
+                    slots.push(rt.get(a).map(|v| v.0));
+                }
+            }
+            out.push(PartialTuple::from_options(&slots))?;
+            stats.matched += 1;
+        }
+        let _ = left_arity;
+    }
+    Ok((out, stats))
+}
+
+/// The joined schema: left attributes then right attributes minus the
+/// right key. Name collisions are disambiguated with a `right_` prefix.
+fn joined_schema(
+    left: &Arc<Schema>,
+    right: &Arc<Schema>,
+    rk: AttrId,
+) -> Result<Arc<Schema>, RelationError> {
+    let mut b = SchemaBuilder::default();
+    for (_, attr) in left.iter() {
+        b = b.attribute(attr.name(), attr.labels().iter().cloned());
+    }
+    for (id, attr) in right.iter() {
+        if id == rk {
+            continue;
+        }
+        let name = if left.attr_id(attr.name()).is_ok() {
+            format!("right_{}", attr.name())
+        } else {
+            attr.name().to_string()
+        };
+        b = b.attribute(name, attr.labels().iter().cloned());
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::parse_relation;
+
+    fn people() -> Relation {
+        parse_relation(
+            "city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\n",
+        )
+        .expect("valid input")
+    }
+
+    fn cities() -> Relation {
+        parse_relation(
+            "name,coast\nNYC,east\nSEA,west\nLAX,west\n",
+        )
+        .expect("valid input")
+    }
+
+    fn city_key(r: &Relation, name: &str) -> AttrId {
+        r.schema().attr_id(name).expect("key attr")
+    }
+
+    #[test]
+    fn joins_on_matching_keys() {
+        let people = people();
+        let cities = cities();
+        // Domains must match: people.city = {NYC, SEA}; cities.name =
+        // {LAX, NYC, SEA}. Rebuild people against the city domain.
+        let aligned = parse_relation(
+            "city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\nLAX,20\n",
+        )
+        .expect("valid input");
+        let (joined, stats) = join(
+            &aligned,
+            city_key(&aligned, "city"),
+            &cities,
+            city_key(&cities, "name"),
+        )
+        .expect("join succeeds");
+        assert_eq!(stats.matched, 4); // NYC, SEA, NYC(incomplete), LAX
+        assert_eq!(stats.left_missing_key, 1);
+        assert_eq!(joined.schema().attr_count(), 3); // city, age, coast
+        assert_eq!(joined.len(), 4);
+        // Incomplete left tuples stay incomplete after the join.
+        assert_eq!(joined.incomplete_part().len(), 1);
+        let _ = people;
+    }
+
+    #[test]
+    fn rejects_mismatched_key_domains() {
+        let people = people();
+        let cities = cities();
+        let e = join(
+            &people,
+            city_key(&people, "city"),
+            &cities,
+            city_key(&cities, "name"),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("different domains"));
+    }
+
+    #[test]
+    fn right_missing_keys_are_skipped() {
+        let left = parse_relation("k,x\nA,1\nB,2\n").expect("valid");
+        let right = parse_relation("k2,y\nA,9\n?,8\nB,7\n").expect("valid");
+        let (joined, stats) = join(
+            &left,
+            left.schema().attr_id("k").unwrap(),
+            &right,
+            right.schema().attr_id("k2").unwrap(),
+        )
+        .expect("join succeeds");
+        assert_eq!(stats.right_missing_key, 1);
+        assert_eq!(stats.matched, 2);
+        assert_eq!(joined.complete_part().len(), 2);
+    }
+
+    #[test]
+    fn name_collisions_get_prefixed() {
+        let left = parse_relation("k,v\nA,1\n").expect("valid");
+        let right = parse_relation("k2,v\nA,2\n").expect("valid");
+        let (joined, _) = join(
+            &left,
+            left.schema().attr_id("k").unwrap(),
+            &right,
+            right.schema().attr_id("k2").unwrap(),
+        )
+        .expect("join succeeds");
+        assert!(joined.schema().attr_id("right_v").is_ok());
+    }
+
+    #[test]
+    fn unmatched_left_tuples_are_counted() {
+        let left = parse_relation("k,x\nA,1\nB,2\n").expect("valid");
+        let right = parse_relation("k2,y\nA,9\nB,?\n").expect("valid");
+        // Shrink right to only A.
+        let right_a = parse_relation("k2,y\nA,9\nB,8\n").expect("valid");
+        let (joined, stats) = join(
+            &left,
+            left.schema().attr_id("k").unwrap(),
+            &right_a,
+            right_a.schema().attr_id("k2").unwrap(),
+        )
+        .expect("join succeeds");
+        assert_eq!(stats.left_unmatched, 0);
+        assert_eq!(joined.len(), 2);
+        let _ = right;
+    }
+}

@@ -1,0 +1,203 @@
+//! A small CSV-style loader for examples and tests.
+//!
+//! Format: first line is a comma-separated header of attribute names, each
+//! following line one tuple; `?` (or an empty cell) marks a missing value.
+//! Domains are inferred from the observed values (sorted lexicographically
+//! for determinism) unless a schema is supplied.
+//!
+//! This is intentionally not a general CSV parser — no quoting or escaping —
+//! just enough to feed realistic example datasets into the pipeline.
+
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema, SchemaBuilder};
+use crate::tuple::PartialTuple;
+use crate::RelationError;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Token that marks a missing value.
+pub const MISSING: &str = "?";
+
+/// Parses a relation, inferring the schema from the data.
+///
+/// Columns where *no* value is ever observed are rejected (their domain
+/// would be empty).
+pub fn parse_relation(text: &str) -> Result<Relation, RelationError> {
+    let mut lines = non_empty_lines(text);
+    let header = lines
+        .next()
+        .ok_or_else(|| RelationError::Parse("input is empty".into()))?;
+    let names: Vec<&str> = header.1.split(',').map(str::trim).collect();
+    let ncols = names.len();
+
+    // First pass: gather domains.
+    let mut domains: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ncols];
+    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
+    for (lineno, line) in lines {
+        let cells: Vec<String> = line.split(',').map(|c| c.trim().to_string()).collect();
+        if cells.len() != ncols {
+            return Err(RelationError::Parse(format!(
+                "line {lineno}: expected {ncols} fields, found {}",
+                cells.len()
+            )));
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            if !is_missing(cell) {
+                domains[i].insert(cell.clone());
+            }
+        }
+        rows.push((lineno, cells));
+    }
+
+    let mut builder = SchemaBuilder::default();
+    for (name, domain) in names.iter().zip(&domains) {
+        if domain.is_empty() {
+            return Err(RelationError::EmptyDomain((*name).to_string()));
+        }
+        builder = builder.attribute(*name, domain.iter().cloned());
+    }
+    let schema = builder.build()?;
+    load_rows(schema, rows)
+}
+
+/// Parses a relation against a known schema (values must be in-domain).
+pub fn parse_relation_with_schema(
+    text: &str,
+    schema: Arc<Schema>,
+) -> Result<Relation, RelationError> {
+    let mut lines = non_empty_lines(text);
+    let header = lines
+        .next()
+        .ok_or_else(|| RelationError::Parse("input is empty".into()))?;
+    let names: Vec<&str> = header.1.split(',').map(str::trim).collect();
+    if names.len() != schema.attr_count() {
+        return Err(RelationError::ArityMismatch {
+            expected: schema.attr_count(),
+            got: names.len(),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if schema.attr(AttrId(i as u16)).name() != *name {
+            return Err(RelationError::Parse(format!(
+                "header column {i} is `{name}`, schema expects `{}`",
+                schema.attr(AttrId(i as u16)).name()
+            )));
+        }
+    }
+    let rows: Vec<(usize, Vec<String>)> = lines
+        .map(|(n, l)| (n, l.split(',').map(|c| c.trim().to_string()).collect()))
+        .collect();
+    for (lineno, cells) in &rows {
+        if cells.len() != schema.attr_count() {
+            return Err(RelationError::Parse(format!(
+                "line {lineno}: expected {} fields, found {}",
+                schema.attr_count(),
+                cells.len()
+            )));
+        }
+    }
+    load_rows(schema, rows)
+}
+
+fn load_rows(
+    schema: Arc<Schema>,
+    rows: Vec<(usize, Vec<String>)>,
+) -> Result<Relation, RelationError> {
+    let mut rel = Relation::new(schema.clone());
+    for (_lineno, cells) in rows {
+        let mut slots = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            if is_missing(cell) {
+                slots.push(None);
+            } else {
+                let v = schema.value_id(AttrId(i as u16), cell)?;
+                slots.push(Some(v.0));
+            }
+        }
+        rel.push(PartialTuple::from_options(&slots))?;
+    }
+    Ok(rel)
+}
+
+fn is_missing(cell: &str) -> bool {
+    cell.is_empty() || cell == MISSING
+}
+
+fn non_empty_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::fig1_schema;
+
+    const SAMPLE: &str = "\
+age,edu,inc
+20,HS,50K
+20,BS,?
+30,?,100K
+# comment line
+
+40,HS,50K
+";
+
+    #[test]
+    fn parses_and_infers_schema() {
+        let r = parse_relation(SAMPLE).unwrap();
+        assert_eq!(r.schema().attr_count(), 3);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.complete_part().len(), 2);
+        assert_eq!(r.incomplete_part().len(), 2);
+        // Domains are sorted lexicographically.
+        let age = r.schema().attr_id("age").unwrap();
+        assert_eq!(r.schema().attr(age).labels(), &["20", "30", "40"]);
+    }
+
+    #[test]
+    fn empty_cells_count_as_missing() {
+        let r = parse_relation("a,b\n1,\n2,x\n").unwrap();
+        assert_eq!(r.incomplete_part().len(), 1);
+        assert_eq!(r.complete_part().len(), 1);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = parse_relation("a,b\n1\n").unwrap_err();
+        assert!(matches!(e, RelationError::Parse(_)));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_all_missing_column() {
+        let e = parse_relation("a,b\n1,?\n2,?\n").unwrap_err();
+        assert!(matches!(e, RelationError::EmptyDomain(_)));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_relation("").is_err());
+        assert!(parse_relation("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn with_schema_validates_values() {
+        let schema = fig1_schema();
+        let ok = parse_relation_with_schema("age,edu,inc,nw\n20,HS,50K,100K\n", schema.clone());
+        assert!(ok.is_ok());
+        let bad = parse_relation_with_schema("age,edu,inc,nw\n25,HS,50K,100K\n", schema.clone());
+        assert!(matches!(bad, Err(RelationError::UnknownValue { .. })));
+        let wrong_header = parse_relation_with_schema("age,edu,nw,inc\n", schema);
+        assert!(wrong_header.is_err());
+    }
+
+    #[test]
+    fn with_schema_rejects_wrong_arity_header() {
+        let schema = fig1_schema();
+        let e = parse_relation_with_schema("age,edu\n", schema).unwrap_err();
+        assert!(matches!(e, RelationError::ArityMismatch { .. }));
+    }
+}

@@ -1,0 +1,225 @@
+//! Attribute bitmasks identifying the complete portion of a tuple.
+//!
+//! Subsumption checks (Def. 2.4) and tuple-DAG construction (§V-B) reduce to
+//! subset tests between complete portions; representing a portion as one
+//! `u64` makes those tests a couple of machine instructions. The paper's
+//! benchmark caps at 10 attributes; we support up to 64.
+
+use crate::schema::AttrId;
+use serde::{Deserialize, Serialize};
+
+/// A set of attributes, stored as a 64-bit bitmask.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AttrMask(u64);
+
+impl AttrMask {
+    /// Maximum number of attributes addressable by a mask.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: AttrMask = AttrMask(0);
+
+    /// A mask containing the single attribute `a`.
+    #[inline]
+    pub fn single(a: AttrId) -> Self {
+        debug_assert!((a.index()) < Self::MAX_ATTRS);
+        AttrMask(1u64 << a.0)
+    }
+
+    /// The full set over `n` attributes.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= Self::MAX_ATTRS);
+        if n == 64 {
+            AttrMask(u64::MAX)
+        } else {
+            AttrMask((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a mask from attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        attrs.into_iter().fold(Self::EMPTY, |m, a| m.with(a))
+    }
+
+    /// Raw bits (for packing into cache keys).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if `a` is in the set.
+    #[inline]
+    pub fn contains(self, a: AttrId) -> bool {
+        self.0 & (1u64 << a.0) != 0
+    }
+
+    /// This set with `a` added.
+    #[inline]
+    #[must_use]
+    pub fn with(self, a: AttrId) -> Self {
+        AttrMask(self.0 | (1u64 << a.0))
+    }
+
+    /// This set with `a` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(self, a: AttrId) -> Self {
+        AttrMask(self.0 & !(1u64 << a.0))
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        AttrMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Self {
+        AttrMask(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: Self) -> Self {
+        AttrMask(self.0 & !other.0)
+    }
+
+    /// True if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if `self ⊂ other` (proper subset).
+    #[inline]
+    pub fn is_proper_subset(self, other: Self) -> bool {
+        self.0 != other.0 && self.is_subset(other)
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the attributes in ascending id order.
+    pub fn iter(self) -> MaskIter {
+        MaskIter(self.0)
+    }
+}
+
+/// Iterator over the attribute ids of an [`AttrMask`].
+#[derive(Debug, Clone)]
+pub struct MaskIter(u64);
+
+impl Iterator for MaskIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(AttrId(tz as u16))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MaskIter {}
+
+impl FromIterator<AttrId> for AttrMask {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Self::from_attrs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ids: &[u16]) -> AttrMask {
+        AttrMask::from_attrs(ids.iter().map(|&i| AttrId(i)))
+    }
+
+    #[test]
+    fn basic_set_operations() {
+        let a = m(&[0, 2, 5]);
+        assert!(a.contains(AttrId(2)));
+        assert!(!a.contains(AttrId(1)));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.with(AttrId(1)).count(), 4);
+        assert_eq!(a.without(AttrId(2)).count(), 2);
+        assert_eq!(a.without(AttrId(3)), a);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = m(&[1, 3]);
+        let big = m(&[1, 2, 3]);
+        assert!(small.is_subset(big));
+        assert!(small.is_proper_subset(big));
+        assert!(!big.is_subset(small));
+        assert!(big.is_subset(big));
+        assert!(!big.is_proper_subset(big));
+        assert!(AttrMask::EMPTY.is_subset(small));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = m(&[0, 1]);
+        let b = m(&[1, 2]);
+        assert_eq!(a.union(b), m(&[0, 1, 2]));
+        assert_eq!(a.intersect(b), m(&[1]));
+        assert_eq!(a.difference(b), m(&[0]));
+        assert_eq!(b.difference(a), m(&[2]));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(AttrMask::full(0), AttrMask::EMPTY);
+        assert_eq!(AttrMask::full(3).count(), 3);
+        assert_eq!(AttrMask::full(64).count(), 64);
+        assert!(AttrMask::EMPTY.is_empty());
+        assert!(!AttrMask::full(1).is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let ids: Vec<u16> = m(&[7, 1, 4]).iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![1, 4, 7]);
+        let it = m(&[7, 1, 4]).iter();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mask: AttrMask = [AttrId(3), AttrId(0)].into_iter().collect();
+        assert_eq!(mask, m(&[0, 3]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_rejects_oversized() {
+        AttrMask::full(65);
+    }
+}

@@ -1,0 +1,254 @@
+//! The relation container: complete part `Rc`, incomplete part `Ri`,
+//! and support counting (Def. 2.3).
+
+use crate::schema::Schema;
+use crate::tuple::{CompleteTuple, PartialTuple};
+use crate::RelationError;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A relation `R` over a [`Schema`], kept as the disjoint union of its
+/// complete part `Rc` (points) and incomplete part `Ri`.
+///
+/// The split mirrors the paper's view of `R = Rc ∪ Ri` (§II): learning reads
+/// only `Rc`, inference produces a distribution for each member of `Ri`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    complete: Vec<CompleteTuple>,
+    incomplete: Vec<PartialTuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            complete: Vec::new(),
+            incomplete: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Inserts a tuple, routing it to `Rc` or `Ri` by completeness.
+    pub fn push(&mut self, tuple: PartialTuple) -> Result<(), RelationError> {
+        if tuple.arity() != self.schema.attr_count() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.attr_count(),
+                got: tuple.arity(),
+            });
+        }
+        match tuple.to_complete() {
+            Some(point) => self.complete.push(point),
+            None => self.incomplete.push(tuple),
+        }
+        Ok(())
+    }
+
+    /// Inserts a point directly into `Rc`.
+    pub fn push_complete(&mut self, point: CompleteTuple) -> Result<(), RelationError> {
+        if point.arity() != self.schema.attr_count() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.attr_count(),
+                got: point.arity(),
+            });
+        }
+        self.complete.push(point);
+        Ok(())
+    }
+
+    /// The complete part `Rc`.
+    pub fn complete_part(&self) -> &[CompleteTuple] {
+        &self.complete
+    }
+
+    /// The incomplete part `Ri`.
+    pub fn incomplete_part(&self) -> &[PartialTuple] {
+        &self.incomplete
+    }
+
+    /// Total number of tuples `|R|`.
+    pub fn len(&self) -> usize {
+        self.complete.len() + self.incomplete.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of points matching `t` in `Rc` (the numerator of Def. 2.3).
+    pub fn match_count(&self, t: &PartialTuple) -> usize {
+        self.complete.iter().filter(|p| t.matches_point(p)).count()
+    }
+
+    /// Def. 2.3: the support of `t` — the fraction of points in `Rc` that
+    /// match `t`. Zero when `Rc` is empty.
+    pub fn support(&self, t: &PartialTuple) -> f64 {
+        if self.complete.is_empty() {
+            return 0.0;
+        }
+        self.match_count(t) as f64 / self.complete.len() as f64
+    }
+
+    /// Builds a relation directly from parts (used by generators).
+    pub fn from_parts(
+        schema: Arc<Schema>,
+        complete: Vec<CompleteTuple>,
+        incomplete: Vec<PartialTuple>,
+    ) -> Result<Self, RelationError> {
+        let arity = schema.attr_count();
+        if let Some(t) = complete.iter().find(|t| t.arity() != arity) {
+            return Err(RelationError::ArityMismatch {
+                expected: arity,
+                got: t.arity(),
+            });
+        }
+        if let Some(t) = incomplete.iter().find(|t| t.arity() != arity) {
+            return Err(RelationError::ArityMismatch {
+                expected: arity,
+                got: t.arity(),
+            });
+        }
+        if incomplete.iter().any(|t| t.is_complete()) {
+            // Keep the Rc/Ri invariant: complete tuples never live in Ri.
+            let mut rel = Self::new(schema);
+            rel.complete = complete;
+            for tup in incomplete {
+                rel.push(tup).expect("arity checked above");
+            }
+            return Ok(rel);
+        }
+        Ok(Self {
+            schema,
+            complete,
+            incomplete,
+        })
+    }
+}
+
+/// Builds the 17-tuple running example of Fig. 1 (matchmaking profiles).
+///
+/// Used across the workspace for doc examples and smoke tests; the returned
+/// relation has 8 complete and 9 incomplete tuples, exactly as in the paper.
+pub fn fig1_relation() -> Relation {
+    use crate::schema::fig1_schema;
+    let schema = fig1_schema();
+    let rows: [[Option<&str>; 4]; 17] = [
+        [Some("20"), Some("HS"), None, None],                      // t1
+        [Some("20"), Some("BS"), Some("50K"), Some("100K")],       // t2
+        [Some("20"), None, Some("50K"), None],                     // t3
+        [Some("20"), Some("HS"), Some("100K"), Some("500K")],      // t4
+        [Some("20"), None, None, None],                            // t5
+        [Some("20"), Some("HS"), Some("50K"), Some("100K")],       // t6
+        [Some("20"), Some("HS"), Some("50K"), Some("500K")],       // t7
+        [None, Some("HS"), None, None],                            // t8
+        [Some("30"), Some("BS"), Some("100K"), Some("100K")],      // t9
+        [Some("30"), None, Some("100K"), None],                    // t10
+        [Some("30"), Some("HS"), None, None],                      // t11
+        [Some("30"), Some("MS"), None, None],                      // t12
+        [Some("40"), Some("BS"), Some("100K"), Some("100K")],      // t13
+        [Some("40"), Some("HS"), None, None],                      // t14
+        [Some("40"), Some("BS"), Some("50K"), Some("500K")],       // t15
+        [Some("40"), Some("HS"), None, Some("500K")],              // t16
+        [Some("40"), Some("HS"), Some("100K"), Some("500K")],      // t17
+    ];
+    let mut rel = Relation::new(schema.clone());
+    for row in rows {
+        let slots: Vec<Option<u16>> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.map(|label| {
+                    schema
+                        .value_id(crate::schema::AttrId(i as u16), label)
+                        .expect("fig1 labels are in-domain")
+                        .0
+                })
+            })
+            .collect();
+        rel.push(PartialTuple::from_options(&slots))
+            .expect("fig1 arity is correct");
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::fig1_schema;
+
+    #[test]
+    fn fig1_relation_splits_rc_ri() {
+        let r = fig1_relation();
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.complete_part().len(), 8);
+        assert_eq!(r.incomplete_part().len(), 9);
+    }
+
+    #[test]
+    fn fig1_support_of_t1_is_three_eighths() {
+        // Paper: supp(t1) = 3/8 — points t4, t6, t7 match ⟨20, HS, ?, ?⟩.
+        let r = fig1_relation();
+        let t1 = PartialTuple::from_options(&[Some(0), Some(0), None, None]);
+        assert_eq!(r.match_count(&t1), 3);
+        assert!((r.support(&t1) - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_of_empty_tuple_is_one() {
+        let r = fig1_relation();
+        let t_star = PartialTuple::all_missing(4);
+        assert!((r.support(&t_star) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_on_empty_relation_is_zero() {
+        let r = Relation::new(fig1_schema());
+        assert!(r.is_empty());
+        let t = PartialTuple::all_missing(4);
+        assert_eq!(r.support(&t), 0.0);
+    }
+
+    #[test]
+    fn push_routes_by_completeness() {
+        let mut r = Relation::new(fig1_schema());
+        r.push(PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]))
+            .unwrap();
+        r.push(PartialTuple::from_options(&[Some(0), None, None, None]))
+            .unwrap();
+        assert_eq!(r.complete_part().len(), 1);
+        assert_eq!(r.incomplete_part().len(), 1);
+    }
+
+    #[test]
+    fn push_rejects_wrong_arity() {
+        let mut r = Relation::new(fig1_schema());
+        let bad = PartialTuple::all_missing(3);
+        assert!(matches!(
+            r.push(bad),
+            Err(RelationError::ArityMismatch { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn from_parts_normalizes_misplaced_complete_tuples() {
+        let schema = fig1_schema();
+        let complete_as_partial =
+            PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]);
+        let r = Relation::from_parts(schema, vec![], vec![complete_as_partial]).unwrap();
+        assert_eq!(r.complete_part().len(), 1);
+        assert_eq!(r.incomplete_part().len(), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_arity() {
+        let schema = fig1_schema();
+        let r = Relation::from_parts(schema, vec![CompleteTuple::from_values(vec![0, 0])], vec![]);
+        assert!(matches!(r, Err(RelationError::ArityMismatch { .. })));
+    }
+}

@@ -1,0 +1,352 @@
+//! Schemas over discrete finite domains.
+//!
+//! The paper limits attention to "discrete finite-valued attributes"
+//! (continuous attributes are bucketed upstream, §II). A [`Schema`] interns
+//! every attribute name and value label once; all downstream code works with
+//! dense [`AttrId`] / [`ValueId`] indices, per the performance guidance of
+//! keeping hot-path keys small and copyable.
+
+use crate::error::RelationError;
+use mrsl_util::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Dense index of an attribute within its [`Schema`] (column position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The index as a `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense index of a value within its attribute's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(pub u16);
+
+impl ValueId {
+    /// The index as a `usize` for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One attribute: a name and an ordered domain of value labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Domain cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Label of a domain value.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range for this domain.
+    pub fn value_label(&self, v: ValueId) -> &str {
+        &self.values[v.index()]
+    }
+
+    /// All value labels in domain order.
+    pub fn labels(&self) -> &[String] {
+        &self.values
+    }
+}
+
+/// An immutable schema: an ordered list of attributes with interned domains.
+///
+/// Schemas are shared via `Arc` between relations, mined models, generated
+/// datasets and derived probabilistic databases, so equality of schema
+/// *pointers* is the common fast path; structural equality is also derived.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, AttrId>,
+    #[serde(skip)]
+    value_ids: Vec<FxHashMap<String, ValueId>>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterates over `(AttrId, &Attribute)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u16), a))
+    }
+
+    /// All attribute ids in column order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + Clone {
+        (0..self.attrs.len() as u16).map(AttrId)
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.index()]
+    }
+
+    /// Domain cardinality of the attribute at `id`.
+    pub fn cardinality(&self, id: AttrId) -> usize {
+        self.attr(id).cardinality()
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId, RelationError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Looks up a value label within an attribute's domain.
+    pub fn value_id(&self, attr: AttrId, label: &str) -> Result<ValueId, RelationError> {
+        self.value_ids[attr.index()]
+            .get(label)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownValue {
+                attr: self.attr(attr).name().to_string(),
+                value: label.to_string(),
+            })
+    }
+
+    /// Product of all domain cardinalities ("dom. size" in Table I).
+    pub fn domain_product(&self) -> u128 {
+        self.attrs
+            .iter()
+            .map(|a| a.cardinality() as u128)
+            .product()
+    }
+
+    /// Average domain cardinality ("avg card" in Table I).
+    pub fn avg_cardinality(&self) -> f64 {
+        if self.attrs.is_empty() {
+            return 0.0;
+        }
+        self.attrs.iter().map(|a| a.cardinality() as f64).sum::<f64>() / self.attrs.len() as f64
+    }
+
+    /// Rebuilds the interning maps; used after deserialization.
+    fn reindex(&mut self) {
+        self.by_name = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), AttrId(i as u16)))
+            .collect();
+        self.value_ids = self
+            .attrs
+            .iter()
+            .map(|a| {
+                a.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.clone(), ValueId(i as u16)))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Restores lookup tables after `serde` deserialization (which skips
+    /// the derived maps). Idempotent.
+    pub fn after_deserialize(mut self) -> Arc<Self> {
+        self.reindex();
+        Arc::new(self)
+    }
+}
+
+/// Incremental [`Schema`] construction with validation.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attrs: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Adds an attribute with the given domain labels (in domain order).
+    pub fn attribute<S, I, V>(mut self, name: S, values: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        self.attrs.push(Attribute {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Validates and freezes the schema.
+    pub fn build(self) -> Result<Arc<Schema>, RelationError> {
+        if self.attrs.len() > crate::mask::AttrMask::MAX_ATTRS {
+            return Err(RelationError::TooManyAttributes(self.attrs.len()));
+        }
+        let mut seen = FxHashMap::default();
+        for (i, a) in self.attrs.iter().enumerate() {
+            if a.values.is_empty() {
+                return Err(RelationError::EmptyDomain(a.name.clone()));
+            }
+            if a.values.len() > u16::MAX as usize {
+                return Err(RelationError::EmptyDomain(format!(
+                    "{} (domain too large for ValueId)",
+                    a.name
+                )));
+            }
+            if seen.insert(a.name.clone(), i).is_some() {
+                return Err(RelationError::DuplicateAttribute(a.name.clone()));
+            }
+            let mut vals = FxHashMap::default();
+            for v in &a.values {
+                if vals.insert(v.clone(), ()).is_some() {
+                    return Err(RelationError::DuplicateValue {
+                        attr: a.name.clone(),
+                        value: v.clone(),
+                    });
+                }
+            }
+        }
+        let mut schema = Schema {
+            attrs: self.attrs,
+            by_name: FxHashMap::default(),
+            value_ids: Vec::new(),
+        };
+        schema.reindex();
+        Ok(Arc::new(schema))
+    }
+}
+
+/// Builds the running-example schema from Fig. 1 of the paper: a matchmaking
+/// relation with `age`, `edu`, `inc` and `nw`. Used by tests, docs and the
+/// quickstart example.
+pub fn fig1_schema() -> Arc<Schema> {
+    Schema::builder()
+        .attribute("age", ["20", "30", "40"])
+        .attribute("edu", ["HS", "BS", "MS"])
+        .attribute("inc", ["50K", "100K"])
+        .attribute("nw", ["100K", "500K"])
+        .build()
+        .expect("fig1 schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_looks_up() {
+        let s = fig1_schema();
+        assert_eq!(s.attr_count(), 4);
+        let age = s.attr_id("age").unwrap();
+        assert_eq!(age, AttrId(0));
+        assert_eq!(s.cardinality(age), 3);
+        let v = s.value_id(age, "30").unwrap();
+        assert_eq!(v, ValueId(1));
+        assert_eq!(s.attr(age).value_label(v), "30");
+        assert_eq!(s.domain_product(), 3 * 3 * 2 * 2);
+        assert!((s.avg_cardinality() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let s = fig1_schema();
+        assert!(matches!(
+            s.attr_id("salary"),
+            Err(RelationError::UnknownAttribute(_))
+        ));
+        let age = s.attr_id("age").unwrap();
+        assert!(matches!(
+            s.value_id(age, "25"),
+            Err(RelationError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let r = Schema::builder()
+            .attribute("a", ["1"])
+            .attribute("a", ["2"])
+            .build();
+        assert!(matches!(r, Err(RelationError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn rejects_empty_domain() {
+        let r = Schema::builder().attribute("a", Vec::<String>::new()).build();
+        assert!(matches!(r, Err(RelationError::EmptyDomain(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_value() {
+        let r = Schema::builder().attribute("a", ["x", "x"]).build();
+        assert!(matches!(r, Err(RelationError::DuplicateValue { .. })));
+    }
+
+    #[test]
+    fn rejects_too_many_attributes() {
+        let mut b = Schema::builder();
+        for i in 0..65 {
+            b = b.attribute(format!("a{i}"), ["0", "1"]);
+        }
+        assert!(matches!(
+            b.build(),
+            Err(RelationError::TooManyAttributes(65))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_lookup() {
+        let s = fig1_schema();
+        let json = serde_json_roundtrip(&s);
+        let restored = json.after_deserialize();
+        assert_eq!(restored.attr_id("edu").unwrap(), AttrId(1));
+        let edu = AttrId(1);
+        assert_eq!(restored.value_id(edu, "MS").unwrap(), ValueId(2));
+        assert_eq!(*restored, *s);
+    }
+
+    // Minimal stand-in for serde_json (not a dependency of this crate):
+    // exercise Serialize/Deserialize through bincode-like manual plumbing is
+    // overkill; round-trip through the `Clone` of the serializable parts.
+    fn serde_json_roundtrip(s: &Schema) -> Schema {
+        Schema {
+            attrs: s.attrs.clone(),
+            by_name: FxHashMap::default(),
+            value_ids: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_schema_stats() {
+        let s = Schema::builder().build().unwrap();
+        assert_eq!(s.attr_count(), 0);
+        assert_eq!(s.domain_product(), 1);
+        assert_eq!(s.avg_cardinality(), 0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Complete and incomplete tuples, matching and subsumption.
+//!
+//! Definitions implemented here (paper §II):
+//!
+//! * **Def. 2.1** — an *incomplete tuple* assigns values to a subset of
+//!   attributes, its *complete portion*. Here: [`PartialTuple`], with the
+//!   complete portion as an [`AttrMask`].
+//! * **Def. 2.2** — a *complete tuple* (point) assigns values to every
+//!   attribute: [`CompleteTuple`].
+//! * **Def. 2.3** — a point *matches* an incomplete tuple when they agree on
+//!   the complete portion: [`PartialTuple::matches_point`].
+//! * **Def. 2.4** — `t1` *subsumes* `t2` (written `t2 ≺ t1`) when the
+//!   complete portion of `t1` is a proper subset of that of `t2` and the two
+//!   agree on it: [`PartialTuple::subsumes`].
+
+use crate::mask::AttrMask;
+use crate::schema::{AttrId, Schema, ValueId};
+use crate::RelationError;
+use serde::{Deserialize, Serialize};
+
+/// One attribute-value assignment `a = v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The assigned attribute.
+    pub attr: AttrId,
+    /// The assigned value.
+    pub value: ValueId,
+}
+
+impl Assignment {
+    /// Convenience constructor.
+    pub fn new(attr: AttrId, value: ValueId) -> Self {
+        Self { attr, value }
+    }
+}
+
+/// A complete tuple (a *point*, Def. 2.2): one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompleteTuple {
+    values: Box<[u16]>,
+}
+
+impl CompleteTuple {
+    /// Builds a point from raw value indices, one per attribute in column
+    /// order. The caller is responsible for domain-range validity; the
+    /// schema-checked path is [`CompleteTuple::checked`].
+    pub fn from_values(values: Vec<u16>) -> Self {
+        Self {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a point, validating arity and domain ranges against `schema`.
+    pub fn checked(schema: &Schema, values: Vec<u16>) -> Result<Self, RelationError> {
+        if values.len() != schema.attr_count() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.attr_count(),
+                got: values.len(),
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let attr = AttrId(i as u16);
+            if (v as usize) >= schema.cardinality(attr) {
+                return Err(RelationError::UnknownValue {
+                    attr: schema.attr(attr).name().to_string(),
+                    value: format!("#{v}"),
+                });
+            }
+        }
+        Ok(Self::from_values(values))
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of attribute `a`.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> ValueId {
+        ValueId(self.values[a.index()])
+    }
+
+    /// Raw value indices in column order.
+    #[inline]
+    pub fn raw(&self) -> &[u16] {
+        &self.values
+    }
+
+    /// Converts to a [`PartialTuple`] with the full mask.
+    pub fn to_partial(&self) -> PartialTuple {
+        PartialTuple {
+            values: self.values.clone(),
+            mask: AttrMask::full(self.values.len()),
+        }
+    }
+}
+
+/// An incomplete tuple (Def. 2.1): values on a subset of attributes.
+///
+/// Slots outside the mask hold 0 and are never read; all comparisons go
+/// through the mask. A `PartialTuple` with a full mask behaves exactly like
+/// a point (and [`PartialTuple::is_complete`] reports it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartialTuple {
+    values: Box<[u16]>,
+    mask: AttrMask,
+}
+
+impl PartialTuple {
+    /// Builds from optional values, one slot per attribute in column order
+    /// (`None` = missing / `?`).
+    pub fn from_options(slots: &[Option<u16>]) -> Self {
+        let mut mask = AttrMask::EMPTY;
+        let mut values = vec![0u16; slots.len()];
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(v) = *slot {
+                mask = mask.with(AttrId(i as u16));
+                values[i] = v;
+            }
+        }
+        Self {
+            values: values.into_boxed_slice(),
+            mask,
+        }
+    }
+
+    /// Builds from a list of assignments over a schema of `arity` attributes.
+    /// Later assignments to the same attribute overwrite earlier ones.
+    pub fn from_assignments(arity: usize, assignments: &[Assignment]) -> Self {
+        let mut values = vec![0u16; arity];
+        let mut mask = AttrMask::EMPTY;
+        for asg in assignments {
+            values[asg.attr.index()] = asg.value.0;
+            mask = mask.with(asg.attr);
+        }
+        Self {
+            values: values.into_boxed_slice(),
+            mask,
+        }
+    }
+
+    /// The tuple with no assignments over `arity` attributes — the paper's
+    /// `t* = ⟨?, ?, …, ?⟩` which subsumes every tuple (§V-A).
+    pub fn all_missing(arity: usize) -> Self {
+        Self {
+            values: vec![0u16; arity].into_boxed_slice(),
+            mask: AttrMask::EMPTY,
+        }
+    }
+
+    /// Number of attribute slots (schema arity).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The complete portion of the tuple.
+    #[inline]
+    pub fn mask(&self) -> AttrMask {
+        self.mask
+    }
+
+    /// The missing attributes (complement of the mask within the schema).
+    #[inline]
+    pub fn missing_mask(&self) -> AttrMask {
+        AttrMask::full(self.values.len()).difference(self.mask)
+    }
+
+    /// Value of `a` if assigned.
+    #[inline]
+    pub fn get(&self, a: AttrId) -> Option<ValueId> {
+        if self.mask.contains(a) {
+            Some(ValueId(self.values[a.index()]))
+        } else {
+            None
+        }
+    }
+
+    /// Value of `a` assuming it is assigned.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `a` is not in the complete portion.
+    #[inline]
+    pub fn value_unchecked(&self, a: AttrId) -> ValueId {
+        debug_assert!(self.mask.contains(a), "attribute {a:?} is missing");
+        ValueId(self.values[a.index()])
+    }
+
+    /// True when every attribute is assigned.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.mask == AttrMask::full(self.values.len())
+    }
+
+    /// Iterates over the assignments in the complete portion.
+    pub fn assignments(&self) -> impl Iterator<Item = Assignment> + '_ {
+        self.mask
+            .iter()
+            .map(move |a| Assignment::new(a, ValueId(self.values[a.index()])))
+    }
+
+    /// Def. 2.3: does point `p` match this tuple (agree on the complete
+    /// portion)?
+    #[inline]
+    pub fn matches_point(&self, p: &CompleteTuple) -> bool {
+        debug_assert_eq!(self.arity(), p.arity());
+        self.mask
+            .iter()
+            .all(|a| self.values[a.index()] == p.raw()[a.index()])
+    }
+
+    /// Do this tuple and `other` agree on every attribute of `on`?
+    ///
+    /// Both tuples must assign all attributes in `on` for the result to be
+    /// meaningful; callers ensure `on ⊆ self.mask() ∩ other.mask()`.
+    #[inline]
+    pub fn agrees_on(&self, other: &PartialTuple, on: AttrMask) -> bool {
+        on.iter()
+            .all(|a| self.values[a.index()] == other.values[a.index()])
+    }
+
+    /// Def. 2.4: does `self` subsume `other` (`other ≺ self`)?
+    ///
+    /// True when `self`'s complete portion is a **proper** subset of
+    /// `other`'s and the two agree on it.
+    pub fn subsumes(&self, other: &PartialTuple) -> bool {
+        self.mask.is_proper_subset(other.mask) && self.agrees_on(other, self.mask)
+    }
+
+    /// Like [`PartialTuple::subsumes`] but also true for equal tuples.
+    pub fn subsumes_or_equal(&self, other: &PartialTuple) -> bool {
+        self.mask.is_subset(other.mask) && self.agrees_on(other, self.mask)
+    }
+
+    /// Completes this tuple by taking missing values from `fill`.
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn complete_with(&self, fill: &CompleteTuple) -> CompleteTuple {
+        assert_eq!(self.arity(), fill.arity());
+        let mut values = fill.raw().to_vec();
+        for a in self.mask.iter() {
+            values[a.index()] = self.values[a.index()];
+        }
+        CompleteTuple::from_values(values)
+    }
+
+    /// Returns a copy with attribute `a` set to `v`.
+    #[must_use]
+    pub fn with_assignment(&self, a: AttrId, v: ValueId) -> PartialTuple {
+        let mut values = self.values.clone();
+        values[a.index()] = v.0;
+        PartialTuple {
+            values,
+            mask: self.mask.with(a),
+        }
+    }
+
+    /// Returns a copy with attribute `a` made missing.
+    #[must_use]
+    pub fn without_attr(&self, a: AttrId) -> PartialTuple {
+        let mut values = self.values.clone();
+        values[a.index()] = 0;
+        PartialTuple {
+            values,
+            mask: self.mask.without(a),
+        }
+    }
+
+    /// Projects the tuple onto `keep`, making all other attributes missing.
+    #[must_use]
+    pub fn project(&self, keep: AttrMask) -> PartialTuple {
+        let kept = self.mask.intersect(keep);
+        let mut values = vec![0u16; self.values.len()];
+        for a in kept.iter() {
+            values[a.index()] = self.values[a.index()];
+        }
+        PartialTuple {
+            values: values.into_boxed_slice(),
+            mask: kept,
+        }
+    }
+
+    /// Converts to a point if complete.
+    pub fn to_complete(&self) -> Option<CompleteTuple> {
+        if self.is_complete() {
+            Some(CompleteTuple::from_values(self.values.to_vec()))
+        } else {
+            None
+        }
+    }
+
+    /// A canonical 128-bit encoding of (mask, masked values) used as a hash
+    /// key when deduplicating workloads. Collisions are impossible for
+    /// schemas with ≤ 16 attributes of cardinality ≤ 256; beyond that the
+    /// full struct is compared (the encoding is only a grouping key).
+    pub fn packed_key(&self) -> (u64, u64) {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for a in self.mask.iter() {
+            acc = (acc ^ self.values[a.index()] as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+        (self.mask.bits(), acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::fig1_schema;
+
+    fn pt(slots: &[Option<u16>]) -> PartialTuple {
+        PartialTuple::from_options(slots)
+    }
+
+    #[test]
+    fn fig1_t1_shape() {
+        // t1 = ⟨age=20, edu=HS, inc=?, nw=?⟩
+        let t1 = pt(&[Some(0), Some(0), None, None]);
+        assert_eq!(t1.mask().count(), 2);
+        assert!(!t1.is_complete());
+        assert_eq!(t1.get(AttrId(0)), Some(ValueId(0)));
+        assert_eq!(t1.get(AttrId(2)), None);
+        let missing: Vec<u16> = t1.missing_mask().iter().map(|a| a.0).collect();
+        assert_eq!(missing, vec![2, 3]);
+    }
+
+    #[test]
+    fn matching_follows_def_2_3() {
+        // t1 = ⟨20, HS, ?, ?⟩; t4 = ⟨20, HS, 100K, 500K⟩ matches it,
+        // t2 = ⟨20, BS, 50K, 100K⟩ does not (paper's example).
+        let t1 = pt(&[Some(0), Some(0), None, None]);
+        let t4 = CompleteTuple::from_values(vec![0, 0, 1, 1]);
+        let t2 = CompleteTuple::from_values(vec![0, 1, 0, 0]);
+        assert!(t1.matches_point(&t4));
+        assert!(!t1.matches_point(&t2));
+    }
+
+    #[test]
+    fn subsumption_follows_def_2_4() {
+        // t5 = ⟨20, ?, ?, ?⟩, t1 = ⟨20, HS, ?, ?⟩, t3 = ⟨20, ?, 50K, ?⟩.
+        // t1 ≺ t5 and t3 ≺ t5 (t5 subsumes both); t1 and t3 incomparable.
+        let t5 = pt(&[Some(0), None, None, None]);
+        let t1 = pt(&[Some(0), Some(0), None, None]);
+        let t3 = pt(&[Some(0), None, Some(0), None]);
+        assert!(t5.subsumes(&t1));
+        assert!(t5.subsumes(&t3));
+        assert!(!t1.subsumes(&t5));
+        assert!(!t1.subsumes(&t3));
+        assert!(!t3.subsumes(&t1));
+        // Value disagreement kills subsumption even with subset masks.
+        let t5b = pt(&[Some(1), None, None, None]);
+        assert!(!t5b.subsumes(&t1));
+        // Subsumption is strict: a tuple does not subsume itself.
+        assert!(!t1.subsumes(&t1));
+        assert!(t1.subsumes_or_equal(&t1));
+    }
+
+    #[test]
+    fn all_missing_subsumes_everything() {
+        let t_star = PartialTuple::all_missing(4);
+        let t1 = pt(&[Some(0), Some(0), None, None]);
+        assert!(t_star.subsumes(&t1));
+        assert!(t_star.mask().is_empty());
+    }
+
+    #[test]
+    fn complete_with_fills_missing_slots() {
+        let t = pt(&[Some(2), None, Some(1), None]);
+        let fill = CompleteTuple::from_values(vec![9, 7, 9, 5]);
+        let done = t.complete_with(&fill);
+        assert_eq!(done.raw(), &[2, 7, 1, 5]);
+    }
+
+    #[test]
+    fn with_and_without_assignment() {
+        let t = pt(&[Some(0), None, None, None]);
+        let t2 = t.with_assignment(AttrId(2), ValueId(1));
+        assert_eq!(t2.get(AttrId(2)), Some(ValueId(1)));
+        assert_eq!(t2.mask().count(), 2);
+        let t3 = t2.without_attr(AttrId(0));
+        assert_eq!(t3.get(AttrId(0)), None);
+        assert_eq!(t3.mask().count(), 1);
+    }
+
+    #[test]
+    fn project_keeps_only_requested() {
+        let t = pt(&[Some(1), Some(2), Some(0), None]);
+        let keep = AttrMask::from_attrs([AttrId(1), AttrId(3)]);
+        let p = t.project(keep);
+        assert_eq!(p.get(AttrId(1)), Some(ValueId(2)));
+        assert_eq!(p.get(AttrId(0)), None);
+        assert_eq!(p.get(AttrId(3)), None);
+        assert_eq!(p.mask().count(), 1);
+    }
+
+    #[test]
+    fn to_complete_roundtrip() {
+        let t = pt(&[Some(1), Some(0), Some(1), Some(1)]);
+        assert!(t.is_complete());
+        let c = t.to_complete().unwrap();
+        assert_eq!(c.raw(), &[1, 0, 1, 1]);
+        assert_eq!(c.to_partial(), t);
+        assert!(pt(&[None, Some(0), Some(1), Some(1)]).to_complete().is_none());
+    }
+
+    #[test]
+    fn checked_tuple_validates() {
+        let s = fig1_schema();
+        assert!(CompleteTuple::checked(&s, vec![0, 0, 0, 0]).is_ok());
+        assert!(matches!(
+            CompleteTuple::checked(&s, vec![0, 0, 0]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            CompleteTuple::checked(&s, vec![3, 0, 0, 0]),
+            Err(RelationError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn assignments_iterate_in_attr_order() {
+        let t = PartialTuple::from_assignments(
+            4,
+            &[
+                Assignment::new(AttrId(3), ValueId(1)),
+                Assignment::new(AttrId(1), ValueId(2)),
+            ],
+        );
+        let asgs: Vec<(u16, u16)> = t.assignments().map(|a| (a.attr.0, a.value.0)).collect();
+        assert_eq!(asgs, vec![(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn packed_key_distinguishes_masks_and_values() {
+        let a = pt(&[Some(0), Some(1), None, None]);
+        let b = pt(&[Some(0), None, Some(1), None]);
+        let c = pt(&[Some(0), Some(2), None, None]);
+        assert_ne!(a.packed_key(), b.packed_key());
+        assert_ne!(a.packed_key(), c.packed_key());
+        assert_eq!(a.packed_key(), a.clone().packed_key());
+    }
+
+    #[test]
+    fn overwriting_assignment_keeps_last() {
+        let t = PartialTuple::from_assignments(
+            2,
+            &[
+                Assignment::new(AttrId(0), ValueId(1)),
+                Assignment::new(AttrId(0), ValueId(2)),
+            ],
+        );
+        assert_eq!(t.get(AttrId(0)), Some(ValueId(2)));
+        assert_eq!(t.mask().count(), 1);
+    }
+}

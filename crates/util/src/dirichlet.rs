@@ -1,0 +1,160 @@
+//! Gamma and Dirichlet sampling for random CPT instantiation.
+//!
+//! The experimental framework "instantiates network parameters by randomly
+//! populating conditional probability distributions" (paper §VI-A). We make
+//! that precise by drawing each CPT row from a symmetric Dirichlet(α):
+//!
+//! * α = 1 is the uniform distribution over the probability simplex;
+//! * α < 1 produces skewed rows (a clear most-probable value), which makes
+//!   top-1 accuracy meaningful;
+//! * α > 1 produces near-uniform rows.
+//!
+//! Dirichlet sampling reduces to normalizing independent Gamma(α, 1) draws.
+//! The Gamma sampler is Marsaglia & Tsang (2000) with the standard α < 1
+//! boost, implemented here to stay within the approved dependency set.
+
+use rand::Rng;
+
+/// Draws one sample from Gamma(shape α, scale 1).
+///
+/// # Panics
+/// Panics if `alpha` is not finite and positive.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    assert!(
+        alpha.is_finite() && alpha > 0.0,
+        "gamma shape must be positive, got {alpha}"
+    );
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α + 1) * U^(1/α).
+        let boost: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0f64).powf(1.0 / alpha);
+        return sample_gamma(rng, alpha + 1.0) * boost;
+    }
+    // Marsaglia & Tsang squeeze method for α >= 1.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // One standard normal via Box-Muller (kept local; only needed here).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws a probability vector of length `k` from a symmetric Dirichlet(α).
+///
+/// The result is strictly positive and sums to 1 (up to floating error,
+/// which the caller may renormalize away).
+///
+/// # Panics
+/// Panics if `k == 0` or `alpha` is not finite and positive.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..k).map(|_| sample_gamma(rng, alpha)).collect();
+    let mut total: f64 = draws.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Astronomically unlikely (all draws underflowed); fall back to uniform.
+        draws.iter_mut().for_each(|d| *d = 1.0);
+        total = k as f64;
+    }
+    draws.iter_mut().for_each(|d| *d /= total);
+    // Guard against exact zeros from underflow so downstream logs stay finite.
+    let floor = 1e-12;
+    if draws.iter().any(|&d| d < floor) {
+        let mut sum = 0.0;
+        for d in draws.iter_mut() {
+            *d = d.max(floor);
+            sum += *d;
+        }
+        draws.iter_mut().for_each(|d| *d /= sum);
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        // E[Gamma(α, 1)] = α. Check within Monte-Carlo error.
+        let mut rng = seeded_rng(11);
+        for &alpha in &[0.35, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, alpha)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.12 * alpha.max(1.0),
+                "alpha={alpha} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_is_positive() {
+        let mut rng = seeded_rng(12);
+        for _ in 0..5_000 {
+            assert!(sample_gamma(&mut rng, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = seeded_rng(0);
+        sample_gamma(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_positive() {
+        let mut rng = seeded_rng(13);
+        for &alpha in &[0.35, 1.0, 5.0] {
+            for &k in &[2usize, 3, 8, 10] {
+                let p = sample_dirichlet(&mut rng, alpha, k);
+                assert_eq!(p.len(), k);
+                let sum: f64 = p.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+                assert!(p.iter().all(|&x| x > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_alpha_controls_skew() {
+        // Lower α should concentrate mass: the max component is larger on
+        // average for α = 0.2 than for α = 5.
+        let mut rng = seeded_rng(14);
+        let trials = 2_000;
+        let avg_max = |rng: &mut rand::rngs::StdRng, alpha: f64| {
+            (0..trials)
+                .map(|_| {
+                    sample_dirichlet(rng, alpha, 4)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let skewed = avg_max(&mut rng, 0.2);
+        let flat = avg_max(&mut rng, 5.0);
+        assert!(
+            skewed > flat + 0.15,
+            "skewed={skewed:.3} flat={flat:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn dirichlet_rejects_zero_dimension() {
+        let mut rng = seeded_rng(0);
+        sample_dirichlet(&mut rng, 1.0, 0);
+    }
+}

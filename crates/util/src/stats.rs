@@ -1,0 +1,174 @@
+//! Summary statistics used by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+///
+/// The experiment runner averages a metric over `instances × splits` cells;
+/// this keeps the running mean numerically stable without storing samples.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope * x + intercept`.
+///
+/// Returns `(slope, intercept)`. Used by the Fig. 9 reproduction to report
+/// the regression lines the paper draws over inference-time scatter plots.
+///
+/// # Panics
+/// Panics if `xs` and `ys` have different lengths or fewer than 2 points,
+/// or if all `xs` are identical (vertical line).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched input lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    assert!(sxx > 0.0, "all x values identical");
+    let slope = sxy / sxx;
+    (slope, mean_y - slope * mean_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| left.push(x));
+        xs[37..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        a.push(5.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line_recovers_slope() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 0.5 * x + 2.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let (m, b) = linear_fit(&xs, &ys);
+        assert!((m - 0.5).abs() < 0.01);
+        assert!((b - 2.0).abs() < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linear_fit_rejects_single_point() {
+        linear_fit(&[1.0], &[1.0]);
+    }
+}

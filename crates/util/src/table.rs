@@ -1,0 +1,153 @@
+//! Minimal ASCII table renderer for paper-style console output.
+//!
+//! The `repro` harness prints each reproduced table/figure as rows of text;
+//! this keeps the formatting in one place and out of the experiment logic.
+
+use std::fmt::Write as _;
+
+/// A left-aligned ASCII table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the effective width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The header cells.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with column-width alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == widths.len() {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<width$}  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with `digits` fractional digits, trimming `-0.000` to `0.000`.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with('-') && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["net", "KL"]);
+        t.push_row(["BN1", "0.03"]);
+        t.push_row(["BN17", "0.08"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("net"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Column 2 starts at the same offset in every row.
+        let off = lines[2].find("0.03").unwrap();
+        assert_eq!(lines[3].find("0.08").unwrap(), off);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["1", "2", "3"]);
+        t.push_row(["x"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["one", "two"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn fmt_f_trims_negative_zero() {
+        assert_eq!(fmt_f(-0.000001, 3), "0.000");
+        assert_eq!(fmt_f(0.1234, 2), "0.12");
+        assert_eq!(fmt_f(-1.5, 1), "-1.5");
+    }
+}

@@ -1,0 +1,74 @@
+//! Wall-clock stopwatch used for the timing experiments.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch. The experiments report wall-clock time like the
+/// paper's prototype did; this wrapper keeps call sites terse and gives the
+/// tests one place to fake elapsed time via [`Stopwatch::elapsed`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Time since start, in fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Time since start, in fractional milliseconds.
+    pub fn elapsed_millis(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restarts the stopwatch and returns the time elapsed until the restart.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.start;
+        self.start = now;
+        lap
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.elapsed_millis() >= 0.0);
+    }
+
+    #[test]
+    fn lap_resets_start() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let lap = sw.lap();
+        assert!(lap >= Duration::from_millis(1));
+        // After a lap the new elapsed time restarts near zero.
+        assert!(sw.elapsed() <= lap + Duration::from_millis(50));
+    }
+}

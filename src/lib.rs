@@ -1,0 +1,13 @@
+//! Facade crate for the MRSL reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate under one roof so the
+//! examples and integration tests can `use mrsl_repro::...`. See README.md
+//! for a tour and DESIGN.md for the system inventory.
+
+pub use mrsl_bayesnet as bayesnet;
+pub use mrsl_core as core;
+pub use mrsl_eval as eval;
+pub use mrsl_itemset as itemset;
+pub use mrsl_probdb as probdb;
+pub use mrsl_relation as relation;
+pub use mrsl_util as util;

@@ -1,0 +1,99 @@
+//! Possible-world semantics of derived databases: exact query evaluation
+//! must agree with both world enumeration and Monte-Carlo estimation.
+
+use mrsl_repro::core::{derive_probabilistic_db, DeriveConfig, GibbsConfig, LearnConfig};
+use mrsl_repro::probdb::montecarlo::{mc_count_distribution, mc_expected_count};
+use mrsl_repro::probdb::query::{count_distribution, expected_count, top_k, Predicate};
+use mrsl_repro::probdb::world::enumerate_worlds;
+use mrsl_repro::relation::relation::fig1_relation;
+use mrsl_repro::relation::{AttrId, ValueId};
+
+fn derived() -> mrsl_repro::probdb::ProbDb {
+    let rel = fig1_relation();
+    let config = DeriveConfig {
+        learn: LearnConfig {
+            support_threshold: 0.05,
+            max_itemsets: 1000,
+        },
+        gibbs: GibbsConfig {
+            burn_in: 50,
+            samples: 400,
+            ..GibbsConfig::default()
+        },
+        ..DeriveConfig::default()
+    };
+    derive_probabilistic_db(&rel, &config).db
+}
+
+#[test]
+fn world_probabilities_of_derived_db_sum_to_one() {
+    let db = derived();
+    // Fig. 1 derives 9 blocks; enumerate a capped sub-database to keep the
+    // world count tractable: take the first 5 blocks only.
+    let mut small = mrsl_repro::probdb::ProbDb::new(db.schema().clone());
+    for t in db.certain() {
+        small.push_certain(t.clone()).unwrap();
+    }
+    for b in db.blocks().iter().take(5) {
+        small.push_block(b.clone()).unwrap();
+    }
+    let worlds = enumerate_worlds(&small, 2_000_000);
+    let total: f64 = worlds.iter().map(|w| w.prob).sum();
+    assert!((total - 1.0).abs() < 1e-9, "total world mass {total}");
+}
+
+#[test]
+fn exact_count_distribution_matches_enumeration_on_derived_db() {
+    let db = derived();
+    let mut small = mrsl_repro::probdb::ProbDb::new(db.schema().clone());
+    for b in db.blocks().iter().take(6) {
+        small.push_block(b.clone()).unwrap();
+    }
+    let pred = Predicate::any().and_eq(AttrId(2), ValueId(0)); // inc = 50K
+    let exact = count_distribution(&small, &pred);
+    let mut brute = vec![0.0; exact.len()];
+    for w in enumerate_worlds(&small, 5_000_000) {
+        let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
+        brute[c] += w.prob;
+    }
+    for (k, (&a, &b)) in exact.iter().zip(&brute).enumerate() {
+        assert!((a - b).abs() < 1e-9, "count {k}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn monte_carlo_agrees_with_exact_on_derived_db() {
+    let db = derived();
+    let pred = Predicate::any().and_eq(AttrId(0), ValueId(0)); // age = 20
+    let exact = expected_count(&db, &pred);
+    let (mc, se) = mc_expected_count(&db, &pred, 30_000, 3);
+    assert!(
+        (mc - exact).abs() < 4.0 * se + 0.05,
+        "mc {mc} vs exact {exact} (se {se})"
+    );
+    let exact_dist = count_distribution(&db, &pred);
+    let mc_dist = mc_count_distribution(&db, &pred, 30_000, 4);
+    for (k, &e) in exact_dist.iter().enumerate() {
+        assert!((mc_dist[k] - e).abs() < 0.02, "k={k}: {} vs {e}", mc_dist[k]);
+    }
+}
+
+#[test]
+fn top_k_is_consistent_with_block_contents() {
+    let db = derived();
+    let ranked = top_k(&db, &Predicate::any(), 1000);
+    // Certain tuples rank first with probability 1.
+    assert!(ranked[..db.certain().len()].iter().all(|r| r.prob == 1.0));
+    // Every ranked block tuple exists in its block with that probability.
+    for r in ranked.iter().filter(|r| r.block.is_some()) {
+        let block = db
+            .blocks()
+            .iter()
+            .find(|b| b.key() == r.block.unwrap())
+            .expect("block exists");
+        assert!(block
+            .alternatives()
+            .iter()
+            .any(|a| a.tuple == r.tuple && (a.prob - r.prob).abs() < 1e-12));
+    }
+}
