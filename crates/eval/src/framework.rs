@@ -305,8 +305,8 @@ mod tests {
         spec.support = 0.005;
         let ctx = spec.build();
         let gibbs = GibbsConfig {
-            burn_in: 50,
-            samples: 600,
+            burn_in: 100,
+            samples: 1500,
             voting: VotingConfig::best_averaged(),
         };
         let score = ctx.eval_multi(2, &gibbs, WorkloadStrategy::TupleDag);

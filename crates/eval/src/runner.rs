@@ -1,13 +1,15 @@
-//! A small thread-pool grid runner.
+//! The experiment grid runner, backed by the workspace's shared rayon
+//! executor.
 //!
 //! Evaluation cells (network × instance × split) are independent; the
 //! experiments fan them out over worker threads and fold the results. The
-//! algorithms under test stay single-threaded — parallelism only shortens
-//! the wall-clock of the *grid*, and timing-sensitive experiments pass
-//! `threads = 1`.
+//! same executor powers `mrsl_core`'s batched inference
+//! (`mrsl_core::infer_batch`), so the whole workspace has exactly one
+//! parallelism story. The algorithms under test stay single-threaded —
+//! parallelism only shortens the wall-clock of the *grid*, and
+//! timing-sensitive experiments pass `threads = 1`.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use rayon::prelude::*;
 
 /// Runs `f` over `jobs` on `threads` workers, returning results in job
 /// order. `threads = 0` means "one per available core".
@@ -21,36 +23,11 @@ where
     if threads <= 1 {
         return jobs.into_iter().map(f).collect();
     }
-
-    let (tx, rx) = channel::unbounded::<(usize, I)>();
-    for job in jobs.into_iter().enumerate() {
-        tx.send(job).expect("unbounded channel accepts all jobs");
-    }
-    drop(tx);
-
-    let results: Mutex<Vec<Option<T>>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((idx, job)) = rx.recv() {
-                    let out = f(job);
-                    let mut guard = results.lock();
-                    if guard.len() <= idx {
-                        guard.resize_with(idx + 1, || None);
-                    }
-                    guard[idx] = Some(out);
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every job produced a result"))
-        .collect()
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction cannot fail")
+        .install(|| jobs.into_par_iter().map(f).collect())
 }
 
 /// Resolves a thread-count request against the machine and job count.
@@ -96,6 +73,16 @@ mod tests {
     fn empty_jobs_yield_empty_results() {
         let out: Vec<i32> = run_parallel(Vec::<i32>::new(), 8, |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = jobs.iter().map(|&x| x.wrapping_mul(0x9e37)).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = run_parallel(jobs.clone(), threads, |x| x.wrapping_mul(0x9e37));
+            assert_eq!(out, expected, "{threads} threads");
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn independent_network_estimates_ignore_irrelevant_evidence() {
     // matter the evidence; the ensemble should stay close to it.
     let spec = independent("ind", &[3, 2, 2]);
     let bn = BayesianNetwork::instantiate(&spec, 0.6, 4);
-    let model = learn(&bn, 30_000, 0.001, 7);
+    let model = learn(&bn, 60_000, 0.001, 7);
     let truth = bn.marginal(AttrId(0));
     for e1 in 0..2u16 {
         for e2 in 0..2u16 {

@@ -1,0 +1,382 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple measurement
+//! strategy: warm up once, then time `sample_size` batches and report the
+//! per-iteration mean and min. No statistics, no HTML reports, no
+//! comparisons; just enough to keep `cargo bench` runnable offline.
+//!
+//! Filters work like upstream: `cargo bench -- <substring>` runs only the
+//! benchmarks whose id contains the substring. `--bench`, `--test`,
+//! `--profile-time` and other harness flags are accepted and ignored
+//! (`--test` and `--list` short-circuit like upstream's smoke modes).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Unit of work reported per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name and/or parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter (nested under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    smoke_test: bool,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-sample measurement, one call per sample: the
+        // workspace's benches all run substantial inner workloads.
+        black_box(routine());
+        self.results.clear();
+        self.results.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        self.results.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work unit used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted and ignored (upstream tunes measurement duration).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (upstream tunes warm-up duration).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, sample_size, throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&full, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_test: bool,
+    list_only: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke_test = false;
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--exact" => {}
+                "--test" => smoke_test = true,
+                "--list" => list_only = true,
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size"
+                | "--significance-level" | "--output-format" | "--format" | "--color" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Self {
+            filter,
+            smoke_test,
+            list_only,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, sample_size, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        let mut results = Vec::new();
+        let mut bencher = Bencher {
+            samples: sample_size,
+            smoke_test: self.smoke_test,
+            results: &mut results,
+        };
+        f(&mut bencher);
+        if self.smoke_test {
+            println!("{id}: ok (smoke test)");
+            return;
+        }
+        if results.is_empty() {
+            println!("{id}: no measurements recorded");
+            return;
+        }
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        let min = results.iter().min().copied().unwrap_or_default();
+        match throughput {
+            Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!(
+                    "{id}: mean {mean:?}, min {min:?} ({} samples, {rate:.0} elem/s)",
+                    results.len()
+                );
+            }
+            Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+                let rate = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+                println!(
+                    "{id}: mean {mean:?}, min {min:?} ({} samples, {rate:.2} MiB/s)",
+                    results.len()
+                );
+            }
+            _ => {
+                println!("{id}: mean {mean:?}, min {min:?} ({} samples)", results.len());
+            }
+        }
+    }
+
+    /// Runs registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_compiles_and_runs() {
+        let mut criterion = Criterion {
+            filter: None,
+            smoke_test: false,
+            list_only: false,
+            default_sample_size: 3,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &3u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                black_box(x * 2)
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(runs >= 2, "bencher executed the routine: {runs}");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut criterion = Criterion {
+            filter: Some("nomatch".to_owned()),
+            smoke_test: false,
+            list_only: false,
+            default_sample_size: 3,
+        };
+        let mut ran = false;
+        criterion.bench_function("something_else", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,118 @@
+//! The parallel-iterator surface: materialize → parallel map → collect.
+
+use crate::par_map_ordered;
+
+/// A materialized parallel iterator over items of type `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+        T: Send,
+    {
+        let _: Vec<()> = par_map_ordered(self.items, |item| f(item));
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F, O> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Executes the parallel map and collects results **in input order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        par_map_ordered(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the rayon API its batch executor uses:
+//!
+//! * `par_iter()` / `into_par_iter()` on slices and vectors;
+//! * `.map(...).collect()` on the resulting parallel iterator;
+//! * [`ThreadPoolBuilder`] + [`ThreadPool::install`] to bound worker
+//!   counts;
+//! * [`current_num_threads`].
+//!
+//! Work distribution is an atomic index over the materialized items with
+//! scoped worker threads — no work stealing, no splitting tree. That is
+//! plenty for this workspace's fan-outs (whole evaluation cells or
+//! inference chunks per item), and results are returned **in item order**
+//! regardless of scheduling, so callers see deterministic output.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod iter;
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use:
+/// the installed pool's size, or one per available core.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|threads| threads.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible in this shim, kept
+/// for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (one per core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means one per available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A bounded scope for parallel operations. Workers are spawned per
+/// operation (scoped threads), so the pool itself holds no OS resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators used inside.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|threads| {
+            let previous = threads.replace(Some(self.threads));
+            let result = op();
+            threads.set(previous);
+            result
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Ordered parallel map: applies `f` to every item, fanning out over up to
+/// [`current_num_threads`] scoped workers, and returns results in input
+/// order. Worker panics are re-raised on the caller.
+pub(crate) fn par_map_ordered<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot lock")
+                    .take()
+                    .expect("each index claimed once");
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(result) => {
+                        *out[i].lock().expect("result slot lock") = Some(result);
+                    }
+                    Err(payload) => {
+                        *panic.lock().expect("panic slot lock") = Some(payload);
+                        // Stop claiming further work.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panic.into_inner().expect("panic slot lock") {
+        resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let xs: Vec<String> = vec!["a".into(), "b".into()];
+        let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1]);
+    }
+
+    #[test]
+    fn pool_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(pool.current_num_threads(), 2);
+        // The override is scoped to the install call.
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let nested = pool.install(|| pool1.install(current_num_threads));
+        assert_eq!(nested, 1);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let xs: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| xs.par_iter().map(|&x| x * x).collect());
+        let par: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| xs.par_iter().map(|&x| x * x).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let xs: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 33 {
+                    panic!("boom");
+                }
+                x
+            })
+            .collect();
+    }
+}

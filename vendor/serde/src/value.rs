@@ -1,0 +1,731 @@
+//! The JSON value tree, plus a printer and parser.
+//!
+//! This lives in the `serde` shim (rather than `serde_json`) because the
+//! shim's [`crate::Serialize`]/[`crate::Deserialize`] traits are defined in
+//! terms of [`Value`]; the `serde_json` facade re-exports everything.
+
+use std::fmt;
+
+/// A JSON number. Integers keep full 64-bit precision (large seeds do not
+/// survive a trip through `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for 64-bit integers above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(x) => x,
+        }
+    }
+
+    /// The number as `u64`, if representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) => u64::try_from(n).ok(),
+            Number::Float(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `i64`, if representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(x)
+                if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 =>
+            {
+                Some(x as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    // Rust's float Display prints the shortest string that
+                    // parses back to the same value, so round-trips are
+                    // exact. Ensure a decimal point / exponent so the value
+                    // re-parses as a float.
+                    let s = format!("{x}");
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        f.write_str(&s)
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; mirror serde_json's
+                    // permissive printer by emitting null.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// An owned JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an exactly-representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an exactly-representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Struct-field access used by derived `Deserialize` impls: returns
+    /// `null` for a missing key (so `Option` fields read as `None`) and
+    /// errors when `self` is not an object.
+    pub fn field(&self, key: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(_) => Ok(self.get(key).unwrap_or(&NULL_VALUE)),
+            other => Err(DeError::expected(&format!("object with field `{key}`"), other)),
+        }
+    }
+
+    /// Renders as compact JSON.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, None, 0);
+        out
+    }
+
+    /// Renders as two-space-indented JSON.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    pub fn parse(text: &str) -> Result<Value, DeError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(DeError::new(format!(
+                "trailing characters at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; `null` for missing keys or non-objects (mirrors
+    /// `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Element access; `null` when out of bounds or not an array.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Member access for assignment. `null` values auto-vivify into
+    /// objects and missing keys are inserted, mirroring `serde_json`.
+    ///
+    /// # Panics
+    /// Panics when `self` is neither `null` nor an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Vec::new());
+        }
+        match self {
+            Value::Object(entries) => {
+                if let Some(i) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[i].1
+                } else {
+                    entries.push((key.to_owned(), Value::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(Number::PosInt(v))
+    }
+}
+
+/// Deserialization / parse error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, got Y" helper.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// -------------------------------------------------------------- the parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), DeError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DeError> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(DeError::new(format!(
+                "unexpected byte `{}` at {}",
+                b as char, self.pos
+            ))),
+            None => Err(DeError::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(DeError::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, DeError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(DeError::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(DeError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(DeError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let high = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&high) {
+                                // Surrogate pair.
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(DeError::new("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(DeError::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                high
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(DeError::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 scalar starting at pos - 1.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| DeError::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, DeError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(DeError::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| DeError::new("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| DeError::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        }
+        // `str::parse::<f64>` is correctly rounded, so parse(print(x)) == x.
+        text.parse::<f64>()
+            .map(|x| Value::Number(Number::Float(x)))
+            .map_err(|_| DeError::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        Value::parse(&v.render_compact()).expect("reparse")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Number(Number::PosInt(u64::MAX)),
+            Value::Number(Number::NegInt(-42)),
+            Value::Number(Number::Float(0.1)),
+            Value::Number(Number::Float(f64::MIN_POSITIVE)),
+            Value::String("he\"llo\n\\ wörld \u{1F600}".to_owned()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        // The printer emits shortest-round-trip decimals and the parser is
+        // correctly rounded, so the persistence tests' exactness holds.
+        for &x in &[0.1, 1.0 / 3.0, 2.0f64.powi(-52), 1e308, -0.0] {
+            let v = Value::Number(Number::Float(x));
+            let Value::Number(n) = roundtrip(&v) else {
+                panic!("not a number");
+            };
+            assert_eq!(n.as_f64().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+            (
+                "b".into(),
+                Value::Object(vec![("k".into(), Value::Number(Number::PosInt(7)))]),
+            ),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        assert_eq!(Value::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn indexing_behaves_like_serde_json() {
+        let mut v = Value::Null;
+        v["x"] = Value::Number(Number::PosInt(1));
+        assert_eq!(v["x"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v["x"][3].is_null());
+        let arr = Value::Array(vec![Value::String("a".into())]);
+        assert_eq!(arr[0], "a");
+        assert!(arr[1].is_null());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("nul").is_err());
+        assert!(Value::parse("1 2").is_err());
+        assert!(Value::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            Value::parse("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Value::String("é\u{1F600}".to_owned())
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Parses the derive input by hand (no `syn`/`quote` — the build
+//! environment is offline) and supports exactly the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]`);
+//! * tuple structs (one field → transparent newtype encoding, several →
+//!   array encoding);
+//! * enums whose variants are all unit variants (encoded as the variant
+//!   name string).
+//!
+//! Anything else (generics, data-carrying enum variants, other serde
+//! attributes) produces a compile error naming the construct, so misuse
+//! fails loudly rather than silently mis-encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated code parses")
+        }
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+/// A parsed field: name (or tuple index), and serde attributes.
+struct Field {
+    /// Named-field name, or the index rendered as text for tuple fields.
+    name: String,
+    skip: bool,
+    /// Path of the `default = "..."` function, when given with `skip`.
+    default_path: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::Named(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::Tuple(arity),
+                })
+            }
+            other => Err(format!(
+                "unsupported struct body for `{name}`: {other:?} (unit structs are not serialized here)"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(&name, g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                })
+            }
+            other => Err(format!("expected enum body for `{name}`, got {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Skips `#[...]` attribute groups; returns the serde attribute args seen.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(bool, Option<String>), String> {
+    let mut skip = false;
+    let mut default_path = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) else {
+            return Err("dangling `#` in attribute position".to_owned());
+        };
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    return Err("`#[serde]` without arguments".to_owned());
+                };
+                parse_serde_args(args.stream(), &mut skip, &mut default_path)?;
+            }
+        }
+        *i += 2;
+    }
+    Ok((skip, default_path))
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    take_attributes(tokens, i).map(|_| ())
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, …
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses the contents of `#[serde(...)]`.
+fn parse_serde_args(
+    args: TokenStream,
+    skip: &mut bool,
+    default_path: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" => {
+                        *skip = true;
+                        i += 1;
+                    }
+                    "default" => {
+                        i += 1;
+                        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                        {
+                            i += 1;
+                            match tokens.get(i) {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let text = lit.to_string();
+                                    let path = text.trim_matches('"').to_owned();
+                                    *default_path = Some(path);
+                                    i += 1;
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "expected string literal after `default =`, got {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unsupported serde attribute `{other}` (shim supports skip/default)"
+                        ))
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => return Err(format!("unexpected token in serde attribute: {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (skip, default_path) = take_attributes(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i)?;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default_path,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket
+/// aware; parens/brackets arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return Ok(()),
+            _ => {}
+        }
+        *i += 1;
+    }
+    Ok(())
+}
+
+fn parse_tuple_arity(body: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        let (skip, _) = take_attributes(&tokens, &mut i)?;
+        if skip {
+            return Err("#[serde(skip)] is not supported on tuple fields".to_owned());
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i)?;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        arity += 1;
+    }
+    Ok(arity)
+}
+
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive supports only unit variants; `{enum_name}::{name}` carries data"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip tokens until `,`.
+                i += 1;
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    field.name, field.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n{pushes}::serde::value::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::value::Value::String({v:?}.to_string())")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::value::Value {{\n {body}\n }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    let default = field
+                        .default_path
+                        .clone()
+                        .map(|p| format!("{p}()"))
+                        .unwrap_or_else(|| "::std::default::Default::default()".to_owned());
+                    inits.push_str(&format!("{}: {default},\n", field.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_value(v.field({:?})?)?,\n",
+                        field.name, field.name
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(arity) => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({k}).unwrap_or(&::serde::value::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::value::Value::Array(items) if items.len() == {arity} => ::std::result::Result::Ok({name}({})), other => ::std::result::Result::Err(::serde::value::DeError::expected(\"{arity}-element array\", other)) }}",
+                gets.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let tag = v.as_str().ok_or_else(|| ::serde::value::DeError::expected(\"string\", v))?;\nmatch tag {{ {}, other => ::std::result::Result::Err(::serde::value::DeError::new(::std::format!(\"unknown {name} variant `{{other}}`\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::DeError> {{\n {body}\n }}\n}}"
+    )
+}

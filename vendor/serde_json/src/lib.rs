@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A thin facade over the value tree, printer and parser in the vendored
+//! `serde` shim: [`to_string`], [`to_string_pretty`], [`to_writer_pretty`],
+//! [`from_str`], [`to_value`], [`json!`] and [`Value`].
+
+pub use serde::value::{DeError, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+
+/// Error type covering serialization (IO) and deserialization failures.
+#[derive(Debug)]
+pub enum Error {
+    /// Parse / shape error.
+    De(DeError),
+    /// Writer error from [`to_writer_pretty`].
+    Io(io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::De(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::De(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Serializes to the value tree (infallible in this shim).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serializes `value` as two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Writes `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Writes `value` as compact JSON into `writer`.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses JSON text into `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = Value::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserializes a value tree into `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Supports `null`, object
+/// literals with literal keys, array literals, and arbitrary serializable
+/// expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $( entries.push(($key.to_string(), $crate::json!($val))); )*
+        $crate::Value::Object(entries)
+    }};
+    ([ $($el:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($el) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let id = "fig4".to_string();
+        let rows = vec![vec!["a".to_string(), "b".to_string()]];
+        let v = json!({
+            "id": id,
+            "rows": rows,
+            "n": 3u64,
+            "ok": true,
+            "nothing": json!(null),
+        });
+        assert_eq!(v["id"], "fig4");
+        assert_eq!(v["rows"][0][1], "b");
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn string_roundtrip_through_text() {
+        let v = json!({"xs": [1.5f64, 2.25f64], "name": "π ≈ 3"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn writer_receives_bytes() {
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &json!([1u64, 2u64])).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v: Value = from_str(&text).unwrap();
+        assert_eq!(v[1].as_u64(), Some(2));
+    }
+}
