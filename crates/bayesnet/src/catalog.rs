@@ -121,13 +121,20 @@ mod tests {
     #[test]
     fn depths_match_table_1_exactly() {
         for net in paper_networks() {
-            assert_eq!(net.topology.depth(), net.paper_depth, "{} depth", net.name());
+            assert_eq!(
+                net.topology.depth(),
+                net.paper_depth,
+                "{} depth",
+                net.name()
+            );
         }
     }
 
     #[test]
     fn attr_counts_match_table_1() {
-        let expected = [4, 5, 5, 5, 5, 10, 10, 4, 6, 6, 6, 6, 6, 6, 6, 6, 8, 10, 10, 10];
+        let expected = [
+            4, 5, 5, 5, 5, 10, 10, 4, 6, 6, 6, 6, 6, 6, 6, 6, 8, 10, 10, 10,
+        ];
         for (net, &exp) in paper_networks().iter().zip(&expected) {
             assert_eq!(net.topology.num_attrs(), exp, "{}", net.name());
         }

@@ -28,7 +28,11 @@ impl Factor {
         );
         let size: usize = cards.iter().product();
         assert_eq!(values.len(), size, "values length mismatch");
-        Self { vars, cards, values }
+        Self {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// A scalar factor (no variables).
@@ -147,7 +151,11 @@ impl Factor {
                 assignment[k] = 0;
             }
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// Sums out `var`.
@@ -187,7 +195,11 @@ impl Factor {
                 out_idx += 1;
             }
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// Fixes `var = value`, dropping the variable.
@@ -217,7 +229,11 @@ impl Factor {
             let base = o * inner * card + value * inner;
             values.extend_from_slice(&self.values[base..base + inner]);
         }
-        Factor { vars, cards, values }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
     }
 
     /// Normalizes the table to sum 1. Returns `None` when the total mass is
@@ -241,11 +257,7 @@ mod tests {
 
     fn f_ab() -> Factor {
         // vars 0 (card 2), 1 (card 3); values [a][b].
-        Factor::new(
-            vec![0, 1],
-            vec![2, 3],
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
-        )
+        Factor::new(vec![0, 1], vec![2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
     }
 
     #[test]

@@ -209,8 +209,7 @@ mod tests {
         let spec = crown("cr", &[2, 3, 2, 3, 2, 2]);
         let bn = BayesianNetwork::instantiate(&spec, 1.0, 7);
         let targets = AttrMask::from_attrs([AttrId(0), AttrId(4), AttrId(5)]);
-        let evidence =
-            PartialTuple::from_options(&[None, Some(2), Some(1), None, None, None]);
+        let evidence = PartialTuple::from_options(&[None, Some(2), Some(1), None, None, None]);
         let ve = conditional(&bn, targets, &evidence).unwrap();
         let bf = conditional_brute_force(&bn, targets, &evidence).unwrap();
         assert_close(&ve, &bf, 1e-10);
@@ -305,8 +304,7 @@ mod tests {
         let ix = JointIndexer::new(bn.schema(), targets);
         for idx in 0..ix.size() {
             let combo = ix.decode(idx);
-            let point =
-                CompleteTuple::from_values(combo.iter().map(|&(_, v)| v.0).collect());
+            let point = CompleteTuple::from_values(combo.iter().map(|&(_, v)| v.0).collect());
             assert!((probs[idx] - bn.joint_prob(&point)).abs() < 1e-10);
         }
     }

@@ -104,7 +104,9 @@ pub struct BayesianNetwork {
 }
 
 fn empty_schema() -> Arc<Schema> {
-    mrsl_relation::Schema::builder().build().expect("empty schema")
+    mrsl_relation::Schema::builder()
+        .build()
+        .expect("empty schema")
 }
 
 impl BayesianNetwork {

@@ -104,7 +104,11 @@ mod tests {
         let root_row = bn.cpt(0).row(0);
         for v in 0..3 {
             let f = counts[v] as f64 / data.len() as f64;
-            assert!((f - root_row[v]).abs() < 0.015, "v={v}: {f} vs {}", root_row[v]);
+            assert!(
+                (f - root_row[v]).abs() < 0.015,
+                "v={v}: {f} vs {}",
+                root_row[v]
+            );
         }
     }
 

@@ -168,7 +168,8 @@ impl TopologySpec {
                 (0..node.cardinality).map(|v| format!("v{v}")),
             );
         }
-        b.build().expect("validated topology produces a valid schema")
+        b.build()
+            .expect("validated topology produces a valid schema")
     }
 
     /// An ASCII sketch of the DAG: one line per node listing its parents.
@@ -272,8 +273,11 @@ mod tests {
 
     #[test]
     fn depth_two_for_single_edge() {
-        let t = TopologySpec::new("one-edge", vec![node("a", 2, vec![]), node("b", 2, vec![0])])
-            .unwrap();
+        let t = TopologySpec::new(
+            "one-edge",
+            vec![node("a", 2, vec![]), node("b", 2, vec![0])],
+        )
+        .unwrap();
         assert_eq!(t.depth(), 2);
     }
 
@@ -297,17 +301,17 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_parent() {
-        let r = TopologySpec::new(
-            "dup",
-            vec![node("a", 2, vec![]), node("b", 2, vec![0, 0])],
-        );
+        let r = TopologySpec::new("dup", vec![node("a", 2, vec![]), node("b", 2, vec![0, 0])]);
         assert!(matches!(r, Err(TopologyError::DuplicateParent { .. })));
     }
 
     #[test]
     fn rejects_cardinality_one() {
         let r = TopologySpec::new("deg", vec![node("a", 1, vec![])]);
-        assert!(matches!(r, Err(TopologyError::DegenerateCardinality { .. })));
+        assert!(matches!(
+            r,
+            Err(TopologyError::DegenerateCardinality { .. })
+        ));
     }
 
     #[test]
@@ -342,11 +346,8 @@ mod tests {
 
     #[test]
     fn schema_mirrors_topology() {
-        let t = TopologySpec::new(
-            "s",
-            vec![node("age", 3, vec![]), node("inc", 2, vec![0])],
-        )
-        .unwrap();
+        let t =
+            TopologySpec::new("s", vec![node("age", 3, vec![]), node("inc", 2, vec![0])]).unwrap();
         let s = t.to_schema();
         assert_eq!(s.attr_count(), 2);
         assert_eq!(s.cardinality(mrsl_relation::AttrId(0)), 3);
@@ -355,11 +356,7 @@ mod tests {
 
     #[test]
     fn describe_mentions_every_node() {
-        let t = TopologySpec::new(
-            "d",
-            vec![node("x", 2, vec![]), node("y", 2, vec![0])],
-        )
-        .unwrap();
+        let t = TopologySpec::new("d", vec![node("x", 2, vec![]), node("y", 2, vec![0])]).unwrap();
         let d = t.describe();
         assert!(d.contains("x") && d.contains("y") && d.contains("<- x"));
     }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mrsl_bench::{learned_model, workload};
-use mrsl_core::{infer_joint, GibbsConfig, VotingConfig};
+use mrsl_core::{GibbsSampler, InferContext, InferenceEngine, VotingConfig};
 
 fn bench_samples_per_tuple(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_samples_per_tuple");
@@ -12,16 +12,17 @@ fn bench_samples_per_tuple(c: &mut Criterion) {
     let (bn, model) = learned_model("BN9", 8_000, 0.005, 5);
     let tuples = workload(&bn, 8, 3, 1);
     for &n in &[100usize, 500, 2_000] {
-        let config = GibbsConfig {
+        let engine = GibbsSampler {
             burn_in: 100,
             samples: n,
-            voting: VotingConfig::best_averaged(),
         };
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &engine, |b, engine| {
+            let mut ctx = InferContext::new(&model, VotingConfig::best_averaged(), 0);
             b.iter(|| {
                 for (i, t) in tuples.iter().enumerate() {
-                    std::hint::black_box(infer_joint(&model, t, config, i as u64));
+                    ctx.set_seed(i as u64);
+                    std::hint::black_box(engine.estimate(&mut ctx, t));
                 }
             })
         });
@@ -33,10 +34,9 @@ fn bench_missing_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs_vs_missing_attrs");
     group.sample_size(10);
     let (bn, model) = learned_model("BN18", 8_000, 0.005, 5);
-    let config = GibbsConfig {
+    let engine = GibbsSampler {
         burn_in: 100,
         samples: 500,
-        voting: VotingConfig::best_averaged(),
     };
     for &k in &[2usize, 4, 6] {
         // Build tuples with exactly k missing attributes.
@@ -46,9 +46,11 @@ fn bench_missing_count(c: &mut Criterion) {
             .take(5)
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(k), &tuples, |b, tuples| {
+            let mut ctx = InferContext::new(&model, VotingConfig::best_averaged(), 0);
             b.iter(|| {
                 for (i, t) in tuples.iter().enumerate() {
-                    std::hint::black_box(infer_joint(&model, t, &config, i as u64));
+                    ctx.set_seed(i as u64);
+                    std::hint::black_box(engine.estimate(&mut ctx, t));
                 }
             })
         });

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mrsl_bench::{learned_model, workload};
-use mrsl_core::{infer_single, VotingConfig};
+use mrsl_core::{InferContext, VotingConfig};
 
 fn bench_vs_model_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_inference_vs_model_size");
@@ -19,15 +19,11 @@ fn bench_vs_model_size(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{name}_size_{}", model.size())),
             &tuples,
             |b, tuples| {
+                let mut ctx = InferContext::new(&model, VotingConfig::best_averaged(), 0);
                 b.iter(|| {
                     for t in tuples {
                         let attr = t.missing_mask().iter().next().expect("one missing");
-                        std::hint::black_box(infer_single(
-                            &model,
-                            t,
-                            attr,
-                            &VotingConfig::best_averaged(),
-                        ));
+                        std::hint::black_box(ctx.vote_single(t, attr));
                     }
                 })
             },
@@ -46,10 +42,11 @@ fn bench_voting_methods(c: &mut Criterion) {
             BenchmarkId::from_parameter(voting.label().replace(' ', "_")),
             &voting,
             |b, voting| {
+                let mut ctx = InferContext::new(&model, *voting, 0);
                 b.iter(|| {
                     for t in &tuples {
                         let attr = t.missing_mask().iter().next().expect("one missing");
-                        std::hint::black_box(infer_single(&model, t, attr, voting));
+                        std::hint::black_box(ctx.vote_single(t, attr));
                     }
                 })
             },

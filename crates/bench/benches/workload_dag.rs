@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mrsl_bench::{learned_model, workload};
-use mrsl_core::{sample_workload, GibbsConfig, TupleDag, VotingConfig, WorkloadStrategy};
+use mrsl_core::{
+    infer_batch, workload_engine, GibbsConfig, TupleDag, VotingConfig, WorkloadStrategy,
+};
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_workload_strategies");
@@ -21,9 +23,16 @@ fn bench_strategies(c: &mut Criterion) {
                 WorkloadStrategy::TupleAtATime => format!("tuple_at_a_time_{size}"),
                 WorkloadStrategy::TupleDag => format!("tuple_dag_{size}"),
             };
+            let engine = workload_engine(strategy, &config);
             group.bench_with_input(BenchmarkId::from_parameter(label), &tuples, |b, tuples| {
                 b.iter(|| {
-                    std::hint::black_box(sample_workload(&model, tuples, &config, strategy, 3))
+                    std::hint::black_box(infer_batch(
+                        &model,
+                        tuples,
+                        engine.as_ref(),
+                        config.voting,
+                        3,
+                    ))
                 })
             });
         }

@@ -120,8 +120,7 @@ mod tests {
         let rules = compute_assoc_rules(AttrId(0), &freq);
         // Rules with empty body: one per frequent age value; confidence is
         // the raw value frequency.
-        let marginals: Vec<&AssociationRule> =
-            rules.iter().filter(|r| r.body.is_empty()).collect();
+        let marginals: Vec<&AssociationRule> = rules.iter().filter(|r| r.body.is_empty()).collect();
         assert_eq!(marginals.len(), 3); // ages 20, 30, 40 all frequent at θ=0.01
         let total: f64 = marginals.iter().map(|r| r.confidence()).sum();
         assert!((total - 1.0).abs() < 1e-12);

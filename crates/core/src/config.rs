@@ -155,7 +155,12 @@ mod tests {
             .collect();
         assert_eq!(
             labels,
-            vec!["all averaged", "all weighted", "best averaged", "best weighted"]
+            vec![
+                "all averaged",
+                "all weighted",
+                "best averaged",
+                "best weighted"
+            ]
         );
     }
 

@@ -8,9 +8,10 @@
 //! completions weighted by `Δt`.
 
 use crate::config::{GibbsConfig, LearnConfig, VotingConfig};
-use crate::infer::dag::{sample_workload, SamplingCost, WorkloadStrategy};
+use crate::infer::batch::infer_batch;
+use crate::infer::dag::{workload_engine, SamplingCost, WorkloadStrategy};
+use crate::infer::engine::SingleVoting;
 use crate::infer::gibbs::JointEstimate;
-use crate::infer::single::infer_single;
 use crate::model::MrslModel;
 use mrsl_probdb::{Alternative, Block, ProbDb};
 use mrsl_relation::{CompleteTuple, PartialTuple, Relation};
@@ -70,7 +71,9 @@ pub struct DeriveOutput {
 ///
 /// Single-missing-value tuples use Algorithm 2 directly (their `Δt` *is*
 /// the voted CPD); tuples with two or more missing values go through the
-/// workload sampler.
+/// strategy's workload engine. Both partitions run on the shared rayon
+/// batch executor ([`infer_batch`]) with deterministic per-tuple seeding,
+/// so the output is identical for any worker-thread count.
 pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> DeriveOutput {
     let sw = Stopwatch::start();
     let schema = relation.schema();
@@ -79,32 +82,41 @@ pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> De
     // Partition Ri by number of missing values.
     let incomplete = relation.incomplete_part();
     let mut estimates: Vec<Option<JointEstimate>> = vec![None; incomplete.len()];
+    let mut single_workload: Vec<PartialTuple> = Vec::new();
+    let mut single_slots: Vec<usize> = Vec::new();
     let mut multi_workload: Vec<PartialTuple> = Vec::new();
     let mut multi_slots: Vec<usize> = Vec::new();
     for (i, t) in incomplete.iter().enumerate() {
-        let missing = t.missing_mask();
-        if missing.count() == 1 {
-            let attr = missing.iter().next().expect("one missing attribute");
-            let cpd = infer_single(&model, t, attr, &config.voting);
-            let indexer = mrsl_relation::JointIndexer::new(schema, missing);
-            estimates[i] = Some(JointEstimate {
-                indexer,
-                probs: cpd,
-                sample_count: 0,
-            });
+        if t.missing_mask().count() <= 1 {
+            single_workload.push(t.clone());
+            single_slots.push(i);
         } else {
             multi_workload.push(t.clone());
             multi_slots.push(i);
         }
     }
 
+    if !single_workload.is_empty() {
+        let result = infer_batch(
+            &model,
+            &single_workload,
+            &SingleVoting,
+            config.voting,
+            config.seed,
+        );
+        for (slot, est) in single_slots.into_iter().zip(result.estimates) {
+            estimates[slot] = Some(est);
+        }
+    }
+
     let mut sampling_cost = SamplingCost::default();
     if !multi_workload.is_empty() {
-        let result = sample_workload(
+        let engine = workload_engine(config.strategy, &config.gibbs);
+        let result = infer_batch(
             &model,
             &multi_workload,
-            &config.gibbs,
-            config.strategy,
+            engine.as_ref(),
+            config.gibbs.voting,
             config.seed,
         );
         sampling_cost = result.cost;
@@ -138,12 +150,7 @@ pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> De
 }
 
 /// Converts `Δt` into a block of complete alternatives.
-fn estimate_to_block(
-    key: usize,
-    t: &PartialTuple,
-    est: &JointEstimate,
-    min_prob: f64,
-) -> Block {
+fn estimate_to_block(key: usize, t: &PartialTuple, est: &JointEstimate, min_prob: f64) -> Block {
     let arity = t.arity();
     let mut alternatives = Vec::new();
     for (idx, &p) in est.probs.iter().enumerate() {

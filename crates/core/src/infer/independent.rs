@@ -3,51 +3,30 @@
 //! "One approach would be to estimate the CPDs for age and for edu
 //! separately, and then to compute P(age, edu | …) = P(age | …) × P(edu |
 //! …), but that would rely on independence assumptions that are not
-//! warranted." This module implements exactly that product estimator so
-//! the ablation experiments can quantify the gap against Gibbs sampling.
+//! warranted." The product estimator lives in
+//! [`crate::infer::engine::IndependentBaseline`] so the ablation
+//! experiments can quantify the gap against Gibbs sampling; this module
+//! keeps the legacy free-function shim and the baseline's unit tests.
 
 use crate::config::VotingConfig;
+use crate::infer::engine::{IndependentBaseline, InferContext, InferenceEngine};
 use crate::infer::gibbs::JointEstimate;
-use crate::infer::single::infer_single;
 use crate::model::MrslModel;
-use mrsl_relation::{JointIndexer, PartialTuple};
+use mrsl_relation::PartialTuple;
 
 /// Estimates the joint over the missing attributes of `t` as the product of
 /// per-attribute voted CPDs (each conditioned only on the observed
 /// portion). Exact given the ensemble — no sampling involved.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `IndependentBaseline` engine through an `InferContext` (or `infer_batch`)"
+)]
 pub fn infer_joint_independent(
     model: &MrslModel,
     t: &PartialTuple,
     voting: &VotingConfig,
 ) -> JointEstimate {
-    let indexer = JointIndexer::new(model.schema(), t.missing_mask());
-    if indexer.size() == 1 {
-        return JointEstimate {
-            indexer,
-            probs: vec![1.0],
-            sample_count: 0,
-        };
-    }
-    let cpds: Vec<Vec<f64>> = indexer
-        .attrs()
-        .iter()
-        .map(|&a| infer_single(model, t, a, voting))
-        .collect();
-    let mut probs = vec![1.0f64; indexer.size()];
-    for (idx, p) in probs.iter_mut().enumerate() {
-        for (k, &(_, v)) in indexer.decode(idx).iter().enumerate() {
-            *p *= cpds[k][v.index()];
-        }
-    }
-    // Product of normalized factors is normalized; renormalize to absorb
-    // floating drift.
-    let total: f64 = probs.iter().sum();
-    probs.iter_mut().for_each(|p| *p /= total);
-    JointEstimate {
-        indexer,
-        probs,
-        sample_count: 0,
-    }
+    IndependentBaseline.estimate(&mut InferContext::new(model, *voting, 0), t)
 }
 
 #[cfg(test)]
@@ -62,14 +41,22 @@ mod tests {
         MrslModel::learn(rel.schema(), rel.complete_part(), &LearnConfig::default())
     }
 
+    fn independent(m: &MrslModel, t: &PartialTuple) -> JointEstimate {
+        IndependentBaseline.estimate(
+            &mut InferContext::new(m, VotingConfig::best_averaged(), 0),
+            t,
+        )
+    }
+
     #[test]
     #[allow(clippy::needless_range_loop)]
     fn product_structure_holds() {
         let m = model();
         let t = PartialTuple::from_options(&[Some(1), Some(2), None, None]);
-        let est = infer_joint_independent(&m, &t, &VotingConfig::best_averaged());
-        let inc = infer_single(&m, &t, AttrId(2), &VotingConfig::best_averaged());
-        let nw = infer_single(&m, &t, AttrId(3), &VotingConfig::best_averaged());
+        let est = independent(&m, &t);
+        let mut ctx = InferContext::new(&m, VotingConfig::best_averaged(), 0);
+        let inc = ctx.vote_single(&t, AttrId(2));
+        let nw = ctx.vote_single(&t, AttrId(3));
         // Cell (inc=i, nw=j) = inc[i] * nw[j].
         for i in 0..2 {
             for j in 0..2 {
@@ -87,10 +74,11 @@ mod tests {
     fn marginals_of_product_match_single_inference() {
         let m = model();
         let t = PartialTuple::from_options(&[None, Some(0), None, Some(1)]);
-        let est = infer_joint_independent(&m, &t, &VotingConfig::best_averaged());
+        let est = independent(&m, &t);
         // Marginal over age (attr 0) from the joint must equal the direct
         // single-attribute estimate.
-        let direct = infer_single(&m, &t, AttrId(0), &VotingConfig::best_averaged());
+        let direct =
+            InferContext::new(&m, VotingConfig::best_averaged(), 0).vote_single(&t, AttrId(0));
         let ix = &est.indexer;
         let mut marginal = [0.0f64; 3];
         for idx in 0..ix.size() {
@@ -106,7 +94,19 @@ mod tests {
     fn complete_tuple_is_trivial() {
         let m = model();
         let t = PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]);
-        let est = infer_joint_independent(&m, &t, &VotingConfig::default());
+        let est = independent(&m, &t);
         assert_eq!(est.probs, vec![1.0]);
+    }
+
+    /// Argument-wiring check only; the estimator itself is verified
+    /// non-vacuously by `product_structure_holds` above.
+    #[test]
+    #[allow(deprecated)]
+    fn shim_wires_voting_through_to_the_engine() {
+        let m = model();
+        let t = PartialTuple::from_options(&[Some(1), None, None, None]);
+        let legacy = infer_joint_independent(&m, &t, &VotingConfig::best_averaged());
+        let modern = independent(&m, &t);
+        assert_eq!(legacy.probs, modern.probs);
     }
 }

@@ -1,14 +1,25 @@
 //! Inference over a learned MRSL model.
 //!
-//! * [`single`] — Algorithm 2: one missing attribute, voting over matching
-//!   meta-rules.
-//! * [`gibbs`] — §V-A: ordered Gibbs sampling for joint distributions over
-//!   multiple missing attributes.
-//! * [`dag`] — §V-B / Algorithm 3: the tuple-DAG workload optimization.
-//! * [`independent`] — the independence-assuming baseline of §V, kept for
-//!   ablation studies.
+//! The strategies of the paper's inference ensemble live behind one trait,
+//! [`engine::InferenceEngine`], each engine running against an
+//! [`engine::InferContext`] that owns scratch, the voted-CPD cache and
+//! seeding:
+//!
+//! * [`engine::SingleVoting`] — Algorithm 2: one missing attribute, voting
+//!   over matching meta-rules (core in [`single`]).
+//! * [`engine::GibbsSampler`] — §V-A: ordered Gibbs sampling for joint
+//!   distributions over multiple missing attributes (chain in [`gibbs`]).
+//! * [`engine::TupleDagWorkload`] — §V-B / Algorithm 3: the tuple-DAG
+//!   workload optimization (DAG and schedule in [`dag`]).
+//! * [`engine::IndependentBaseline`] — the independence-assuming baseline
+//!   of §V, kept for ablation studies ([`independent`]).
+//!
+//! [`batch::infer_batch`] fans any engine out over the shared rayon
+//! executor with deterministic per-tuple seeding.
 
+pub mod batch;
 pub mod dag;
+pub mod engine;
 pub mod gibbs;
 pub mod independent;
 pub mod single;

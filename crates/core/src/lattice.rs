@@ -288,15 +288,14 @@ mod tests {
     fn fig2_lattice() -> Mrsl {
         let age = AttrId(0);
         let item = |a: u16, v: u16| Item::new(AttrId(a), ValueId(v));
-        let mk = |body: Vec<Item>, w: f64, cpd: &[f64]| {
-            MetaRule::new(age, Itemset::new(body), w, cpd)
-        };
+        let mk =
+            |body: Vec<Item>, w: f64, cpd: &[f64]| MetaRule::new(age, Itemset::new(body), w, cpd);
         let rules = vec![
-            mk(vec![], 1.0, &[0.31, 0.38, 0.32]),                     // P(age)
-            mk(vec![item(1, 0)], 0.41, &[0.15, 0.70, 0.15]),          // edu=HS
-            mk(vec![item(2, 0)], 0.57, &[0.31, 0.41, 0.28]),          // inc=50K
-            mk(vec![item(2, 1)], 0.43, &[0.21, 0.21, 0.58]),          // inc=100K
-            mk(vec![item(3, 1)], 0.61, &[0.31, 0.38, 0.32]),          // nw=500K
+            mk(vec![], 1.0, &[0.31, 0.38, 0.32]),            // P(age)
+            mk(vec![item(1, 0)], 0.41, &[0.15, 0.70, 0.15]), // edu=HS
+            mk(vec![item(2, 0)], 0.57, &[0.31, 0.41, 0.28]), // inc=50K
+            mk(vec![item(2, 1)], 0.43, &[0.21, 0.21, 0.58]), // inc=100K
+            mk(vec![item(3, 1)], 0.61, &[0.31, 0.38, 0.32]), // nw=500K
             mk(vec![item(1, 0), item(2, 0)], 0.30, &[0.15, 0.70, 0.15]), // edu=HS ∧ inc=50K
         ];
         Mrsl::new(age, 3, rules)

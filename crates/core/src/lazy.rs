@@ -17,7 +17,8 @@
 //! expected count, plus how much inference work was skipped.
 
 use crate::config::GibbsConfig;
-use crate::infer::dag::{sample_workload, SamplingCost, WorkloadStrategy};
+use crate::infer::batch::infer_batch;
+use crate::infer::dag::{workload_engine, SamplingCost, WorkloadStrategy};
 use crate::model::MrslModel;
 use mrsl_probdb::query::Predicate;
 use mrsl_relation::{PartialTuple, Relation};
@@ -114,7 +115,8 @@ pub fn derive_for_query(
     // predicate clauses over missing attributes.
     let mut sampling_cost = SamplingCost::default();
     if !workload.is_empty() {
-        let result = sample_workload(model, &workload, gibbs, strategy, seed);
+        let engine = workload_engine(strategy, gibbs);
+        let result = infer_batch(model, &workload, engine.as_ref(), gibbs.voting, seed);
         sampling_cost = result.cost;
         for ((slot, t), est) in slots.iter().zip(&workload).zip(&result.estimates) {
             let missing_clauses: Vec<_> = pred
@@ -147,8 +149,7 @@ pub fn derive_for_query(
         .into_iter()
         .map(|s| s.expect("every tuple classified"))
         .collect();
-    let expected_count =
-        certain_matches as f64 + selections.iter().map(|s| s.prob).sum::<f64>();
+    let expected_count = certain_matches as f64 + selections.iter().map(|s| s.prob).sum::<f64>();
     LazyQueryOutput {
         selections,
         certain_matches,
@@ -246,7 +247,7 @@ mod tests {
         let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
         assert!(out.skipped >= 7, "skipped {}", out.skipped);
         assert_eq!(out.sampling_cost.chains, 1); // only t8 needs sampling
-        // t12 observes both clauses: probability exactly 1.
+                                                 // t12 observes both clauses: probability exactly 1.
         assert!(out
             .selections
             .iter()

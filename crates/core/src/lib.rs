@@ -14,15 +14,22 @@
 //! * [`model`] — the MRSL model (one lattice per attribute, Def. 2.9) and
 //!   the end-to-end learning pipeline.
 //!
-//! Inference (paper §IV–§V):
-//! * [`infer::single`] — Algorithm 2: voting inference for one missing
+//! Inference (paper §IV–§V) — one [`InferenceEngine`] per strategy of the
+//! ensemble, all running against an [`InferContext`] that owns scratch,
+//! the voted-CPD cache and seeding:
+//! * [`SingleVoting`] — Algorithm 2: voting inference for one missing
 //!   attribute (`all`/`best` voters, `averaged`/`weighted` schemes).
-//! * [`infer::gibbs`] — ordered Gibbs sampling for multiple missing
-//!   attributes, with a CPD cache.
-//! * [`infer::dag`] — Algorithm 3: the tuple-DAG workload optimization that
-//!   shares samples between tuples related by subsumption.
-//! * [`infer::independent`] — the independence-assuming baseline the paper
-//!   argues against in §V (kept for ablation).
+//! * [`GibbsSampler`] — ordered Gibbs sampling for multiple missing
+//!   attributes, with a shared CPD cache.
+//! * [`TupleDagWorkload`] — Algorithm 3: the tuple-DAG workload
+//!   optimization that shares samples between tuples related by
+//!   subsumption.
+//! * [`IndependentBaseline`] — the independence-assuming baseline the
+//!   paper argues against in §V (kept for ablation).
+//!
+//! [`infer_batch`] fans any engine over a workload on the shared rayon
+//! executor, with deterministic per-tuple seeding (results are
+//! bit-identical for any thread count).
 //!
 //! End to end:
 //! * [`derive`](mod@derive) — learns a model and converts every incomplete
@@ -41,13 +48,19 @@ pub mod model;
 
 pub use config::{GibbsConfig, LearnConfig, VoterChoice, VotingConfig, VotingScheme};
 pub use derive::{derive_probabilistic_db, DeriveConfig, DeriveOutput};
-pub use infer::dag::{
-    sample_workload, SamplingCost, TupleDag, WorkloadResult, WorkloadStrategy,
+pub use infer::batch::infer_batch;
+pub use infer::dag::{workload_engine, SamplingCost, TupleDag, WorkloadResult, WorkloadStrategy};
+pub use infer::engine::{
+    GibbsSampler, IndependentBaseline, InferContext, InferenceEngine, SingleVoting,
+    TupleDagWorkload,
 };
-pub use infer::gibbs::{infer_joint, JointEstimate};
-pub use infer::independent::infer_joint_independent;
-pub use infer::single::infer_single;
+pub use infer::gibbs::JointEstimate;
 pub use lattice::{MetaRuleId, Mrsl};
 pub use lazy::{derive_for_query, LazyDisposition, LazyQueryOutput, LazySelection};
 pub use meta_rule::MetaRule;
 pub use model::{LearnStats, MrslModel};
+#[allow(deprecated)]
+pub use {
+    infer::dag::sample_workload, infer::gibbs::infer_joint,
+    infer::independent::infer_joint_independent, infer::single::infer_single,
+};

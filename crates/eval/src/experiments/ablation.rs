@@ -9,7 +9,8 @@ use crate::report::Report;
 use crate::runner::run_parallel;
 use mrsl_bayesnet::conditional;
 use mrsl_core::{
-    infer_joint_independent, sample_workload, GibbsConfig, VotingConfig, WorkloadStrategy,
+    infer_batch, GibbsConfig, IndependentBaseline, InferContext, InferenceEngine, TupleDagWorkload,
+    VotingConfig,
 };
 use mrsl_util::table::fmt_f;
 use mrsl_util::Table;
@@ -45,20 +46,23 @@ pub fn run(opts: &ExpOptions) -> Report {
         "independent top-1",
     ]);
     for name in networks() {
-        let net = mrsl_bayesnet::catalog::by_name(name).expect("catalog name").topology;
+        let net = mrsl_bayesnet::catalog::by_name(name)
+            .expect("catalog name")
+            .topology;
         let cells = grid(std::slice::from_ref(&net), opts, train, test, |s| {
             s.support = support;
         });
         let rows = run_parallel(cells, opts.threads, |spec| {
             let ctx = spec.build();
             let injected = inject_missing(&ctx.test_points, 2, spec.seed ^ 0xab);
-            let gibbs_result = sample_workload(
+            let gibbs_result = infer_batch(
                 &ctx.model,
                 &injected,
-                &gibbs,
-                WorkloadStrategy::TupleDag,
+                &TupleDagWorkload::from_config(&gibbs),
+                gibbs.voting,
                 spec.seed,
             );
+            let mut infer_ctx = InferContext::new(&ctx.model, gibbs.voting, 0);
             let mut g_kl = 0.0;
             let mut i_kl = 0.0;
             let mut g_hit = 0usize;
@@ -68,7 +72,7 @@ pub fn run(opts: &ExpOptions) -> Report {
                 let Some(truth) = conditional(&ctx.bn, t.missing_mask(), t) else {
                     continue;
                 };
-                let i_est = infer_joint_independent(&ctx.model, t, &gibbs.voting);
+                let i_est = IndependentBaseline.estimate(&mut infer_ctx, t);
                 g_kl += kl_divergence(&truth, &g_est.probs);
                 i_kl += kl_divergence(&truth, &i_est.probs);
                 g_hit += top1_match(&truth, &g_est.probs) as usize;
@@ -113,13 +117,14 @@ mod tests {
             samples: 1_500,
             voting: VotingConfig::best_averaged(),
         };
-        let result = sample_workload(
+        let result = infer_batch(
             &ctx.model,
             &injected,
-            &gibbs,
-            WorkloadStrategy::TupleDag,
+            &TupleDagWorkload::from_config(&gibbs),
+            gibbs.voting,
             3,
         );
+        let mut infer_ctx = InferContext::new(&ctx.model, gibbs.voting, 0);
         let mut g_kl = 0.0;
         let mut i_kl = 0.0;
         let mut n = 0;
@@ -127,7 +132,7 @@ mod tests {
             let Some(truth) = conditional(&ctx.bn, t.missing_mask(), t) else {
                 continue;
             };
-            let i_est = infer_joint_independent(&ctx.model, t, &gibbs.voting);
+            let i_est = IndependentBaseline.estimate(&mut infer_ctx, t);
             g_kl += kl_divergence(&truth, &g_est.probs);
             i_kl += kl_divergence(&truth, &i_est.probs);
             n += 1;

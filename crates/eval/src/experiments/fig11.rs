@@ -6,7 +6,7 @@ use crate::experiments::{grid, ExpOptions};
 use crate::missing::inject_missing_varying;
 use crate::report::Report;
 use crate::runner::run_parallel;
-use mrsl_core::{sample_workload, GibbsConfig, VotingConfig, WorkloadStrategy};
+use mrsl_core::{infer_batch, workload_engine, GibbsConfig, VotingConfig, WorkloadStrategy};
 use mrsl_util::table::fmt_f;
 use mrsl_util::Table;
 
@@ -20,7 +20,9 @@ fn workload_sizes(opts: &ExpOptions) -> Vec<usize> {
 
 fn networks(opts: &ExpOptions) -> Vec<&'static str> {
     if opts.full {
-        vec!["BN1", "BN2", "BN3", "BN5", "BN8", "BN9", "BN10", "BN13", "BN17"]
+        vec![
+            "BN1", "BN2", "BN3", "BN5", "BN8", "BN9", "BN10", "BN13", "BN17",
+        ]
     } else {
         vec!["BN8", "BN9", "BN13"]
     }
@@ -54,16 +56,24 @@ pub fn run(opts: &ExpOptions) -> Report {
     ]);
 
     for name in networks(opts) {
-        let net = mrsl_bayesnet::catalog::by_name(name).expect("catalog name").topology;
+        let net = mrsl_bayesnet::catalog::by_name(name)
+            .expect("catalog name")
+            .topology;
         let max_workload = *workload_sizes(opts).iter().max().expect("non-empty");
         let single = ExpOptions {
             instances: 1,
             splits: 1,
             ..*opts
         };
-        let cells = grid(std::slice::from_ref(&net), &single, train, max_workload, |s| {
-            s.support = support;
-        });
+        let cells = grid(
+            std::slice::from_ref(&net),
+            &single,
+            train,
+            max_workload,
+            |s| {
+                s.support = support;
+            },
+        );
         // Timing experiment: run cells sequentially.
         let rows = run_parallel(cells, 1, |spec| {
             let ctx = spec.build();
@@ -73,8 +83,14 @@ pub fn run(opts: &ExpOptions) -> Report {
                 let workload =
                     inject_missing_varying(&ctx.test_points[..w], max_k, spec.seed ^ w as u64);
                 for strategy in [WorkloadStrategy::TupleAtATime, WorkloadStrategy::TupleDag] {
-                    let result =
-                        sample_workload(&ctx.model, &workload, &gibbs, strategy, spec.seed);
+                    let engine = workload_engine(strategy, &gibbs);
+                    let result = infer_batch(
+                        &ctx.model,
+                        &workload,
+                        engine.as_ref(),
+                        gibbs.voting,
+                        spec.seed,
+                    );
                     out.push((w, strategy, result.cost));
                 }
             }
@@ -120,14 +136,20 @@ mod tests {
             samples: 200,
             voting: VotingConfig::best_averaged(),
         };
-        let base = sample_workload(
+        let base = infer_batch(
             &ctx.model,
             &workload,
-            &gibbs,
-            WorkloadStrategy::TupleAtATime,
+            workload_engine(WorkloadStrategy::TupleAtATime, &gibbs).as_ref(),
+            gibbs.voting,
             1,
         );
-        let dag = sample_workload(&ctx.model, &workload, &gibbs, WorkloadStrategy::TupleDag, 1);
+        let dag = infer_batch(
+            &ctx.model,
+            &workload,
+            workload_engine(WorkloadStrategy::TupleDag, &gibbs).as_ref(),
+            gibbs.voting,
+            1,
+        );
         assert!(
             dag.cost.total_draws < base.cost.total_draws,
             "dag {} vs baseline {}",

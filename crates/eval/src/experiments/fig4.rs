@@ -36,18 +36,11 @@ fn fixed_training(opts: &ExpOptions) -> usize {
     }
 }
 
-fn build_outcomes(
-    opts: &ExpOptions,
-    train: usize,
-    support: f64,
-) -> Vec<CellOutcome> {
+fn build_outcomes(opts: &ExpOptions, train: usize, support: f64) -> Vec<CellOutcome> {
     let nets = fig4_networks();
     // Timing experiment: single split per instance, sequential execution
     // so cells do not contend for cores.
-    let single_split = ExpOptions {
-        splits: 1,
-        ..*opts
-    };
+    let single_split = ExpOptions { splits: 1, ..*opts };
     let cells = grid(&nets, &single_split, train, 0, |s| s.support = support);
     run_parallel(cells, 1, |spec| spec.build().outcome())
 }

@@ -42,7 +42,9 @@ pub fn run(opts: &ExpOptions) -> Report {
         batches.iter().map(|&b| (b, Vec::new())).collect();
 
     for name in networks() {
-        let net = mrsl_bayesnet::catalog::by_name(name).expect("catalog name").topology;
+        let net = mrsl_bayesnet::catalog::by_name(name)
+            .expect("catalog name")
+            .topology;
         let max_batch = *batches.iter().max().expect("non-empty batches");
         let single = ExpOptions {
             splits: 1,

@@ -105,10 +105,16 @@ pub(crate) fn mean(xs: impl Iterator<Item = f64>) -> f64 {
 /// The ten "4–6 attribute" networks of the Fig. 4 learning experiments
 /// (§VI-B: 4–6 attributes, cardinality 2–8, domain size 16–262,144).
 pub(crate) fn fig4_networks() -> Vec<TopologySpec> {
-    ["BN1", "BN8", "BN9", "BN10", "BN11", "BN12", "BN13", "BN14", "BN15", "BN16"]
-        .iter()
-        .map(|n| mrsl_bayesnet::catalog::by_name(n).expect("catalog name").topology)
-        .collect()
+    [
+        "BN1", "BN8", "BN9", "BN10", "BN11", "BN12", "BN13", "BN14", "BN15", "BN16",
+    ]
+    .iter()
+    .map(|n| {
+        mrsl_bayesnet::catalog::by_name(n)
+            .expect("catalog name")
+            .topology
+    })
+    .collect()
 }
 
 /// The fourteen networks of Table II.
@@ -118,7 +124,11 @@ pub(crate) fn table2_networks() -> Vec<TopologySpec> {
         "BN17", "BN18",
     ]
     .iter()
-    .map(|n| mrsl_bayesnet::catalog::by_name(n).expect("catalog name").topology)
+    .map(|n| {
+        mrsl_bayesnet::catalog::by_name(n)
+            .expect("catalog name")
+            .topology
+    })
     .collect()
 }
 
@@ -131,7 +141,11 @@ pub(crate) fn sweep_networks(opts: &ExpOptions) -> Vec<TopologySpec> {
     } else {
         ["BN1", "BN4", "BN8", "BN10", "BN13", "BN17"]
             .iter()
-            .map(|n| mrsl_bayesnet::catalog::by_name(n).expect("catalog name").topology)
+            .map(|n| {
+                mrsl_bayesnet::catalog::by_name(n)
+                    .expect("catalog name")
+                    .topology
+            })
             .collect()
     }
 }

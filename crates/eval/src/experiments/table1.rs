@@ -40,12 +40,7 @@ pub fn run(_opts: &ExpOptions) -> Report {
             if exact && card_close { "yes" } else { "NO" }.to_string(),
         ]);
     }
-    Report::new(
-        "table1",
-        "Characteristics of 20 Bayesian networks",
-        table,
-    )
-    .note(format!(
+    Report::new("table1", "Characteristics of 20 Bayesian networks", table).note(format!(
         "{deviations} rows deviate from the published figures (0 expected)"
     ))
 }
@@ -73,7 +68,11 @@ pub fn run_fig7(_opts: &ExpOptions) -> Report {
             .join("; ");
         table.push_row([name.to_string(), shape.to_string(), sketch]);
     }
-    Report::new("fig7", "Properties of a subset of the Bayesian networks", table)
+    Report::new(
+        "fig7",
+        "Properties of a subset of the Bayesian networks",
+        table,
+    )
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use mrsl_bayesnet::{conditional, BayesianNetwork, TopologySpec};
 use mrsl_core::{
-    infer_single, sample_workload, GibbsConfig, LearnConfig, MrslModel, VotingConfig,
+    infer_batch, workload_engine, GibbsConfig, InferContext, LearnConfig, MrslModel, VotingConfig,
     WorkloadStrategy,
 };
 use mrsl_relation::CompleteTuple;
@@ -66,7 +66,8 @@ impl CellSpec {
     /// Runs the learning phase of the pipeline: instantiate → sample →
     /// split → learn.
     pub fn build(&self) -> EvalContext {
-        let instance_seed = derive_seed(self.seed, &[hash_name(self.topology.name()), self.instance]);
+        let instance_seed =
+            derive_seed(self.seed, &[hash_name(self.topology.name()), self.instance]);
         let bn = BayesianNetwork::instantiate(&self.topology, self.alpha, instance_seed);
 
         // One dataset per instance; the split only reshuffles it.
@@ -102,8 +103,9 @@ const fn hash_name_seed() -> u64 {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(hash_name_seed(), |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    name.bytes().fold(hash_name_seed(), |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as u64)
+    })
 }
 
 /// A built cell: the generating network, the learned model and the
@@ -160,12 +162,13 @@ impl EvalContext {
             1,
             derive_seed(self.spec.seed, &[0x1, self.spec.instance, self.spec.split]),
         );
+        let mut ctx = InferContext::new(&self.model, *voting, 0);
         let mut kl_sum = 0.0;
         let mut hits = 0usize;
         let mut n = 0usize;
         for t in &injected {
             let attr = t.missing_mask().iter().next().expect("one attr hidden");
-            let est = infer_single(&self.model, t, attr, voting);
+            let est = ctx.vote_single(t, attr);
             let Some(truth) = conditional(&self.bn, t.missing_mask(), t) else {
                 continue; // impossible evidence cannot arise from sampling
             };
@@ -184,10 +187,11 @@ impl EvalContext {
             1,
             derive_seed(self.spec.seed, &[0x2, self.spec.instance]),
         );
+        let mut ctx = InferContext::new(&self.model, *voting, 0);
         let sw = Stopwatch::start();
         for t in &injected {
             let attr = t.missing_mask().iter().next().expect("one attr hidden");
-            std::hint::black_box(infer_single(&self.model, t, attr, voting));
+            std::hint::black_box(ctx.vote_single(t, attr));
         }
         sw.elapsed_secs()
     }
@@ -195,22 +199,18 @@ impl EvalContext {
     /// Scores multi-attribute inference (§VI-D): hides `k` attributes per
     /// test tuple, estimates the joint by (optimized) Gibbs sampling and
     /// compares against the exact joint conditional.
-    pub fn eval_multi(
-        &self,
-        k: usize,
-        gibbs: &GibbsConfig,
-        strategy: WorkloadStrategy,
-    ) -> Score {
+    pub fn eval_multi(&self, k: usize, gibbs: &GibbsConfig, strategy: WorkloadStrategy) -> Score {
         let injected = inject_missing(
             &self.test_points,
             k,
             derive_seed(self.spec.seed, &[0x3, self.spec.instance, self.spec.split]),
         );
-        let result = sample_workload(
+        let engine = workload_engine(strategy, gibbs);
+        let result = infer_batch(
             &self.model,
             &injected,
-            gibbs,
-            strategy,
+            engine.as_ref(),
+            gibbs.voting,
             derive_seed(self.spec.seed, &[0x4, k as u64]),
         );
         let mut kl_sum = 0.0;

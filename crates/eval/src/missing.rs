@@ -13,17 +13,16 @@ use rand::seq::SliceRandom;
 ///
 /// # Panics
 /// Panics when `k` is 0 or exceeds the tuple arity.
-pub fn inject_missing(
-    points: &[CompleteTuple],
-    k: usize,
-    seed: u64,
-) -> Vec<PartialTuple> {
+pub fn inject_missing(points: &[CompleteTuple], k: usize, seed: u64) -> Vec<PartialTuple> {
     let mut rng = seeded_rng(derive_seed(seed, &[0x4d15, k as u64]));
     points
         .iter()
         .map(|p| {
             let arity = p.arity();
-            assert!(k >= 1 && k <= arity, "cannot hide {k} of {arity} attributes");
+            assert!(
+                k >= 1 && k <= arity,
+                "cannot hide {k} of {arity} attributes"
+            );
             let mut attrs: Vec<u16> = (0..arity as u16).collect();
             attrs.shuffle(&mut rng);
             let mut t = p.to_partial();

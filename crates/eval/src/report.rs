@@ -36,7 +36,12 @@ impl Report {
 
     /// Renders the report as console text.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        let mut out = format!(
+            "== {} — {} ==\n{}",
+            self.id,
+            self.title,
+            self.table.render()
+        );
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
         }

@@ -20,14 +20,17 @@ where
     F: Fn(I) -> T + Sync,
 {
     let threads = effective_threads(threads, jobs.len());
-    if threads <= 1 {
-        return jobs.into_iter().map(f).collect();
-    }
-    rayon::ThreadPoolBuilder::new()
+    let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("thread pool construction cannot fail")
-        .install(|| jobs.into_par_iter().map(f).collect())
+        .expect("thread pool construction cannot fail");
+    if threads <= 1 {
+        // Still install the single-thread scope: cell bodies may call the
+        // core batch layer, and timing-sensitive experiments rely on
+        // `threads = 1` meaning *no* parallelism anywhere underneath.
+        return pool.install(|| jobs.into_iter().map(f).collect());
+    }
+    pool.install(|| jobs.into_par_iter().map(f).collect())
 }
 
 /// Resolves a thread-count request against the machine and job count.

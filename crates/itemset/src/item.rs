@@ -53,7 +53,9 @@ pub struct Itemset {
 impl Itemset {
     /// The empty itemset.
     pub fn empty() -> Self {
-        Itemset { items: Box::new([]) }
+        Itemset {
+            items: Box::new([]),
+        }
     }
 
     /// Builds an itemset from items; sorts and enforces the one-value-per-
@@ -167,8 +169,7 @@ impl Itemset {
 
     /// Converts to a [`PartialTuple`] over a schema of `arity` attributes.
     pub fn to_tuple(&self, arity: usize) -> PartialTuple {
-        let assignments: Vec<Assignment> =
-            self.items.iter().map(|i| i.assignment()).collect();
+        let assignments: Vec<Assignment> = self.items.iter().map(|i| i.assignment()).collect();
         PartialTuple::from_assignments(arity, &assignments)
     }
 }

@@ -49,7 +49,11 @@ impl TidSet {
     /// Panics if `tid` is outside the universe.
     #[inline]
     pub fn insert(&mut self, tid: usize) {
-        assert!(tid < self.universe, "tid {tid} out of universe {}", self.universe);
+        assert!(
+            tid < self.universe,
+            "tid {tid} out of universe {}",
+            self.universe
+        );
         self.blocks[tid / 64] |= 1u64 << (tid % 64);
     }
 

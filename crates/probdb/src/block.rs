@@ -197,7 +197,11 @@ mod tests {
     fn prob_satisfies_sums_matching() {
         let b = Block::new(
             0,
-            vec![alt(vec![0, 0], 0.3), alt(vec![0, 1], 0.45), alt(vec![1, 1], 0.25)],
+            vec![
+                alt(vec![0, 0], 0.3),
+                alt(vec![0, 1], 0.45),
+                alt(vec![1, 1], 0.25),
+            ],
         )
         .unwrap();
         let p = b.prob_satisfies(|t| t.raw()[1] == 1);

@@ -95,7 +95,11 @@ mod tests {
         db.push_certain(CompleteTuple::from_values(vec![0, 1, 0, 0]))
             .unwrap();
         db.push_block(
-            Block::new(0, vec![alt(vec![0, 0, 0, 0], 0.5), alt(vec![0, 0, 1, 0], 0.5)]).unwrap(),
+            Block::new(
+                0,
+                vec![alt(vec![0, 0, 0, 0], 0.5), alt(vec![0, 0, 1, 0], 0.5)],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.push_block(

@@ -57,11 +57,19 @@ mod tests {
         db.push_certain(CompleteTuple::from_values(vec![0, 0, 1, 0]))
             .unwrap();
         db.push_block(
-            Block::new(0, vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)]).unwrap(),
+            Block::new(
+                0,
+                vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.push_block(
-            Block::new(1, vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)]).unwrap(),
+            Block::new(
+                1,
+                vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)],
+            )
+            .unwrap(),
         )
         .unwrap();
         db
@@ -73,7 +81,10 @@ mod tests {
         let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
         let exact = expected_count(&db, &pred);
         let (mc, se) = mc_expected_count(&db, &pred, 20_000, 7);
-        assert!((mc - exact).abs() < 4.0 * se + 0.02, "{mc} vs {exact} (se {se})");
+        assert!(
+            (mc - exact).abs() < 4.0 * se + 0.02,
+            "{mc} vs {exact} (se {se})"
+        );
     }
 
     #[test]

@@ -91,11 +91,19 @@ mod tests {
         db.push_certain(CompleteTuple::from_values(vec![0, 0, 0, 0]))
             .unwrap();
         db.push_block(
-            Block::new(0, vec![alt(vec![1, 0, 0, 0], 0.3), alt(vec![1, 1, 0, 0], 0.7)]).unwrap(),
+            Block::new(
+                0,
+                vec![alt(vec![1, 0, 0, 0], 0.3), alt(vec![1, 1, 0, 0], 0.7)],
+            )
+            .unwrap(),
         )
         .unwrap();
         db.push_block(
-            Block::new(1, vec![alt(vec![2, 0, 0, 0], 0.6), alt(vec![2, 0, 1, 1], 0.4)]).unwrap(),
+            Block::new(
+                1,
+                vec![alt(vec![2, 0, 0, 0], 0.6), alt(vec![2, 0, 1, 1], 0.4)],
+            )
+            .unwrap(),
         )
         .unwrap();
         db

@@ -26,8 +26,7 @@ pub fn render_complete(schema: &Schema, t: &CompleteTuple) -> String {
 pub fn render_relation(rel: &Relation) -> String {
     let schema = rel.schema();
     let mut table = Table::new(
-        std::iter::once("id".to_string())
-            .chain(schema.iter().map(|(_, a)| a.name().to_string())),
+        std::iter::once("id".to_string()).chain(schema.iter().map(|(_, a)| a.name().to_string())),
     );
     let mut id = 0usize;
     for t in rel.complete_part() {

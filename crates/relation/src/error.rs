@@ -39,7 +39,10 @@ impl fmt::Display for RelationError {
                 write!(f, "unknown value `{value}` for attribute `{attr}`")
             }
             Self::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
             Self::Parse(msg) => write!(f, "parse error: {msg}"),
         }
@@ -61,10 +64,15 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("age") && s.contains("17"));
 
-        assert!(RelationError::TooManyAttributes(65).to_string().contains("64"));
-        assert!(RelationError::ArityMismatch { expected: 4, got: 3 }
+        assert!(RelationError::TooManyAttributes(65)
             .to_string()
-            .contains('4'));
+            .contains("64"));
+        assert!(RelationError::ArityMismatch {
+            expected: 4,
+            got: 3
+        }
+        .to_string()
+        .contains('4'));
     }
 
     #[test]

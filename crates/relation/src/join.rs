@@ -89,8 +89,7 @@ pub fn join(
             continue;
         };
         for rt in partners {
-            let mut slots: Vec<Option<u16>> =
-                Vec::with_capacity(joined_schema.attr_count());
+            let mut slots: Vec<Option<u16>> = Vec::with_capacity(joined_schema.attr_count());
             for a in ls.attr_ids() {
                 slots.push(lt.get(a).map(|v| v.0));
             }
@@ -138,17 +137,11 @@ mod tests {
     use crate::loader::parse_relation;
 
     fn people() -> Relation {
-        parse_relation(
-            "city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\n",
-        )
-        .expect("valid input")
+        parse_relation("city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\n").expect("valid input")
     }
 
     fn cities() -> Relation {
-        parse_relation(
-            "name,coast\nNYC,east\nSEA,west\nLAX,west\n",
-        )
-        .expect("valid input")
+        parse_relation("name,coast\nNYC,east\nSEA,west\nLAX,west\n").expect("valid input")
     }
 
     fn city_key(r: &Relation, name: &str) -> AttrId {
@@ -161,10 +154,8 @@ mod tests {
         let cities = cities();
         // Domains must match: people.city = {NYC, SEA}; cities.name =
         // {LAX, NYC, SEA}. Rebuild people against the city domain.
-        let aligned = parse_relation(
-            "city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\nLAX,20\n",
-        )
-        .expect("valid input");
+        let aligned =
+            parse_relation("city,age\nNYC,20\nSEA,30\nNYC,?\n?,40\nLAX,20\n").expect("valid input");
         let (joined, stats) = join(
             &aligned,
             city_key(&aligned, "city"),

@@ -153,7 +153,10 @@ mod tests {
         let ix = JointIndexer::new(&s, mask);
         let point = CompleteTuple::from_values(vec![2, 1, 0, 1]);
         let partial = point.to_partial();
-        assert_eq!(ix.index_of_point(&point), ix.index_of_partial(&partial).unwrap());
+        assert_eq!(
+            ix.index_of_point(&point),
+            ix.index_of_partial(&partial).unwrap()
+        );
         // A tuple missing an indexed attribute yields None.
         let missing = PartialTuple::from_options(&[Some(2), None, Some(0), Some(1)]);
         assert_eq!(ix.index_of_partial(&missing), None);

@@ -139,23 +139,23 @@ pub fn fig1_relation() -> Relation {
     use crate::schema::fig1_schema;
     let schema = fig1_schema();
     let rows: [[Option<&str>; 4]; 17] = [
-        [Some("20"), Some("HS"), None, None],                      // t1
-        [Some("20"), Some("BS"), Some("50K"), Some("100K")],       // t2
-        [Some("20"), None, Some("50K"), None],                     // t3
-        [Some("20"), Some("HS"), Some("100K"), Some("500K")],      // t4
-        [Some("20"), None, None, None],                            // t5
-        [Some("20"), Some("HS"), Some("50K"), Some("100K")],       // t6
-        [Some("20"), Some("HS"), Some("50K"), Some("500K")],       // t7
-        [None, Some("HS"), None, None],                            // t8
-        [Some("30"), Some("BS"), Some("100K"), Some("100K")],      // t9
-        [Some("30"), None, Some("100K"), None],                    // t10
-        [Some("30"), Some("HS"), None, None],                      // t11
-        [Some("30"), Some("MS"), None, None],                      // t12
-        [Some("40"), Some("BS"), Some("100K"), Some("100K")],      // t13
-        [Some("40"), Some("HS"), None, None],                      // t14
-        [Some("40"), Some("BS"), Some("50K"), Some("500K")],       // t15
-        [Some("40"), Some("HS"), None, Some("500K")],              // t16
-        [Some("40"), Some("HS"), Some("100K"), Some("500K")],      // t17
+        [Some("20"), Some("HS"), None, None],                 // t1
+        [Some("20"), Some("BS"), Some("50K"), Some("100K")],  // t2
+        [Some("20"), None, Some("50K"), None],                // t3
+        [Some("20"), Some("HS"), Some("100K"), Some("500K")], // t4
+        [Some("20"), None, None, None],                       // t5
+        [Some("20"), Some("HS"), Some("50K"), Some("100K")],  // t6
+        [Some("20"), Some("HS"), Some("50K"), Some("500K")],  // t7
+        [None, Some("HS"), None, None],                       // t8
+        [Some("30"), Some("BS"), Some("100K"), Some("100K")], // t9
+        [Some("30"), None, Some("100K"), None],               // t10
+        [Some("30"), Some("HS"), None, None],                 // t11
+        [Some("30"), Some("MS"), None, None],                 // t12
+        [Some("40"), Some("BS"), Some("100K"), Some("100K")], // t13
+        [Some("40"), Some("HS"), None, None],                 // t14
+        [Some("40"), Some("BS"), Some("50K"), Some("500K")],  // t15
+        [Some("40"), Some("HS"), None, Some("500K")],         // t16
+        [Some("40"), Some("HS"), Some("100K"), Some("500K")], // t17
     ];
     let mut rel = Relation::new(schema.clone());
     for row in rows {
@@ -217,8 +217,13 @@ mod tests {
     #[test]
     fn push_routes_by_completeness() {
         let mut r = Relation::new(fig1_schema());
-        r.push(PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]))
-            .unwrap();
+        r.push(PartialTuple::from_options(&[
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+        ]))
+        .unwrap();
         r.push(PartialTuple::from_options(&[Some(0), None, None, None]))
             .unwrap();
         assert_eq!(r.complete_part().len(), 1);
@@ -231,15 +236,17 @@ mod tests {
         let bad = PartialTuple::all_missing(3);
         assert!(matches!(
             r.push(bad),
-            Err(RelationError::ArityMismatch { expected: 4, got: 3 })
+            Err(RelationError::ArityMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 
     #[test]
     fn from_parts_normalizes_misplaced_complete_tuples() {
         let schema = fig1_schema();
-        let complete_as_partial =
-            PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]);
+        let complete_as_partial = PartialTuple::from_options(&[Some(0), Some(0), Some(0), Some(0)]);
         let r = Relation::from_parts(schema, vec![], vec![complete_as_partial]).unwrap();
         assert_eq!(r.complete_part().len(), 1);
         assert_eq!(r.incomplete_part().len(), 0);

@@ -139,10 +139,7 @@ impl Schema {
 
     /// Product of all domain cardinalities ("dom. size" in Table I).
     pub fn domain_product(&self) -> u128 {
-        self.attrs
-            .iter()
-            .map(|a| a.cardinality() as u128)
-            .product()
+        self.attrs.iter().map(|a| a.cardinality() as u128).product()
     }
 
     /// Average domain cardinality ("avg card" in Table I).
@@ -150,7 +147,11 @@ impl Schema {
         if self.attrs.is_empty() {
             return 0.0;
         }
-        self.attrs.iter().map(|a| a.cardinality() as f64).sum::<f64>() / self.attrs.len() as f64
+        self.attrs
+            .iter()
+            .map(|a| a.cardinality() as f64)
+            .sum::<f64>()
+            / self.attrs.len() as f64
     }
 
     /// Rebuilds the interning maps; used after deserialization.
@@ -298,7 +299,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_domain() {
-        let r = Schema::builder().attribute("a", Vec::<String>::new()).build();
+        let r = Schema::builder()
+            .attribute("a", Vec::<String>::new())
+            .build();
         assert!(matches!(r, Err(RelationError::EmptyDomain(_))));
     }
 

@@ -402,7 +402,9 @@ mod tests {
         let c = t.to_complete().unwrap();
         assert_eq!(c.raw(), &[1, 0, 1, 1]);
         assert_eq!(c.to_partial(), t);
-        assert!(pt(&[None, Some(0), Some(1), Some(1)]).to_complete().is_none());
+        assert!(pt(&[None, Some(0), Some(1), Some(1)])
+            .to_complete()
+            .is_none());
     }
 
     #[test]

@@ -145,10 +145,7 @@ mod tests {
         };
         let skewed = avg_max(&mut rng, 0.2);
         let flat = avg_max(&mut rng, 5.0);
-        assert!(
-            skewed > flat + 0.15,
-            "skewed={skewed:.3} flat={flat:.3}"
-        );
+        assert!(skewed > flat + 0.15, "skewed={skewed:.3} flat={flat:.3}");
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 pub fn derive_seed(parent: u64, labels: &[u64]) -> u64 {
     let mut state = parent ^ 0x9e37_79b9_7f4a_7c15;
     for &label in labels {
-        state = splitmix64(state.wrapping_add(label).wrapping_add(0x9e37_79b9_7f4a_7c15));
+        state = splitmix64(
+            state
+                .wrapping_add(label)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15),
+        );
     }
     splitmix64(state)
 }
@@ -90,6 +94,9 @@ mod tests {
         let a = derive_seed(0, &[100]);
         let b = derive_seed(0, &[101]);
         let differing = (a ^ b).count_ones();
-        assert!((16..=48).contains(&differing), "only {differing} bits differ");
+        assert!(
+            (16..=48).contains(&differing),
+            "only {differing} bits differ"
+        );
     }
 }

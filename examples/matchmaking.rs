@@ -125,7 +125,9 @@ fn main() {
 
     // Query 2: exact distribution of the count of ⟨100K, 500K⟩ candidates
     // among the *incomplete* profiles (restrict attention to blocks).
-    let prime = Predicate::any().and_eq(inc, ValueId(1)).and_eq(nw, ValueId(1));
+    let prime = Predicate::any()
+        .and_eq(inc, ValueId(1))
+        .and_eq(nw, ValueId(1));
     let dist = count_distribution(&out.db, &prime);
     let mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
     let mode = dist

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mrsl_repro::core::{
-    derive_probabilistic_db, infer_single, DeriveConfig, LearnConfig, MrslModel, VotingConfig,
+    derive_probabilistic_db, DeriveConfig, InferContext, LearnConfig, MrslModel, VotingConfig,
 };
 use mrsl_repro::relation::display::{render_partial, render_relation};
 use mrsl_repro::relation::relation::fig1_relation;
@@ -68,9 +68,13 @@ fn main() {
         render_partial(relation.schema(), &t1)
     );
     for voting in VotingConfig::table2_order() {
-        let cpd = infer_single(&model, &t1, age, &voting);
+        let cpd = InferContext::new(&model, voting, 0).vote_single(&t1, age);
         let pretty: Vec<String> = cpd.iter().map(|p| format!("{p:.2}")).collect();
-        println!("  {:<14} → P(age) = [{}]", voting.label(), pretty.join(", "));
+        println!(
+            "  {:<14} → P(age) = [{}]",
+            voting.label(),
+            pretty.join(", ")
+        );
     }
     println!();
 

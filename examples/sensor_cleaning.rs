@@ -16,8 +16,8 @@
 
 use mrsl_repro::bayesnet::{conditional, BayesianNetwork, NodeSpec, TopologySpec};
 use mrsl_repro::core::{
-    infer_joint_independent, sample_workload, GibbsConfig, LearnConfig, MrslModel,
-    VotingConfig, WorkloadStrategy,
+    infer_batch, GibbsConfig, IndependentBaseline, InferContext, InferenceEngine, LearnConfig,
+    MrslModel, TupleDagWorkload, VotingConfig,
 };
 use mrsl_repro::eval::{kl_divergence, top1_match};
 use mrsl_repro::relation::{AttrId, PartialTuple};
@@ -31,12 +31,36 @@ fn weather_network() -> TopologySpec {
     TopologySpec::new(
         "weather",
         vec![
-            NodeSpec { name: "front".into(), cardinality: 3, parents: vec![] },
-            NodeSpec { name: "temp".into(), cardinality: 4, parents: vec![0] },
-            NodeSpec { name: "pressure".into(), cardinality: 3, parents: vec![0] },
-            NodeSpec { name: "humidity".into(), cardinality: 3, parents: vec![1] },
-            NodeSpec { name: "wind".into(), cardinality: 3, parents: vec![2] },
-            NodeSpec { name: "sky".into(), cardinality: 3, parents: vec![3, 4] },
+            NodeSpec {
+                name: "front".into(),
+                cardinality: 3,
+                parents: vec![],
+            },
+            NodeSpec {
+                name: "temp".into(),
+                cardinality: 4,
+                parents: vec![0],
+            },
+            NodeSpec {
+                name: "pressure".into(),
+                cardinality: 3,
+                parents: vec![0],
+            },
+            NodeSpec {
+                name: "humidity".into(),
+                cardinality: 3,
+                parents: vec![1],
+            },
+            NodeSpec {
+                name: "wind".into(),
+                cardinality: 3,
+                parents: vec![2],
+            },
+            NodeSpec {
+                name: "sky".into(),
+                cardinality: 3,
+                parents: vec![3, 4],
+            },
         ],
     )
     .expect("valid topology")
@@ -86,7 +110,13 @@ fn main() {
         samples: 1500,
         voting: VotingConfig::best_averaged(),
     };
-    let result = sample_workload(&model, &workload, &gibbs, WorkloadStrategy::TupleDag, 5);
+    let result = infer_batch(
+        &model,
+        &workload,
+        &TupleDagWorkload::from_config(&gibbs),
+        gibbs.voting,
+        5,
+    );
     println!(
         "imputed {} readings with {} Gibbs draws ({} shared via the tuple DAG) in {:.2}s",
         workload.len(),
@@ -96,6 +126,7 @@ fn main() {
     );
 
     // Score all three estimators against the true BN conditionals.
+    let mut infer_ctx = InferContext::new(&model, gibbs.voting, 0);
     let (mut kl_g, mut kl_i, mut kl_u) = (0.0f64, 0.0f64, 0.0f64);
     let (mut t1_g, mut t1_i, mut t1_u) = (0usize, 0usize, 0usize);
     let mut n = 0usize;
@@ -103,7 +134,7 @@ fn main() {
         let Some(truth) = conditional(&bn, t.missing_mask(), t) else {
             continue;
         };
-        let independent = infer_joint_independent(&model, t, &gibbs.voting);
+        let independent = IndependentBaseline.estimate(&mut infer_ctx, t);
         let uniform = vec![1.0 / truth.len() as f64; truth.len()];
         kl_g += kl_divergence(&truth, &est.probs);
         kl_i += kl_divergence(&truth, &independent.probs);
@@ -116,9 +147,21 @@ fn main() {
     let n_f = n as f64;
     println!("\nscored {n} imputations against the generating network:");
     println!("  estimator             avg KL    top-1");
-    println!("  MRSL + Gibbs (paper)  {:>6.3}    {:>5.1}%", kl_g / n_f, 100.0 * t1_g as f64 / n_f);
-    println!("  independent product   {:>6.3}    {:>5.1}%", kl_i / n_f, 100.0 * t1_i as f64 / n_f);
-    println!("  uniform guess         {:>6.3}    {:>5.1}%", kl_u / n_f, 100.0 * t1_u as f64 / n_f);
+    println!(
+        "  MRSL + Gibbs (paper)  {:>6.3}    {:>5.1}%",
+        kl_g / n_f,
+        100.0 * t1_g as f64 / n_f
+    );
+    println!(
+        "  independent product   {:>6.3}    {:>5.1}%",
+        kl_i / n_f,
+        100.0 * t1_i as f64 / n_f
+    );
+    println!(
+        "  uniform guess         {:>6.3}    {:>5.1}%",
+        kl_u / n_f,
+        100.0 * t1_u as f64 / n_f
+    );
 
     // Show one concrete imputation.
     let (idx, _) = workload

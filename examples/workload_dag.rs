@@ -10,7 +10,7 @@
 use mrsl_repro::bayesnet::catalog::by_name;
 use mrsl_repro::bayesnet::BayesianNetwork;
 use mrsl_repro::core::{
-    sample_workload, GibbsConfig, LearnConfig, MrslModel, TupleDag, VotingConfig,
+    infer_batch, workload_engine, GibbsConfig, LearnConfig, MrslModel, TupleDag, VotingConfig,
     WorkloadStrategy,
 };
 use mrsl_repro::relation::display::render_partial;
@@ -51,10 +51,7 @@ fn main() {
 
     // Inspect the DAG.
     let dag = TupleDag::build(&workload);
-    let shared_nodes = dag
-        .workload_nodes()
-        .len()
-        .saturating_sub(dag.len());
+    let shared_nodes = dag.workload_nodes().len().saturating_sub(dag.len());
     let edges: usize = (0..dag.len()).map(|i| dag.children(i).len()).sum();
     println!(
         "workload: {} tuples → {} distinct DAG nodes ({} duplicates), {} cover edges, {} roots",
@@ -84,9 +81,13 @@ fn main() {
         samples: 500,
         voting: VotingConfig::best_averaged(),
     };
-    println!("\nsampling with N = {} per tuple, burn-in {}:", gibbs.samples, gibbs.burn_in);
+    println!(
+        "\nsampling with N = {} per tuple, burn-in {}:",
+        gibbs.samples, gibbs.burn_in
+    );
     for strategy in [WorkloadStrategy::TupleAtATime, WorkloadStrategy::TupleDag] {
-        let result = sample_workload(&model, &workload, &gibbs, strategy, 9);
+        let engine = workload_engine(strategy, &gibbs);
+        let result = infer_batch(&model, &workload, engine.as_ref(), gibbs.voting, 9);
         println!(
             "  {:<16} draws {:>8}  chains {:>4}  shared {:>7}  wall {:>6.2}s",
             match strategy {

@@ -2,7 +2,8 @@
 //!
 //! Re-exports the public API of every workspace crate under one roof so the
 //! examples and integration tests can `use mrsl_repro::...`. See README.md
-//! for a tour and DESIGN.md for the system inventory.
+//! for a tour, the crate map, and how to run the examples, benches and the
+//! `repro` experiment binary.
 
 pub use mrsl_bayesnet as bayesnet;
 pub use mrsl_core as core;

@@ -67,7 +67,10 @@ fn derived_blocks_are_valid_distributions_matching_observations() {
         let total: f64 = block.alternatives().iter().map(|a| a.prob).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for alt in block.alternatives() {
-            assert!(t.matches_point(&alt.tuple), "alternative contradicts observations");
+            assert!(
+                t.matches_point(&alt.tuple),
+                "alternative contradicts observations"
+            );
             assert!(alt.prob > 0.0);
         }
     }
@@ -90,7 +93,10 @@ fn derived_estimates_track_true_conditionals() {
     }
     let avg = kl_sum / n as f64;
     assert!(n >= 100);
-    assert!(avg < 0.15, "average KL {avg} too high for BN8 at 5k training");
+    assert!(
+        avg < 0.15,
+        "average KL {avg} too high for BN8 at 5k training"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! frames learning as an offline phase, so models have to be storable).
 
 use mrsl_repro::core::{
-    derive_probabilistic_db, infer_single, DeriveConfig, GibbsConfig, LearnConfig, MrslModel,
+    derive_probabilistic_db, DeriveConfig, GibbsConfig, InferContext, LearnConfig, MrslModel,
     VotingConfig,
 };
 use mrsl_repro::probdb::query::{expected_count, Predicate};
@@ -36,8 +36,8 @@ fn model_roundtrips_through_json() {
     // but inference only uses positional ids — exercise it fully.
     let t = PartialTuple::from_options(&[None, Some(0), Some(0), Some(1)]);
     for voting in VotingConfig::table2_order() {
-        let a = infer_single(&model, &t, AttrId(0), &voting);
-        let b = infer_single(&restored, &t, AttrId(0), &voting);
+        let a = InferContext::new(&model, voting, 0).vote_single(&t, AttrId(0));
+        let b = InferContext::new(&restored, voting, 0).vote_single(&t, AttrId(0));
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12, "voting {voting:?}: {x} vs {y}");
         }

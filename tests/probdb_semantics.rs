@@ -74,7 +74,11 @@ fn monte_carlo_agrees_with_exact_on_derived_db() {
     let exact_dist = count_distribution(&db, &pred);
     let mc_dist = mc_count_distribution(&db, &pred, 30_000, 4);
     for (k, &e) in exact_dist.iter().enumerate() {
-        assert!((mc_dist[k] - e).abs() < 0.02, "k={k}: {} vs {e}", mc_dist[k]);
+        assert!(
+            (mc_dist[k] - e).abs() < 0.02,
+            "k={k}: {} vs {e}",
+            mc_dist[k]
+        );
     }
 }
 

@@ -1,11 +1,9 @@
 //! Property-based tests (proptest) over cross-crate invariants.
 
 use mrsl_repro::bayesnet::{conditional, conditional_brute_force, BayesianNetwork};
-use mrsl_repro::core::{infer_single, LearnConfig, MrslModel, TupleDag, VotingConfig};
+use mrsl_repro::core::{InferContext, LearnConfig, MrslModel, TupleDag, VotingConfig};
 use mrsl_repro::itemset::{AprioriConfig, FrequentItemsets, Itemset};
-use mrsl_repro::relation::{
-    AttrId, AttrMask, CompleteTuple, PartialTuple, Schema, SchemaBuilder,
-};
+use mrsl_repro::relation::{AttrId, AttrMask, CompleteTuple, PartialTuple, Schema, SchemaBuilder};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -157,7 +155,7 @@ proptest! {
                 continue;
             }
             for voting in VotingConfig::table2_order() {
-                let cpd = infer_single(&model, &t, attr, &voting);
+                let cpd = InferContext::new(&model, voting, 0).vote_single(&t, attr);
                 prop_assert_eq!(cpd.len(), schema.cardinality(attr));
                 let sum: f64 = cpd.iter().sum();
                 prop_assert!((sum - 1.0).abs() < 1e-9);

@@ -214,9 +214,17 @@ impl Default for Criterion {
                 "--bench" | "--verbose" | "--quiet" | "--noplot" | "--exact" => {}
                 "--test" => smoke_test = true,
                 "--list" => list_only = true,
-                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
-                | "--measurement-time" | "--warm-up-time" | "--sample-size"
-                | "--significance-level" | "--output-format" | "--format" | "--color" => {
+                "--profile-time"
+                | "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--sample-size"
+                | "--significance-level"
+                | "--output-format"
+                | "--format"
+                | "--color" => {
                     let _ = args.next();
                 }
                 other if other.starts_with("--") => {}
@@ -254,13 +262,8 @@ impl Criterion {
         self
     }
 
-    fn run_one<F>(
-        &mut self,
-        id: &str,
-        sample_size: usize,
-        throughput: Option<Throughput>,
-        mut f: F,
-    ) where
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+    where
         F: FnMut(&mut Bencher<'_>),
     {
         if let Some(filter) = &self.filter {
@@ -306,7 +309,10 @@ impl Criterion {
                 );
             }
             _ => {
-                println!("{id}: mean {mean:?}, min {min:?} ({} samples)", results.len());
+                println!(
+                    "{id}: mean {mean:?}, min {min:?} ({} samples)",
+                    results.len()
+                );
             }
         }
     }

@@ -156,7 +156,11 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 

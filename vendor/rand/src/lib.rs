@@ -130,8 +130,12 @@ pub(crate) fn splitmix64(mut z: u64) -> u64 {
 /// Types that can be drawn uniformly from a range.
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -160,8 +164,12 @@ impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
     #[inline]
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
         assert!(if inclusive { lo <= hi } else { lo < hi }, "empty range");
         loop {
             let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
@@ -177,8 +185,12 @@ impl SampleUniform for f64 {
 
 impl SampleUniform for f32 {
     #[inline]
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
         f64::sample_between(rng, lo as f64, hi as f64, inclusive) as f32
     }
 }

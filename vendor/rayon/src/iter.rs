@@ -26,7 +26,7 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) + Sync,
         T: Send,
     {
-        let _: Vec<()> = par_map_ordered(self.items, |item| f(item));
+        let _: Vec<()> = par_map_ordered(self.items, f);
     }
 
     /// Number of items.

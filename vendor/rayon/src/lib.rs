@@ -34,11 +34,13 @@ thread_local! {
 /// Number of worker threads parallel operations on this thread will use:
 /// the installed pool's size, or one per available core.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|threads| threads.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    POOL_THREADS
+        .with(|threads| threads.get())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// Builder for a bounded [`ThreadPool`].
@@ -120,37 +122,51 @@ where
     F: Fn(I) -> O + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().clamp(1, n.max(1));
-    if threads <= 1 || n <= 1 {
+    let budget = current_num_threads().max(1);
+    let workers = budget.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
+    // Workers split the caller's thread budget so *total* concurrency
+    // stays bounded by the installed pool even when `f` itself runs
+    // parallel operations (real rayon gets this from work-stealing on a
+    // shared pool; the shim gets it by dividing the budget). Spawned
+    // threads start with an empty thread-local, so this must be installed
+    // explicitly in each worker.
+    let nested_budget = (budget / workers).max(1);
 
-    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let slots: Vec<Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
     let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot lock")
-                    .take()
-                    .expect("each index claimed once");
-                match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(result) => {
-                        *out[i].lock().expect("result slot lock") = Some(result);
-                    }
-                    Err(payload) => {
-                        *panic.lock().expect("panic slot lock") = Some(payload);
-                        // Stop claiming further work.
-                        next.store(n, Ordering::Relaxed);
+        for _ in 0..workers {
+            scope.spawn(|| {
+                POOL_THREADS.with(|threads| threads.set(Some(nested_budget)));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
                         break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot lock")
+                        .take()
+                        .expect("each index claimed once");
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(result) => {
+                            *out[i].lock().expect("result slot lock") = Some(result);
+                        }
+                        Err(payload) => {
+                            *panic.lock().expect("panic slot lock") = Some(payload);
+                            // Stop claiming further work.
+                            next.store(n, Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
             });
@@ -186,6 +202,32 @@ mod tests {
         let xs: Vec<String> = vec!["a".into(), "b".into()];
         let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
         assert_eq!(lens, vec![1, 1]);
+    }
+
+    #[test]
+    fn workers_inherit_a_share_of_the_installed_budget() {
+        // A 4-thread pool fanning out over 4 items leaves each worker a
+        // budget of 1, so nested parallel calls stay sequential and total
+        // concurrency respects the installed bound.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let nested: Vec<usize> = pool.install(|| {
+            (0..4usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert_eq!(nested, vec![1, 1, 1, 1]);
+        // Two items under a 8-thread pool: each worker inherits 4.
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let nested: Vec<usize> = pool.install(|| {
+            (0..2usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert_eq!(nested, vec![4, 4]);
     }
 
     #[test]

@@ -136,7 +136,9 @@ impl Deserialize for char {
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
-            _ => Err(DeError::new(format!("expected single character, got {s:?}"))),
+            _ => Err(DeError::new(format!(
+                "expected single character, got {s:?}"
+            ))),
         }
     }
 }
@@ -291,7 +293,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -439,7 +445,7 @@ mod tests {
         for x in [0.0f64, -1.5, f64::MIN_POSITIVE, 1e300] {
             assert_eq!(f64::from_value(&x.to_value()).unwrap(), x);
         }
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hé\"llo".to_string().to_value()).unwrap(),
             "hé\"llo"

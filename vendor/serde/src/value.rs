@@ -170,7 +170,10 @@ impl Value {
     pub fn field(&self, key: &str) -> Result<&Value, DeError> {
         match self {
             Value::Object(_) => Ok(self.get(key).unwrap_or(&NULL_VALUE)),
-            other => Err(DeError::expected(&format!("object with field `{key}`"), other)),
+            other => Err(DeError::expected(
+                &format!("object with field `{key}`"),
+                other,
+            )),
         }
     }
 
@@ -256,7 +259,7 @@ impl Value {
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(width * depth));
+        out.extend(std::iter::repeat_n(' ', width * depth));
     }
 }
 
@@ -533,7 +536,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(entries));
                 }
-                _ => return Err(DeError::new(format!("expected `,` or `}}` at {}", self.pos))),
+                _ => {
+                    return Err(DeError::new(format!(
+                        "expected `,` or `}}` at {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -688,7 +696,10 @@ mod tests {
     #[test]
     fn nested_structures_roundtrip() {
         let v = Value::Object(vec![
-            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
             (
                 "b".into(),
                 Value::Object(vec![("k".into(), Value::Number(Number::PosInt(7)))]),

@@ -295,8 +295,8 @@ fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>
         match tokens.get(i) {
             Some(TokenTree::Group(_)) => {
                 return Err(format!(
-                    "serde shim derive supports only unit variants; `{enum_name}::{name}` carries data"
-                ))
+                "serde shim derive supports only unit variants; `{enum_name}::{name}` carries data"
+            ))
             }
             Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
                 // Explicit discriminant: skip tokens until `,`.
@@ -345,9 +345,7 @@ fn gen_serialize(item: &Item) -> String {
         Shape::UnitEnum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| {
-                    format!("{name}::{v} => ::serde::value::Value::String({v:?}.to_string())")
-                })
+                .map(|v| format!("{name}::{v} => ::serde::value::Value::String({v:?}.to_string())"))
                 .collect();
             format!("match self {{ {} }}", arms.join(", "))
         }
@@ -379,9 +377,9 @@ fn gen_deserialize(item: &Item) -> String {
             }
             format!("::std::result::Result::Ok({name} {{\n{inits}}})")
         }
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Shape::Tuple(arity) => {
             let gets: Vec<String> = (0..*arity)
                 .map(|k| {

@@ -92,12 +92,11 @@ pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
 #[macro_export]
 macro_rules! json {
     (null) => { $crate::Value::Null };
-    ({ $($key:tt : $val:expr),* $(,)? }) => {{
-        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
-            ::std::vec::Vec::new();
-        $( entries.push(($key.to_string(), $crate::json!($val))); )*
-        $crate::Value::Object(entries)
-    }};
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( ($key.to_string(), $crate::json!($val)) ),*
+        ])
+    };
     ([ $($el:expr),* $(,)? ]) => {
         $crate::Value::Array(::std::vec![ $( $crate::json!($el) ),* ])
     };
