@@ -50,7 +50,9 @@ fn bench_queries(c: &mut Criterion) {
             BenchmarkId::new("monte_carlo_expected_count", samples),
             &samples,
             |b, &samples| {
-                b.iter(|| std::hint::black_box(mc_expected_count(&db, &pred, samples, 3)))
+                b.iter(|| {
+                    std::hint::black_box(mc_expected_count(&db, &pred, samples, 3).expect("n > 0"))
+                })
             },
         );
     }

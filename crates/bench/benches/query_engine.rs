@@ -1,0 +1,69 @@
+//! Bench: row-wise vs columnar predicate evaluation on a wide synthetic
+//! database, plus the planned `QueryEngine` paths.
+//!
+//! The database is built directly (no model derivation) so the bench
+//! isolates query evaluation: many certain rows, many blocks, compound
+//! `Or`/`Range`/`Not` predicates. The columnar path compiles the predicate
+//! into per-attribute bitmap scans; `rowwise` is the pre-refactor
+//! tuple-at-a-time evaluator kept as the reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrsl_bench::wide_synthetic_db;
+use mrsl_probdb::query::{self, rowwise, Predicate};
+use mrsl_probdb::{QueryEngine, QueryEngineConfig};
+use mrsl_relation::{AttrId, ValueId};
+
+/// A compound predicate touching three attributes:
+/// `(a0 ∈ {1,3,5} ∨ 2 ≤ a1 ≤ 5) ∧ ¬(a2 = 0)`.
+fn workload_predicate() -> Predicate {
+    Predicate::is_in(AttrId(0), [ValueId(1), ValueId(3), ValueId(5)])
+        .or(Predicate::range(AttrId(1), ValueId(2), ValueId(5)))
+        .and(Predicate::eq(AttrId(2), ValueId(0)).negate())
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine");
+    group.sample_size(20);
+    for &(certain, blocks) in &[(20_000usize, 2_000usize), (50_000, 10_000)] {
+        let db = wide_synthetic_db(8, 8, certain, blocks, 3, 42);
+        let pred = workload_predicate();
+        group.bench_with_input(
+            BenchmarkId::new("rowwise_expected_count", certain + blocks),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(rowwise::expected_count(db, &pred))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar_expected_count", certain + blocks),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(query::expected_count(db, &pred))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("planned_expected_count", certain + blocks),
+            &db,
+            |b, db| {
+                let engine = QueryEngine::new(db);
+                b.iter(|| std::hint::black_box(engine.expected_count(&pred).expect("exact")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("planned_count_distribution_mc", certain + blocks),
+            &db,
+            |b, db| {
+                // A DP budget of 0 forces the Monte-Carlo fallback.
+                let engine = QueryEngine::with_config(
+                    db,
+                    QueryEngineConfig {
+                        max_exact_dp_blocks: 0,
+                        mc_samples: 1_000,
+                        ..QueryEngineConfig::default()
+                    },
+                );
+                b.iter(|| std::hint::black_box(engine.count_distribution(&pred).expect("mc")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

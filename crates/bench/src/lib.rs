@@ -67,6 +67,65 @@ pub fn workload(bn: &BayesianNetwork, size: usize, max_k: usize, seed: u64) -> V
         .collect()
 }
 
+/// Builds a wide synthetic probabilistic database directly (no model
+/// derivation): `attrs` dictionary-encoded attributes of cardinality
+/// `card`, `certain` certain rows and `blocks` blocks of `alts`
+/// alternatives each, all uniformly random but deterministic per `seed`.
+/// The query benches use this to isolate evaluation cost from derivation.
+///
+/// # Panics
+/// Panics when a block cannot hold `alts` distinct tuples, i.e. when
+/// `alts > card^attrs` (the rejection sampler would never terminate).
+pub fn wide_synthetic_db(
+    attrs: usize,
+    card: usize,
+    certain: usize,
+    blocks: usize,
+    alts: usize,
+    seed: u64,
+) -> mrsl_probdb::ProbDb {
+    use mrsl_probdb::{Alternative, Block, ProbDb};
+    use mrsl_relation::{CompleteTuple, SchemaBuilder};
+
+    let mut builder = SchemaBuilder::default();
+    for a in 0..attrs {
+        builder = builder.attribute(format!("a{a}"), (0..card).map(|v| format!("v{v}")));
+    }
+    let schema = builder.build().expect("valid synthetic schema");
+    let domain = (card as u128).saturating_pow(attrs as u32);
+    assert!(
+        alts as u128 <= domain,
+        "cannot draw {alts} distinct tuples from a domain of {domain}"
+    );
+    let mut rng = seeded_rng(derive_seed(seed, &[0x11db]));
+    let random_tuple = |rng: &mut rand::rngs::StdRng| {
+        CompleteTuple::from_values((0..attrs).map(|_| rng.gen_range(0..card as u16)).collect())
+    };
+    let mut db = ProbDb::new(schema);
+    for _ in 0..certain {
+        let t = random_tuple(&mut rng);
+        db.push_certain(t).expect("arity ok");
+    }
+    for key in 0..blocks {
+        let mut tuples: Vec<CompleteTuple> = Vec::with_capacity(alts);
+        while tuples.len() < alts {
+            let t = random_tuple(&mut rng);
+            if !tuples.contains(&t) {
+                tuples.push(t);
+            }
+        }
+        let weights: Vec<f64> = (0..alts).map(|_| rng.gen_range(1..100) as f64).collect();
+        let alternatives = tuples
+            .into_iter()
+            .zip(&weights)
+            .map(|(tuple, &w)| Alternative { tuple, prob: w })
+            .collect();
+        db.push_block(Block::normalized(key, alternatives).expect("valid block"))
+            .expect("arity ok");
+    }
+    db
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@
 //!
 //! The voted-CPD cache — "caching of the results of partial computations"
 //! in the paper's words — lives in the
-//! [`InferContext`](crate::infer::engine::InferContext) the chain sweeps
+//! [`InferContext`] the chain sweeps
 //! against, so it is shared across every chain (and tuple) the context
 //! serves. The engine wrapper for this module is
 //! [`crate::infer::engine::GibbsSampler`].

@@ -4,14 +4,18 @@
 //! probability values, as well as for lazy, query-targeted learning and
 //! inference." Instead of materializing `Δt` for *every* incomplete tuple,
 //! [`derive_for_query`] derives blocks only for the tuples that can affect
-//! a given selection predicate:
+//! a given selection predicate. The triage runs on the predicate algebra's
+//! three-valued evaluation ([`Predicate::eval_partial`]): a tuple's block
+//! is skippable iff the predicate is **decided by the observed
+//! attributes** alone —
 //!
-//! * tuples whose **observed** portion already violates the predicate can
-//!   never satisfy it — their selection probability is 0 regardless of the
-//!   missing values, so no inference is spent on them;
-//! * tuples that satisfy the predicate on the predicate's attributes with
-//!   everything relevant observed have probability 1 — also no inference;
-//! * only tuples whose missing attributes overlap the predicate need `Δt`.
+//! * `Some(false)`: every completion violates the predicate — selection
+//!   probability 0, no inference spent;
+//! * `Some(true)`: every completion satisfies it — probability 1, no
+//!   inference either (e.g. an `Or` with one observed-true arm skips
+//!   inference even when other arms touch missing attributes);
+//! * `None`: the outcome depends on missing attributes — infer `Δt` and
+//!   marginalize it through the predicate.
 //!
 //! The result reports the exact per-tuple selection probabilities and the
 //! expected count, plus how much inference work was skipped.
@@ -29,9 +33,9 @@ use serde::{Deserialize, Serialize};
 pub enum LazyDisposition {
     /// The observed portion contradicts the predicate: probability 0.
     RuledOut,
-    /// The observed portion satisfies every predicate clause: probability 1.
+    /// The observed portion satisfies the predicate: probability 1.
     Certain,
-    /// The predicate touches missing attributes: inferred probability.
+    /// The predicate depends on missing attributes: inferred probability.
     Inferred,
 }
 
@@ -61,7 +65,8 @@ pub struct LazyQueryOutput {
 }
 
 /// Evaluates `P(t satisfies pred)` for every tuple of `relation`, deriving
-/// distributions **only where the predicate requires them**.
+/// distributions **only where the predicate requires them**. Works for the
+/// whole predicate algebra (`Eq`/`In`/`Range`/`And`/`Or`/`Not`).
 pub fn derive_for_query(
     relation: &Relation,
     model: &MrslModel,
@@ -76,65 +81,46 @@ pub fn derive_for_query(
         .filter(|t| pred.eval(t))
         .count();
 
-    // Classify incomplete tuples.
+    // Triage incomplete tuples on the observed attributes alone.
     let incomplete = relation.incomplete_part();
     let mut selections: Vec<Option<LazySelection>> = vec![None; incomplete.len()];
     let mut workload: Vec<PartialTuple> = Vec::new();
     let mut slots: Vec<usize> = Vec::new();
     for (i, t) in incomplete.iter().enumerate() {
-        let mut contradicted = false;
-        let mut needs_inference = false;
-        for &(attr, value) in pred.clauses() {
-            match t.get(attr) {
-                Some(v) if v == value => {}
-                Some(_) => {
-                    contradicted = true;
-                    break;
-                }
-                None => needs_inference = true,
+        match pred.eval_partial(t) {
+            Some(false) => {
+                selections[i] = Some(LazySelection {
+                    disposition: LazyDisposition::RuledOut,
+                    prob: 0.0,
+                });
             }
-        }
-        if contradicted {
-            selections[i] = Some(LazySelection {
-                disposition: LazyDisposition::RuledOut,
-                prob: 0.0,
-            });
-        } else if !needs_inference {
-            selections[i] = Some(LazySelection {
-                disposition: LazyDisposition::Certain,
-                prob: 1.0,
-            });
-        } else {
-            workload.push(t.clone());
-            slots.push(i);
+            Some(true) => {
+                selections[i] = Some(LazySelection {
+                    disposition: LazyDisposition::Certain,
+                    prob: 1.0,
+                });
+            }
+            None => {
+                workload.push(t.clone());
+                slots.push(i);
+            }
         }
     }
     let skipped = incomplete.len() - workload.len();
 
-    // Infer Δt only for the undecided tuples, then marginalize onto the
-    // predicate clauses over missing attributes.
+    // Infer Δt only for the undecided tuples, then push each joint
+    // combination through the predicate: P(pred) = Σ p(combo) over the
+    // combinations whose completion satisfies it.
     let mut sampling_cost = SamplingCost::default();
     if !workload.is_empty() {
         let engine = workload_engine(strategy, gibbs);
         let result = infer_batch(model, &workload, engine.as_ref(), gibbs.voting, seed);
         sampling_cost = result.cost;
         for ((slot, t), est) in slots.iter().zip(&workload).zip(&result.estimates) {
-            let missing_clauses: Vec<_> = pred
-                .clauses()
-                .iter()
-                .filter(|(a, _)| t.get(*a).is_none())
-                .collect();
             let mut prob = 0.0;
             for (idx, &p) in est.probs.iter().enumerate() {
                 let combo = est.indexer.decode(idx);
-                let ok = missing_clauses.iter().all(|&&(a, v)| {
-                    combo
-                        .iter()
-                        .find(|&&(ca, _)| ca == a)
-                        .map(|&(_, cv)| cv == v)
-                        .unwrap_or(true)
-                });
-                if ok {
+                if pred.eval(&t.complete_with_assignments(&combo)) {
                     prob += p;
                 }
             }
@@ -271,5 +257,44 @@ mod tests {
             .all(|s| s.disposition == LazyDisposition::Certain));
         assert_eq!(out.expected_count, rel.len() as f64);
         assert_eq!(out.sampling_cost.total_draws, 0);
+    }
+
+    #[test]
+    fn disjunction_decided_by_observed_arm_skips_inference() {
+        let (rel, model, gibbs) = setup();
+        // edu=HS ∨ inc=100K: t1 = ⟨20, HS, ?, ?⟩ and t8 = ⟨?, HS, ?, ?⟩
+        // observe the first arm, so no inference is needed on them even
+        // though inc (and for t8 also age) is missing.
+        let pred = Predicate::eq(AttrId(1), ValueId(0)).or(Predicate::eq(AttrId(2), ValueId(1)));
+        let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        // Incomplete part order: t1, t3, t5, t8, t10, t11, t12, t14, t16.
+        for idx in [0usize, 3] {
+            let s = &out.selections[idx];
+            assert_eq!(s.disposition, LazyDisposition::Certain);
+            assert_eq!(s.prob, 1.0);
+        }
+    }
+
+    #[test]
+    fn negation_and_range_triage_agree_with_brute_force() {
+        let (rel, model, gibbs) = setup();
+        // NOT(age ∈ {20, 30}): decided wherever age is observed.
+        let pred = Predicate::is_in(AttrId(0), [ValueId(0), ValueId(1)]).negate();
+        let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        for (t, s) in rel.incomplete_part().iter().zip(&out.selections) {
+            match pred.eval_partial(t) {
+                Some(true) => assert_eq!(s.prob, 1.0),
+                Some(false) => assert_eq!(s.prob, 0.0),
+                None => {
+                    assert_eq!(s.disposition, LazyDisposition::Inferred);
+                    assert!((0.0..=1.0 + 1e-9).contains(&s.prob));
+                }
+            }
+        }
+        // The inferred probabilities integrate Δt over the satisfying
+        // completions, so the expected count is consistent with certain +
+        // per-tuple probabilities by construction.
+        let total: f64 = out.selections.iter().map(|s| s.prob).sum();
+        assert!((out.expected_count - out.certain_matches as f64 - total).abs() < 1e-12);
     }
 }

@@ -24,6 +24,18 @@ pub enum BlockError {
     NotNormalized(f64),
     /// Two alternatives are the same tuple.
     DuplicateAlternative,
+    /// An alternative's arity does not match the database schema.
+    ///
+    /// Reported by [`ProbDb::push_block`](crate::ProbDb::push_block): the
+    /// columnar mirror requires every row to have exactly one value per
+    /// schema attribute, so mismatches are a hard error rather than a
+    /// debug assertion.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Arity of the offending alternative.
+        got: usize,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -33,6 +45,9 @@ impl fmt::Display for BlockError {
             Self::BadProbability(p) => write!(f, "bad alternative probability {p}"),
             Self::NotNormalized(s) => write!(f, "block probabilities sum to {s}, expected 1"),
             Self::DuplicateAlternative => write!(f, "duplicate alternative tuple in block"),
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "alternative has arity {got}, schema expects {expected}")
+            }
         }
     }
 }

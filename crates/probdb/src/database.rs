@@ -1,27 +1,37 @@
 //! The probabilistic database container.
 
 use crate::block::{Block, BlockError};
+use crate::column::ColumnStore;
 use mrsl_relation::{CompleteTuple, RelationError, Schema};
-use serde::{Deserialize, Serialize};
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A block-independent-disjoint probabilistic database: certain tuples
 /// (probability 1) plus independent blocks of mutually exclusive
 /// alternatives.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Next to the row-oriented tuples the database maintains a columnar
+/// mirror ([`ProbDb::columns`]), kept in sync by the push paths and
+/// rebuilt on deserialization; the exact query evaluators run on it.
+#[derive(Debug, Clone, Serialize)]
 pub struct ProbDb {
     schema: Arc<Schema>,
     certain: Vec<CompleteTuple>,
     blocks: Vec<Block>,
+    #[serde(skip)]
+    columns: ColumnStore,
 }
 
 impl ProbDb {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
+        let arity = schema.attr_count();
         Self {
             schema,
             certain: Vec::new(),
             blocks: Vec::new(),
+            columns: ColumnStore::new(arity),
         }
     }
 
@@ -38,19 +48,26 @@ impl ProbDb {
                 got: t.arity(),
             });
         }
+        self.columns.push_certain(t.raw());
         self.certain.push(t);
         Ok(())
     }
 
-    /// Adds a block.
-    ///
-    /// # Panics
-    /// Panics (debug) if an alternative has the wrong arity.
+    /// Adds a block, rejecting alternatives whose arity does not match the
+    /// schema (the columnar mirror requires aligned rows).
     pub fn push_block(&mut self, b: Block) -> Result<(), BlockError> {
-        debug_assert!(b
+        let expected = self.schema.attr_count();
+        if let Some(a) = b
             .alternatives()
             .iter()
-            .all(|a| a.tuple.arity() == self.schema.attr_count()));
+            .find(|a| a.tuple.arity() != expected)
+        {
+            return Err(BlockError::ArityMismatch {
+                expected,
+                got: a.tuple.arity(),
+            });
+        }
+        self.columns.push_block(&b);
         self.blocks.push(b);
         Ok(())
     }
@@ -65,6 +82,11 @@ impl ProbDb {
         &self.blocks
     }
 
+    /// The columnar mirror of the database.
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
+    }
+
     /// Number of possible worlds: the product of block sizes.
     pub fn world_count(&self) -> u128 {
         self.blocks.iter().map(|b| b.len() as u128).product()
@@ -77,11 +99,31 @@ impl ProbDb {
     }
 }
 
+// Manual impl: the columnar mirror is skipped during serialization and
+// rebuilt here by replaying the tuples through the push paths.
+impl Deserialize for ProbDb {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let schema: Arc<Schema> = Deserialize::from_value(v.field("schema")?)?;
+        let certain: Vec<CompleteTuple> = Deserialize::from_value(v.field("certain")?)?;
+        let blocks: Vec<Block> = Deserialize::from_value(v.field("blocks")?)?;
+        let mut db = ProbDb::new(schema);
+        for t in certain {
+            db.push_certain(t)
+                .map_err(|e| DeError::new(e.to_string()))?;
+        }
+        for b in blocks {
+            db.push_block(b).map_err(|e| DeError::new(e.to_string()))?;
+        }
+        Ok(db)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::block::Alternative;
     use mrsl_relation::schema::fig1_schema;
+    use mrsl_relation::AttrId;
 
     fn alt(values: Vec<u16>, prob: f64) -> Alternative {
         Alternative {
@@ -139,5 +181,62 @@ mod tests {
         let mut db = ProbDb::new(fig1_schema());
         let e = db.push_certain(CompleteTuple::from_values(vec![0, 0]));
         assert!(matches!(e, Err(RelationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_block() {
+        let mut db = ProbDb::new(fig1_schema());
+        let b = Block::new(0, vec![alt(vec![0, 0], 1.0)]).unwrap();
+        let e = db.push_block(b);
+        assert!(matches!(
+            e,
+            Err(BlockError::ArityMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn columns_stay_in_sync_with_pushes() {
+        let db = two_block_db();
+        let cols = db.columns();
+        assert_eq!(cols.certain().rows(), 1);
+        assert_eq!(cols.alternatives().rows(), 6);
+        assert_eq!(cols.block_count(), 2);
+        assert_eq!(cols.block_range(1), 2..6);
+        // Column contents agree with the row store, attribute by attribute.
+        for a in 0..4u16 {
+            let attr = AttrId(a);
+            let col = cols.certain().col(attr);
+            for (i, t) in db.certain().iter().enumerate() {
+                assert_eq!(col[i], t.raw()[attr.index()]);
+            }
+            let alt_col = cols.alternatives().col(attr);
+            let mut row = 0;
+            for b in db.blocks() {
+                for alternative in b.alternatives() {
+                    assert_eq!(alt_col[row], alternative.tuple.raw()[attr.index()]);
+                    row += 1;
+                }
+            }
+        }
+        // Probabilities flattened in the same order.
+        assert!((cols.alt_probs()[3] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deserialization_rebuilds_columns() {
+        let db = two_block_db();
+        let text = serde_json::to_string(&db).unwrap();
+        // The columnar mirror is not part of the wire format.
+        assert!(!text.contains("columns"));
+        let back: ProbDb = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.columns().certain().rows(), 1);
+        assert_eq!(back.columns().alternatives().rows(), 6);
+        assert_eq!(
+            back.columns().alternatives().col(AttrId(3)),
+            db.columns().alternatives().col(AttrId(3))
+        );
     }
 }

@@ -4,25 +4,66 @@
 //! citing Dalvi & Suciu): each incomplete tuple gives rise to a *block* of
 //! mutually exclusive complete tuples with probabilities summing to 1; a
 //! possible world picks one alternative per block, independently across
-//! blocks. This crate is the substrate that receives the derived model:
+//! blocks. This crate is the substrate that receives the derived model
+//! **and** the query subsystem that answers questions over it:
 //!
 //! * [`block`] — blocks of mutually exclusive alternatives.
-//! * [`database`] — [`ProbDb`]: certain tuples + blocks over one schema.
+//! * [`database`] — [`ProbDb`]: certain tuples + blocks over one schema,
+//!   with a columnar mirror kept in sync by the push paths.
+//! * [`mod@column`] — the columnar storage layer: dictionary-encoded `u16`
+//!   columns and row bitmaps for vectorized predicate evaluation.
+//! * [`predicate`] — the composable predicate algebra ([`Predicate`]:
+//!   `Eq`/`In`/`Range`/`And`/`Or`/`Not`/`Any`), evaluable per tuple,
+//!   three-valued on incomplete tuples, and vectorized over columns.
 //! * [`world`] — possible-world semantics: enumeration (small databases)
 //!   and world sampling.
 //! * [`query`] — exact query evaluation under BID semantics: selection
 //!   marginals, expected counts, the full count distribution
 //!   (Poisson-binomial DP), value marginals and top-k by probability.
-//! * [`montecarlo`] — Monte-Carlo query evaluation used to cross-check the
-//!   exact evaluator.
+//! * [`montecarlo`] — Monte-Carlo query evaluation over compiled
+//!   predicates, the fallback path for out-of-budget plans.
+//! * [`plan`] — the planner: [`QueryEngine`] classifies each
+//!   [`plan::QuerySpec`] as exactly liftable or not, routes it, and
+//!   reports the choice in an [`EvalReport`].
 
 pub mod block;
+pub mod column;
 pub mod database;
 pub mod montecarlo;
+pub mod plan;
+pub mod predicate;
 pub mod query;
 pub mod world;
 
 pub use block::{Alternative, Block, BlockError};
+pub use column::{Bitmap, ColumnSet, ColumnStore};
 pub use database::ProbDb;
-pub use query::Predicate;
+pub use plan::{EvalPath, EvalReport, QueryAnswer, QueryEngine, QueryEngineConfig};
+pub use predicate::Predicate;
 pub use world::PossibleWorld;
+
+use std::fmt;
+
+/// Errors reported by the query subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbDbError {
+    /// A Monte-Carlo estimator was asked for zero samples; estimates over
+    /// an empty sample are undefined, so this is an error rather than a
+    /// panic (callers pick the sample budget at runtime).
+    NoSamples,
+}
+
+impl fmt::Display for ProbDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSamples => {
+                write!(
+                    f,
+                    "Monte-Carlo estimation needs at least one sample (n = 0)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbDbError {}

@@ -2,39 +2,123 @@
 //!
 //! Exponentially many worlds make enumeration infeasible beyond toy sizes;
 //! sampling worlds gives unbiased estimates of any world-level aggregate
-//! (the MCDB approach the paper cites as related work). Used here mainly as
-//! an independent cross-check of the exact evaluator in [`crate::query`].
+//! (the MCDB approach the paper cites as related work). The planner
+//! ([`crate::plan`]) falls back to these estimators when the exact path is
+//! out of budget, and the test suite uses them as an independent
+//! cross-check of the exact evaluators in [`crate::query`].
+//!
+//! The estimators compile the predicate **once** into a
+//! [`Bitmap`] over the database's columnar store;
+//! each sampled world then only draws one alternative index per block
+//! (through the same [`choose_weighted`] primitive as
+//! [`crate::world::sample_world`], so choices are identical for identical
+//! RNG states) and tests the corresponding bit — no tuples are cloned and
+//! no predicate is re-evaluated inside the sampling loop.
 
+use crate::column::Bitmap;
 use crate::database::ProbDb;
 use crate::query::Predicate;
-use crate::world::sample_world;
+use crate::world::choose_weighted;
+use crate::ProbDbError;
 use mrsl_util::{seeded_rng, OnlineStats};
+use rand::Rng;
+
+/// A predicate compiled against one database's columnar store.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSelection {
+    /// One bit per certain row: does the tuple satisfy the predicate?
+    pub certain_matches: Bitmap,
+    /// Number of set bits in `certain_matches` (cached for the samplers).
+    pub certain_count: usize,
+    /// One bit per alternative row: does the alternative satisfy it?
+    pub alt_matches: Bitmap,
+}
+
+impl CompiledSelection {
+    pub(crate) fn compile(db: &ProbDb, pred: &Predicate) -> Self {
+        let certain_matches = pred.eval_columns(db.columns().certain());
+        Self {
+            certain_count: certain_matches.count_ones(),
+            certain_matches,
+            alt_matches: pred.eval_columns(db.columns().alternatives()),
+        }
+    }
+
+    /// Samples one world's `COUNT(*) WHERE pred` by drawing one
+    /// alternative per block and testing its bit.
+    fn sample_count<R: Rng + ?Sized>(&self, db: &ProbDb, rng: &mut R) -> usize {
+        let cols = db.columns();
+        let mut count = self.certain_count;
+        for b in 0..cols.block_count() {
+            let range = cols.block_range(b);
+            let chosen = choose_weighted(cols.alt_probs()[range.clone()].iter().copied(), rng);
+            if self.alt_matches.get(range.start + chosen) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
 
 /// Monte-Carlo estimate of the expected count of tuples satisfying `pred`.
 ///
-/// Returns `(mean, std_error)` over `n` sampled worlds.
-pub fn mc_expected_count(db: &ProbDb, pred: &Predicate, n: usize, seed: u64) -> (f64, f64) {
-    assert!(n > 0, "need at least one sample");
+/// Returns `(mean, std_error)` over `n` sampled worlds, or
+/// [`ProbDbError::NoSamples`] when `n` is 0.
+pub fn mc_expected_count(
+    db: &ProbDb,
+    pred: &Predicate,
+    n: usize,
+    seed: u64,
+) -> Result<(f64, f64), ProbDbError> {
+    if n == 0 {
+        return Err(ProbDbError::NoSamples);
+    }
+    let sel = CompiledSelection::compile(db, pred);
+    Ok(mc_expected_count_compiled(db, &sel, n, seed))
+}
+
+pub(crate) fn mc_expected_count_compiled(
+    db: &ProbDb,
+    sel: &CompiledSelection,
+    n: usize,
+    seed: u64,
+) -> (f64, f64) {
     let mut rng = seeded_rng(seed);
     let mut stats = OnlineStats::new();
     for _ in 0..n {
-        let w = sample_world(db, &mut rng);
-        let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
-        stats.push(c as f64);
+        stats.push(sel.sample_count(db, &mut rng) as f64);
     }
     (stats.mean(), stats.std_dev() / (n as f64).sqrt())
 }
 
 /// Monte-Carlo estimate of the count distribution `P(count = k)`.
-pub fn mc_count_distribution(db: &ProbDb, pred: &Predicate, n: usize, seed: u64) -> Vec<f64> {
-    assert!(n > 0, "need at least one sample");
+///
+/// Returns a histogram over `0..=certain + blocks`, or
+/// [`ProbDbError::NoSamples`] when `n` is 0.
+pub fn mc_count_distribution(
+    db: &ProbDb,
+    pred: &Predicate,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<f64>, ProbDbError> {
+    if n == 0 {
+        return Err(ProbDbError::NoSamples);
+    }
+    let sel = CompiledSelection::compile(db, pred);
+    Ok(mc_count_distribution_compiled(db, &sel, n, seed))
+}
+
+pub(crate) fn mc_count_distribution_compiled(
+    db: &ProbDb,
+    sel: &CompiledSelection,
+    n: usize,
+    seed: u64,
+) -> Vec<f64> {
     let mut rng = seeded_rng(seed);
     let max_count = db.certain().len() + db.blocks().len();
     let mut hist = vec![0.0f64; max_count + 1];
     for _ in 0..n {
-        let w = sample_world(db, &mut rng);
-        let c = w.tuples.iter().filter(|t| pred.eval(t)).count();
-        hist[c] += 1.0;
+        hist[sel.sample_count(db, &mut rng)] += 1.0;
     }
     hist.iter_mut().for_each(|h| *h /= n as f64);
     hist
@@ -45,6 +129,7 @@ mod tests {
     use super::*;
     use crate::block::{Alternative, Block};
     use crate::query::{count_distribution, expected_count};
+    use crate::world::sample_world;
     use mrsl_relation::schema::fig1_schema;
     use mrsl_relation::{AttrId, CompleteTuple, ValueId};
 
@@ -80,7 +165,7 @@ mod tests {
         let db = db();
         let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
         let exact = expected_count(&db, &pred);
-        let (mc, se) = mc_expected_count(&db, &pred, 20_000, 7);
+        let (mc, se) = mc_expected_count(&db, &pred, 20_000, 7).unwrap();
         assert!(
             (mc - exact).abs() < 4.0 * se + 0.02,
             "{mc} vs {exact} (se {se})"
@@ -92,15 +177,39 @@ mod tests {
         let db = db();
         let pred = Predicate::any().and_eq(AttrId(2), ValueId(1));
         let exact = count_distribution(&db, &pred);
-        let mc = mc_count_distribution(&db, &pred, 30_000, 11);
+        let mc = mc_count_distribution(&db, &pred, 30_000, 11).unwrap();
         for (k, &e) in exact.iter().enumerate() {
             assert!((mc[k] - e).abs() < 0.02, "k={k}: {} vs {e}", mc[k]);
         }
     }
 
     #[test]
-    #[should_panic(expected = "at least one sample")]
-    fn zero_samples_rejected() {
-        mc_expected_count(&db(), &Predicate::any(), 0, 0);
+    fn compiled_sampler_matches_world_sampling_draw_for_draw() {
+        // Same seed → the bitmap sampler and sample_world choose the same
+        // alternatives, so per-sample counts are identical.
+        let db = db();
+        let pred = Predicate::eq(AttrId(2), ValueId(1)).or(Predicate::eq(AttrId(3), ValueId(1)));
+        let sel = CompiledSelection::compile(&db, &pred);
+        let mut rng_a = mrsl_util::seeded_rng(42);
+        let mut rng_b = mrsl_util::seeded_rng(42);
+        for _ in 0..200 {
+            let fast = sel.sample_count(&db, &mut rng_a);
+            let w = sample_world(&db, &mut rng_b);
+            let slow = w.tuples.iter().filter(|t| pred.eval(t)).count();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn zero_samples_is_an_error_not_a_panic() {
+        let db = db();
+        assert!(matches!(
+            mc_expected_count(&db, &Predicate::any(), 0, 0),
+            Err(ProbDbError::NoSamples)
+        ));
+        assert!(matches!(
+            mc_count_distribution(&db, &Predicate::any(), 0, 0),
+            Err(ProbDbError::NoSamples)
+        ));
     }
 }

@@ -1,0 +1,537 @@
+//! Logical → physical query planning: one entry point for exact and
+//! Monte-Carlo evaluation.
+//!
+//! Gatterbauer & Suciu's lifted-inference line shows the useful split for
+//! probabilistic query answering: *safe* (liftable) plans admit fast
+//! extensional evaluation, everything else needs sampling. For a single
+//! BID table every selection-style query here is structurally liftable —
+//! block independence makes the per-block marginals exact — so the planner
+//! routes on liftability **and** cost:
+//!
+//! * selection marginals, expected count, value marginal and top-k are
+//!   liftable with linear cost → always exact (columnar);
+//! * the count distribution is liftable but its Poisson-binomial DP is
+//!   O(blocks²) → exact only under
+//!   [`QueryEngineConfig::max_exact_dp_blocks`], Monte Carlo beyond;
+//! * [`QueryEngineConfig::force_monte_carlo`] routes every estimable
+//!   query through sampling (cross-checking, demos).
+//!
+//! Every evaluation returns an [`EvalReport`] that makes the choice and
+//! the work visible: path taken, blocks touched, blocks pruned by the
+//! columnar pre-filter, rows scanned, samples drawn.
+
+use crate::database::ProbDb;
+use crate::montecarlo::{
+    mc_count_distribution_compiled, mc_expected_count_compiled, CompiledSelection,
+};
+use crate::query::{self, Predicate, RankedTuple};
+use crate::ProbDbError;
+use mrsl_relation::AttrId;
+
+/// A logical query over one probabilistic table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// Per-block probability that the true tuple satisfies the predicate.
+    SelectionMarginals(Predicate),
+    /// `E[COUNT(*) WHERE pred]`.
+    ExpectedCount(Predicate),
+    /// Exact or sampled distribution of `COUNT(*) WHERE pred`.
+    CountDistribution(Predicate),
+    /// Marginal distribution of one attribute over the expected table.
+    ValueMarginal(AttrId),
+    /// The `k` most probable tuples satisfying the predicate.
+    TopK(Predicate, usize),
+}
+
+/// Physical evaluation path chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Exact extensional evaluation over the columnar store.
+    ExactColumnar,
+    /// Monte-Carlo world sampling.
+    MonteCarlo,
+}
+
+/// Why the planner chose the path it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanClass {
+    /// The query is safe over BID blocks and cheap: exact evaluation.
+    ExactLiftable,
+    /// Liftable, but the exact DP cost exceeds the configured budget.
+    DpBudgetExceeded,
+    /// Monte Carlo was forced by configuration.
+    ForcedMonteCarlo,
+}
+
+/// Per-query evaluation report: the planner's choice made visible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Physical path taken.
+    pub path: EvalPath,
+    /// Planner classification behind the choice.
+    pub plan: PlanClass,
+    /// Total blocks in the database.
+    pub blocks_total: usize,
+    /// Blocks whose selection probability the columnar pre-filter proved
+    /// to be 0. On the exact path these are skipped by all downstream
+    /// arithmetic; on the Monte-Carlo path the statistic is informational
+    /// only — the world sampler still draws one alternative per block.
+    pub blocks_pruned: usize,
+    /// Blocks contributing non-zero probability mass.
+    pub blocks_touched: usize,
+    /// Certain rows scanned by the columnar filter.
+    pub certain_rows: usize,
+    /// Alternative rows scanned by the columnar filter.
+    pub alt_rows: usize,
+    /// Worlds sampled (0 on the exact path).
+    pub mc_samples: usize,
+}
+
+/// Answer of a planned query.
+#[derive(Debug, Clone)]
+pub enum QueryAnswer {
+    /// Per-block probabilities, in block order.
+    Marginals(Vec<f64>),
+    /// A scalar estimate; `std_error` is `Some` on the Monte-Carlo path.
+    Count {
+        /// Expected count (exact or estimated).
+        mean: f64,
+        /// Standard error of the estimate (Monte Carlo only).
+        std_error: Option<f64>,
+    },
+    /// `d[k] = P(count = k)`.
+    Distribution(Vec<f64>),
+    /// Ranked tuples, most probable first.
+    Ranked(Vec<RankedTuple>),
+}
+
+/// Tunables of the [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEngineConfig {
+    /// Worlds sampled on the Monte-Carlo path.
+    pub mc_samples: usize,
+    /// Seed for the Monte-Carlo path.
+    pub mc_seed: u64,
+    /// Largest block count for which the O(blocks²) exact count
+    /// distribution stays on the exact path.
+    pub max_exact_dp_blocks: usize,
+    /// Route every estimable query through Monte Carlo regardless of
+    /// liftability (ranking and value marginals have no sampling
+    /// estimator and stay exact).
+    pub force_monte_carlo: bool,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        Self {
+            mc_samples: 10_000,
+            mc_seed: 0x5eed,
+            max_exact_dp_blocks: 4_096,
+            force_monte_carlo: false,
+        }
+    }
+}
+
+/// The query subsystem's single entry point: plans a [`QuerySpec`] against
+/// one database and evaluates it on the chosen path.
+#[derive(Debug, Clone)]
+pub struct QueryEngine<'a> {
+    db: &'a ProbDb,
+    config: QueryEngineConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine with default configuration.
+    pub fn new(db: &'a ProbDb) -> Self {
+        Self::with_config(db, QueryEngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(db: &'a ProbDb, config: QueryEngineConfig) -> Self {
+        Self { db, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// Classifies a query: which physical path, and why.
+    pub fn plan(&self, spec: &QuerySpec) -> (EvalPath, PlanClass) {
+        match spec {
+            QuerySpec::SelectionMarginals(_)
+            | QuerySpec::ExpectedCount(_)
+            | QuerySpec::CountDistribution(_)
+                if self.config.force_monte_carlo =>
+            {
+                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            }
+            QuerySpec::CountDistribution(_)
+                if self.db.blocks().len() > self.config.max_exact_dp_blocks =>
+            {
+                (EvalPath::MonteCarlo, PlanClass::DpBudgetExceeded)
+            }
+            _ => (EvalPath::ExactColumnar, PlanClass::ExactLiftable),
+        }
+    }
+
+    /// Plans and evaluates `spec`.
+    ///
+    /// Predicates are compiled into bitmaps exactly once per evaluation;
+    /// the evaluator and the [`EvalReport`]'s pruning statistics share the
+    /// same scan.
+    pub fn evaluate(&self, spec: &QuerySpec) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
+        let (path, plan) = self.plan(spec);
+        let cols = self.db.columns();
+        let compiled = spec
+            .predicate()
+            .map(|pred| CompiledSelection::compile(self.db, pred));
+        let answer = match (spec, path) {
+            (QuerySpec::SelectionMarginals(_), EvalPath::ExactColumnar) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Marginals(cols.block_probs(&sel.alt_matches))
+            }
+            (QuerySpec::SelectionMarginals(_), EvalPath::MonteCarlo) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Marginals(
+                    self.mc_selection_marginals(&sel.alt_matches, self.nonzero_samples()?),
+                )
+            }
+            (QuerySpec::ExpectedCount(_), EvalPath::ExactColumnar) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Count {
+                    mean: sel.certain_count as f64
+                        + cols.block_probs(&sel.alt_matches).iter().sum::<f64>(),
+                    std_error: None,
+                }
+            }
+            (QuerySpec::ExpectedCount(_), EvalPath::MonteCarlo) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                let (mean, se) = mc_expected_count_compiled(
+                    self.db,
+                    sel,
+                    self.nonzero_samples()?,
+                    self.config.mc_seed,
+                );
+                QueryAnswer::Count {
+                    mean,
+                    std_error: Some(se),
+                }
+            }
+            (QuerySpec::CountDistribution(_), EvalPath::ExactColumnar) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Distribution(query::poisson_binomial(
+                    sel.certain_count,
+                    &cols.block_probs(&sel.alt_matches),
+                ))
+            }
+            (QuerySpec::CountDistribution(_), EvalPath::MonteCarlo) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Distribution(mc_count_distribution_compiled(
+                    self.db,
+                    sel,
+                    self.nonzero_samples()?,
+                    self.config.mc_seed,
+                ))
+            }
+            (QuerySpec::ValueMarginal(attr), _) => {
+                QueryAnswer::Distribution(query::value_marginal(self.db, *attr))
+            }
+            (QuerySpec::TopK(_, k), _) => {
+                let sel = compiled.as_ref().expect("predicate query");
+                QueryAnswer::Ranked(query::top_k_from_bitmaps(
+                    self.db,
+                    *k,
+                    &sel.certain_matches,
+                    &sel.alt_matches,
+                ))
+            }
+        };
+        let report = self.report(path, plan, compiled.as_ref());
+        Ok((answer, report))
+    }
+
+    /// Convenience: expected count with its report.
+    pub fn expected_count(&self, pred: &Predicate) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::ExpectedCount(pred.clone()))? {
+            (QueryAnswer::Count { mean, .. }, report) => Ok((mean, report)),
+            _ => unreachable!("expected-count query answers with a count"),
+        }
+    }
+
+    /// Convenience: count distribution with its report.
+    pub fn count_distribution(
+        &self,
+        pred: &Predicate,
+    ) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::CountDistribution(pred.clone()))? {
+            (QueryAnswer::Distribution(d), report) => Ok((d, report)),
+            _ => unreachable!("count-distribution query answers with a distribution"),
+        }
+    }
+
+    /// Convenience: top-k with its report.
+    pub fn top_k(
+        &self,
+        pred: &Predicate,
+        k: usize,
+    ) -> Result<(Vec<RankedTuple>, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::TopK(pred.clone(), k))? {
+            (QueryAnswer::Ranked(r), report) => Ok((r, report)),
+            _ => unreachable!("top-k query answers with a ranking"),
+        }
+    }
+
+    fn nonzero_samples(&self) -> Result<usize, ProbDbError> {
+        if self.config.mc_samples == 0 {
+            Err(ProbDbError::NoSamples)
+        } else {
+            Ok(self.config.mc_samples)
+        }
+    }
+
+    /// Per-block hit frequency over `n` sampled worlds (`n > 0`, enforced
+    /// by the caller through [`QueryEngine::nonzero_samples`]).
+    fn mc_selection_marginals(&self, matches: &crate::column::Bitmap, n: usize) -> Vec<f64> {
+        let cols = self.db.columns();
+        let mut rng = mrsl_util::seeded_rng(self.config.mc_seed);
+        let mut hits = vec![0usize; cols.block_count()];
+        for _ in 0..n {
+            for (b, hit) in hits.iter_mut().enumerate() {
+                let range = cols.block_range(b);
+                let chosen = crate::world::choose_weighted(
+                    cols.alt_probs()[range.clone()].iter().copied(),
+                    &mut rng,
+                );
+                if matches.get(range.start + chosen) {
+                    *hit += 1;
+                }
+            }
+        }
+        hits.iter().map(|&h| h as f64 / n as f64).collect()
+    }
+
+    fn report(
+        &self,
+        path: EvalPath,
+        plan: PlanClass,
+        compiled: Option<&CompiledSelection>,
+    ) -> EvalReport {
+        let cols = self.db.columns();
+        let blocks_total = cols.block_count();
+        // Pruning statistics reuse the evaluator's alternative bitmap; a
+        // value marginal reads every block by construction.
+        let blocks_pruned = match compiled {
+            Some(sel) => count_empty_blocks(cols.block_count(), |b| {
+                sel.alt_matches.any_in(cols.block_range(b))
+            }),
+            None => 0,
+        };
+        EvalReport {
+            path,
+            plan,
+            blocks_total,
+            blocks_pruned,
+            blocks_touched: blocks_total - blocks_pruned,
+            certain_rows: cols.certain().rows(),
+            alt_rows: cols.alternatives().rows(),
+            mc_samples: match path {
+                EvalPath::ExactColumnar => 0,
+                EvalPath::MonteCarlo => self.config.mc_samples,
+            },
+        }
+    }
+}
+
+impl QuerySpec {
+    /// The selection predicate of the query, if it has one.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            Self::SelectionMarginals(p)
+            | Self::ExpectedCount(p)
+            | Self::CountDistribution(p)
+            | Self::TopK(p, _) => Some(p),
+            Self::ValueMarginal(_) => None,
+        }
+    }
+}
+
+fn count_empty_blocks(blocks: usize, mut any_match: impl FnMut(usize) -> bool) -> usize {
+    (0..blocks).filter(|&b| !any_match(b)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Alternative, Block};
+    use mrsl_relation::schema::fig1_schema;
+    use mrsl_relation::{CompleteTuple, ValueId};
+
+    fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+        Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        }
+    }
+
+    fn db() -> ProbDb {
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 0, 1, 0]))
+            .unwrap();
+        db.push_block(
+            Block::new(
+                0,
+                vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                1,
+                vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                2,
+                vec![alt(vec![2, 1, 0, 0], 0.5), alt(vec![2, 1, 0, 1], 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn liftable_queries_take_the_exact_path() {
+        let db = db();
+        let engine = QueryEngine::new(&db);
+        let pred = Predicate::eq(AttrId(2), ValueId(1));
+        let (count, report) = engine.expected_count(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        assert_eq!(report.plan, PlanClass::ExactLiftable);
+        assert_eq!(report.mc_samples, 0);
+        assert!((count - 2.3).abs() < 1e-12);
+        // Block 2 has no inc=100K alternative: pruned.
+        assert_eq!(report.blocks_total, 3);
+        assert_eq!(report.blocks_pruned, 1);
+        assert_eq!(report.blocks_touched, 2);
+        assert_eq!(report.certain_rows, 1);
+        assert_eq!(report.alt_rows, 6);
+    }
+
+    #[test]
+    fn dp_budget_routes_count_distribution_to_monte_carlo() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                max_exact_dp_blocks: 2,
+                mc_samples: 30_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::eq(AttrId(2), ValueId(1));
+        let (mc_dist, report) = engine.count_distribution(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        assert_eq!(report.plan, PlanClass::DpBudgetExceeded);
+        assert_eq!(report.mc_samples, 30_000);
+        let exact = query::count_distribution(&db, &pred);
+        for (k, &e) in exact.iter().enumerate() {
+            assert!((mc_dist[k] - e).abs() < 0.02, "k={k}");
+        }
+        // Expected count stays exact: its cost is linear.
+        let (_, report) = engine.expected_count(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+    }
+
+    #[test]
+    fn forced_monte_carlo_reports_standard_error() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 20_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::eq(AttrId(2), ValueId(1)).negate();
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::ExpectedCount(pred.clone()))
+            .unwrap();
+        assert_eq!(report.plan, PlanClass::ForcedMonteCarlo);
+        let QueryAnswer::Count { mean, std_error } = answer else {
+            panic!("count answer expected");
+        };
+        let se = std_error.expect("MC path reports a standard error");
+        let exact = query::expected_count(&db, &pred);
+        assert!((mean - exact).abs() < 4.0 * se + 0.02);
+        // Ranking has no sampling estimator: stays exact even when forced.
+        let (_, report) = engine.top_k(&pred, 3).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+    }
+
+    #[test]
+    fn zero_sample_budget_is_an_error() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let e = engine.expected_count(&Predicate::any());
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+        // Every sampled query shape refuses a zero budget the same way.
+        let e = engine.evaluate(&QuerySpec::SelectionMarginals(Predicate::any()));
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+        let e = engine.count_distribution(&Predicate::any());
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+    }
+
+    #[test]
+    fn mc_selection_marginals_agree_with_exact() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 30_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::is_in(AttrId(3), [ValueId(1)]);
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::SelectionMarginals(pred.clone()))
+            .unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        let QueryAnswer::Marginals(mc) = answer else {
+            panic!("marginals expected");
+        };
+        let exact = query::block_selection_probs(&db, &pred);
+        for (b, (&m, &e)) in mc.iter().zip(&exact).enumerate() {
+            assert!((m - e).abs() < 0.02, "block {b}: {m} vs {e}");
+        }
+    }
+
+    #[test]
+    fn value_marginal_reports_no_pruning() {
+        let db = db();
+        let engine = QueryEngine::new(&db);
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::ValueMarginal(AttrId(0)))
+            .unwrap();
+        assert_eq!(report.blocks_pruned, 0);
+        assert_eq!(report.blocks_touched, 3);
+        let QueryAnswer::Distribution(m) = answer else {
+            panic!("distribution expected");
+        };
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -5,70 +5,46 @@
 //! expected counts, the exact distribution of a COUNT(*) aggregate
 //! (a Poisson-binomial computed by dynamic programming over blocks), value
 //! marginals, and ranking tuples by membership probability.
+//!
+//! Since the columnar refactor these evaluators run on the database's
+//! [`ColumnStore`](crate::column::ColumnStore): the predicate is compiled
+//! once into a [`Bitmap`](crate::column::Bitmap) over the certain and
+//! alternative columns, and everything downstream is arithmetic over that
+//! bitmap. The original tuple-at-a-time evaluators survive in [`rowwise`]
+//! as the reference implementation — property tests assert the two paths
+//! are bit-identical, and the `query_engine` bench measures the gap.
 
 use crate::database::ProbDb;
-use mrsl_relation::{AttrId, CompleteTuple, ValueId};
-use serde::{Deserialize, Serialize};
+use mrsl_relation::{AttrId, CompleteTuple};
 
-/// A conjunctive equality predicate `a1 = v1 ∧ … ∧ ak = vk`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Predicate {
-    clauses: Vec<(AttrId, ValueId)>,
-}
-
-impl Predicate {
-    /// The always-true predicate.
-    pub fn any() -> Self {
-        Self::default()
-    }
-
-    /// Adds an equality clause.
-    #[must_use]
-    pub fn and_eq(mut self, attr: AttrId, value: ValueId) -> Self {
-        self.clauses.push((attr, value));
-        self
-    }
-
-    /// Evaluates the predicate on a complete tuple.
-    pub fn eval(&self, t: &CompleteTuple) -> bool {
-        self.clauses.iter().all(|&(a, v)| t.value(a) == v)
-    }
-
-    /// The clauses.
-    pub fn clauses(&self) -> &[(AttrId, ValueId)] {
-        &self.clauses
-    }
-}
+pub use crate::predicate::Predicate;
 
 /// Probability, per block, that the block's true tuple satisfies `pred`,
 /// in block order.
 pub fn block_selection_probs(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
-    db.blocks()
-        .iter()
-        .map(|b| b.prob_satisfies(|t| pred.eval(t)))
-        .collect()
+    let matches = pred.eval_columns(db.columns().alternatives());
+    db.columns().block_probs(&matches)
 }
 
 /// Expected number of tuples satisfying `pred`: certain matches plus the
 /// sum of block marginals (linearity of expectation across blocks).
 pub fn expected_count(db: &ProbDb, pred: &Predicate) -> f64 {
-    let certain = db.certain().iter().filter(|t| pred.eval(t)).count() as f64;
+    let certain = pred.eval_columns(db.columns().certain()).count_ones() as f64;
     certain + block_selection_probs(db, pred).iter().sum::<f64>()
 }
 
-/// Exact distribution of `COUNT(*) WHERE pred` over possible worlds.
-///
-/// Blocks contribute independent Bernoulli trials with their selection
-/// marginals; certain tuples shift the distribution. The result is a vector
-/// `d` with `d[k] = P(count = k)`, computed by the standard O(n²)
-/// Poisson-binomial DP.
-pub fn count_distribution(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
-    let base = db.certain().iter().filter(|t| pred.eval(t)).count();
-    let probs = block_selection_probs(db, pred);
+/// The Poisson-binomial DP over per-block selection probabilities, shifted
+/// by the number of certain matches. Blocks with probability 0 contribute
+/// nothing and are skipped (they still occupy a slot in the distribution's
+/// support bound, keeping the output length at `blocks + certain + 1`).
+pub(crate) fn poisson_binomial(base: usize, probs: &[f64]) -> Vec<f64> {
     let mut dist = vec![0.0f64; probs.len() + 1];
     dist[0] = 1.0;
     let mut upper = 0usize;
-    for &p in &probs {
+    for &p in probs {
+        if p == 0.0 {
+            continue;
+        }
         upper += 1;
         for k in (0..=upper).rev() {
             let stay = dist[k] * (1.0 - p);
@@ -84,19 +60,30 @@ pub fn count_distribution(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
     shifted
 }
 
+/// Exact distribution of `COUNT(*) WHERE pred` over possible worlds.
+///
+/// Blocks contribute independent Bernoulli trials with their selection
+/// marginals; certain tuples shift the distribution. The result is a vector
+/// `d` with `d[k] = P(count = k)`, computed by the standard O(n²)
+/// Poisson-binomial DP.
+pub fn count_distribution(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
+    let base = pred.eval_columns(db.columns().certain()).count_ones();
+    let probs = block_selection_probs(db, pred);
+    poisson_binomial(base, &probs)
+}
+
 /// Marginal distribution of `attr` over a random world's tuple *from one
 /// block*, averaged over blocks and certain tuples — i.e. the expected
 /// histogram of `attr` normalized by the expected table size.
 pub fn value_marginal(db: &ProbDb, attr: AttrId) -> Vec<f64> {
     let card = db.schema().cardinality(attr);
     let mut hist = vec![0.0f64; card];
-    for t in db.certain() {
-        hist[t.value(attr).index()] += 1.0;
+    let cols = db.columns();
+    for &v in cols.certain().col(attr) {
+        hist[v as usize] += 1.0;
     }
-    for b in db.blocks() {
-        for a in b.alternatives() {
-            hist[a.tuple.value(attr).index()] += a.prob;
-        }
+    for (&v, &p) in cols.alternatives().col(attr).iter().zip(cols.alt_probs()) {
+        hist[v as usize] += p;
     }
     let total: f64 = hist.iter().sum();
     if total > 0.0 {
@@ -117,32 +104,91 @@ pub struct RankedTuple {
 }
 
 /// The `k` most probable tuples satisfying `pred` (certain tuples have
-/// probability 1). Ties are broken deterministically by block order.
+/// probability 1).
+///
+/// The order is a deterministic total order: probability descending
+/// (compared with [`f64::total_cmp`], so no panic path on any input),
+/// then certain tuples before block tuples, then block key ascending,
+/// then alternative position within the block.
 pub fn top_k(db: &ProbDb, pred: &Predicate, k: usize) -> Vec<RankedTuple> {
-    let mut ranked: Vec<RankedTuple> = db
-        .certain()
-        .iter()
-        .filter(|t| pred.eval(t))
-        .map(|t| RankedTuple {
-            tuple: t.clone(),
+    let certain_matches = pred.eval_columns(db.columns().certain());
+    let alt_matches = pred.eval_columns(db.columns().alternatives());
+    top_k_from_bitmaps(db, k, &certain_matches, &alt_matches)
+}
+
+/// [`top_k`] over bitmaps the caller already computed (the planner shares
+/// one predicate compilation between the answer and its report).
+pub(crate) fn top_k_from_bitmaps(
+    db: &ProbDb,
+    k: usize,
+    certain_matches: &crate::column::Bitmap,
+    alt_matches: &crate::column::Bitmap,
+) -> Vec<RankedTuple> {
+    let cols = db.columns();
+    let mut ranked: Vec<RankedTuple> = Vec::new();
+    for i in certain_matches.iter_ones() {
+        ranked.push(RankedTuple {
+            tuple: db.certain()[i].clone(),
             prob: 1.0,
             block: None,
-        })
-        .collect();
-    for b in db.blocks() {
-        for a in b.alternatives() {
-            if pred.eval(&a.tuple) {
+        });
+    }
+    for (b, block) in db.blocks().iter().enumerate() {
+        let range = cols.block_range(b);
+        for (a, row) in range.enumerate() {
+            if alt_matches.get(row) {
                 ranked.push(RankedTuple {
-                    tuple: a.tuple.clone(),
-                    prob: a.prob,
-                    block: Some(b.key()),
+                    tuple: block.alternatives()[a].tuple.clone(),
+                    prob: block.alternatives()[a].prob,
+                    block: Some(block.key()),
                 });
             }
         }
     }
-    ranked.sort_by(|x, y| y.prob.partial_cmp(&x.prob).expect("finite probs"));
+    // `ranked` is built certain-first, then blocks in push order, then
+    // alternatives in block order — a stable sort on (prob desc, certain
+    // first, block key asc) therefore yields the documented total order.
+    ranked.sort_by(|x, y| {
+        y.prob
+            .total_cmp(&x.prob)
+            .then_with(|| match (x.block, y.block) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(a), Some(b)) => a.cmp(&b),
+            })
+    });
     ranked.truncate(k);
     ranked
+}
+
+/// Tuple-at-a-time reference evaluators (the pre-columnar implementation).
+///
+/// Kept for parity testing and benchmarking against the columnar path;
+/// semantics are identical bit-for-bit.
+pub mod rowwise {
+    use super::{poisson_binomial, Predicate, ProbDb};
+
+    /// Row-wise [`super::block_selection_probs`].
+    pub fn block_selection_probs(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
+        db.blocks()
+            .iter()
+            .map(|b| b.prob_satisfies(|t| pred.eval(t)))
+            .collect()
+    }
+
+    /// Row-wise [`super::expected_count`].
+    pub fn expected_count(db: &ProbDb, pred: &Predicate) -> f64 {
+        let certain = db.certain().iter().filter(|t| pred.eval(t)).count() as f64;
+        certain + block_selection_probs(db, pred).iter().sum::<f64>()
+    }
+
+    /// Row-wise [`super::count_distribution`].
+    pub fn count_distribution(db: &ProbDb, pred: &Predicate) -> Vec<f64> {
+        let base = db.certain().iter().filter(|t| pred.eval(t)).count();
+        let probs = block_selection_probs(db, pred);
+        poisson_binomial(base, &probs)
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +197,7 @@ mod tests {
     use crate::block::{Alternative, Block};
     use crate::world::enumerate_worlds;
     use mrsl_relation::schema::fig1_schema;
+    use mrsl_relation::ValueId;
 
     fn alt(values: Vec<u16>, prob: f64) -> Alternative {
         Alternative {
@@ -254,5 +301,81 @@ mod tests {
         let top2 = top_k(&db, &Predicate::any(), 2);
         assert_eq!(top2.len(), 2);
         assert!((top2[1].prob - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        // Three sources of probability ties: a certain tuple (prob 1), a
+        // block whose alternative also has prob 1, and two blocks with
+        // identical 0.5/0.5 splits.
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 0, 0, 0]))
+            .unwrap();
+        db.push_block(Block::new(7, vec![alt(vec![1, 0, 0, 0], 1.0)]).unwrap())
+            .unwrap();
+        db.push_block(
+            Block::new(
+                3,
+                vec![alt(vec![2, 0, 0, 0], 0.5), alt(vec![2, 1, 0, 0], 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                1,
+                vec![alt(vec![0, 2, 0, 0], 0.5), alt(vec![0, 2, 1, 0], 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let ranked = top_k(&db, &Predicate::any(), 10);
+        // Prob 1 first, certain before block 7; then 0.5 ties ordered by
+        // block key (1 before 3), alternatives in block order.
+        assert_eq!(ranked.len(), 6);
+        assert_eq!(ranked[0].block, None);
+        assert_eq!(ranked[1].block, Some(7));
+        assert_eq!(ranked[2].block, Some(1));
+        assert_eq!(ranked[2].tuple.raw(), &[0, 2, 0, 0]);
+        assert_eq!(ranked[3].block, Some(1));
+        assert_eq!(ranked[3].tuple.raw(), &[0, 2, 1, 0]);
+        assert_eq!(ranked[4].block, Some(3));
+        assert_eq!(ranked[5].block, Some(3));
+        // Repeated evaluation is identical.
+        let again = top_k(&db, &Predicate::any(), 10);
+        for (a, b) in ranked.iter().zip(&again) {
+            assert_eq!(a.tuple, b.tuple);
+            assert_eq!(a.block, b.block);
+        }
+    }
+
+    #[test]
+    fn columnar_matches_rowwise_on_compound_predicates() {
+        let db = db();
+        let preds = vec![
+            Predicate::any(),
+            Predicate::eq(AttrId(2), ValueId(1)).negate(),
+            Predicate::is_in(AttrId(0), [ValueId(0), ValueId(1)]),
+            Predicate::range(AttrId(3), ValueId(0), ValueId(0))
+                .or(Predicate::eq(AttrId(2), ValueId(0))),
+            Predicate::eq(AttrId(0), ValueId(1)).and(Predicate::eq(AttrId(3), ValueId(1))),
+        ];
+        for pred in &preds {
+            assert_eq!(
+                expected_count(&db, pred),
+                rowwise::expected_count(&db, pred),
+                "{pred:?}"
+            );
+            assert_eq!(
+                block_selection_probs(&db, pred),
+                rowwise::block_selection_probs(&db, pred),
+                "{pred:?}"
+            );
+            assert_eq!(
+                count_distribution(&db, pred),
+                rowwise::count_distribution(&db, pred),
+                "{pred:?}"
+            );
+        }
     }
 }

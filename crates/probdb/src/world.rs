@@ -51,20 +51,36 @@ pub fn enumerate_worlds(db: &ProbDb, limit: u128) -> Vec<PossibleWorld> {
     worlds
 }
 
+/// Chooses an index with probability proportional to `probs`, consuming
+/// exactly one uniform draw. Falls back to the last index on floating-point
+/// underflow of the running remainder.
+///
+/// This is the one sampling primitive shared by [`sample_world`] and the
+/// compiled Monte-Carlo estimators in [`crate::montecarlo`], so both draw
+/// identical choices from identical RNG states.
+pub fn choose_weighted<R, I>(probs: I, rng: &mut R) -> usize
+where
+    R: Rng + ?Sized,
+    I: IntoIterator<Item = f64>,
+{
+    let mut u: f64 = rng.gen::<f64>();
+    let mut last = 0;
+    for (i, p) in probs.into_iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+        last = i;
+    }
+    last
+}
+
 /// Samples one possible world.
 pub fn sample_world<R: Rng + ?Sized>(db: &ProbDb, rng: &mut R) -> PossibleWorld {
     let mut tuples = db.certain().to_vec();
     let mut prob = 1.0;
     for block in db.blocks() {
-        let mut u: f64 = rng.gen::<f64>();
-        let mut chosen = block.alternatives().len() - 1;
-        for (i, a) in block.alternatives().iter().enumerate() {
-            if u < a.prob {
-                chosen = i;
-                break;
-            }
-            u -= a.prob;
-        }
+        let chosen = choose_weighted(block.alternatives().iter().map(|a| a.prob), rng);
         let a = &block.alternatives()[chosen];
         tuples.push(a.tuple.clone());
         prob *= a.prob;

@@ -247,6 +247,20 @@ impl PartialTuple {
         CompleteTuple::from_values(values)
     }
 
+    /// Completes this tuple by filling the **missing** attributes from
+    /// `assignments` (e.g. one decoded joint-inference combination).
+    /// Observed values always win; missing attributes not covered by any
+    /// assignment default to value 0.
+    pub fn complete_with_assignments(&self, assignments: &[(AttrId, ValueId)]) -> CompleteTuple {
+        let mut values = self.values.to_vec();
+        for &(a, v) in assignments {
+            if !self.mask.contains(a) {
+                values[a.index()] = v.0;
+            }
+        }
+        CompleteTuple::from_values(values)
+    }
+
     /// Returns a copy with attribute `a` set to `v`.
     #[must_use]
     pub fn with_assignment(&self, a: AttrId, v: ValueId) -> PartialTuple {
@@ -371,6 +385,20 @@ mod tests {
         let fill = CompleteTuple::from_values(vec![9, 7, 9, 5]);
         let done = t.complete_with(&fill);
         assert_eq!(done.raw(), &[2, 7, 1, 5]);
+    }
+
+    #[test]
+    fn complete_with_assignments_respects_observed_values() {
+        let t = pt(&[Some(2), None, Some(1), None]);
+        let done = t.complete_with_assignments(&[
+            (AttrId(1), ValueId(7)),
+            (AttrId(0), ValueId(9)), // observed: ignored
+            (AttrId(3), ValueId(5)),
+        ]);
+        assert_eq!(done.raw(), &[2, 7, 1, 5]);
+        // Missing attributes without an assignment default to 0.
+        let partial = t.complete_with_assignments(&[(AttrId(3), ValueId(5))]);
+        assert_eq!(partial.raw(), &[2, 0, 1, 5]);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 use mrsl_repro::bayesnet::{BayesianNetwork, NodeSpec, TopologySpec};
 use mrsl_repro::core::{derive_probabilistic_db, DeriveConfig, GibbsConfig, LearnConfig};
+use mrsl_repro::probdb::plan::QuerySpec;
 use mrsl_repro::probdb::query::{count_distribution, expected_count, top_k, Predicate};
+use mrsl_repro::probdb::{EvalPath, QueryEngine, QueryEngineConfig};
 use mrsl_repro::relation::{AttrId, Relation, ValueId};
 use mrsl_repro::util::seeded_rng;
 use rand::seq::SliceRandom;
@@ -157,6 +159,61 @@ fn main() {
             ranked.block.expect("filtered to blocks"),
             cells.join(", "),
             ranked.prob
+        );
+    }
+
+    // Query 4: the planned engine on a compound predicate — prime matches
+    // *or* young-and-educated long shots, excluding the lowest bracket:
+    // (inc=100K ∧ nw=500K) ∨ (age=20 ∧ ¬(edu=HS)).
+    let age = schema.attr_id("age").expect("age");
+    let edu = schema.attr_id("edu").expect("edu");
+    let compound = prime
+        .clone()
+        .or(Predicate::eq(age, ValueId(0)).and(Predicate::eq(edu, ValueId(0)).negate()));
+    let engine = QueryEngine::new(&out.db);
+    let (count, report) = engine.expected_count(&compound).expect("planned query");
+    println!(
+        "\nE[#(prime ∨ young-non-HS)] = {count:.1} via {:?} ({} of {} blocks pruned)",
+        report.path, report.blocks_pruned, report.blocks_total
+    );
+
+    // The same count distribution through both physical paths: exact DP,
+    // then the Monte-Carlo fallback a tiny DP budget forces.
+    let (exact_dist, exact_report) = engine.count_distribution(&compound).expect("exact path");
+    let mc_engine = QueryEngine::with_config(
+        &out.db,
+        QueryEngineConfig {
+            max_exact_dp_blocks: 0,
+            mc_samples: 20_000,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (mc_dist, mc_report) = mc_engine.count_distribution(&compound).expect("mc path");
+    assert_eq!(exact_report.path, EvalPath::ExactColumnar);
+    assert_eq!(mc_report.path, EvalPath::MonteCarlo);
+    let exact_mean: f64 = exact_dist
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| k as f64 * p)
+        .sum();
+    let mc_mean: f64 = mc_dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+    println!(
+        "count distribution mean: exact {exact_mean:.2} ({:?}), MC {mc_mean:.2} ({:?}, {} samples)",
+        exact_report.path, mc_report.path, mc_report.mc_samples
+    );
+
+    // A range workload: middle-or-upper age bracket (30..=40).
+    let (mature, mature_report) = engine
+        .evaluate(&QuerySpec::ExpectedCount(Predicate::range(
+            age,
+            ValueId(1),
+            ValueId(2),
+        )))
+        .expect("range query");
+    if let mrsl_repro::probdb::QueryAnswer::Count { mean, .. } = mature {
+        println!(
+            "E[#profiles with age ∈ [30, 40]] = {mean:.1} via {:?}",
+            mature_report.path
         );
     }
 

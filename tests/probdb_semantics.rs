@@ -66,13 +66,13 @@ fn monte_carlo_agrees_with_exact_on_derived_db() {
     let db = derived();
     let pred = Predicate::any().and_eq(AttrId(0), ValueId(0)); // age = 20
     let exact = expected_count(&db, &pred);
-    let (mc, se) = mc_expected_count(&db, &pred, 30_000, 3);
+    let (mc, se) = mc_expected_count(&db, &pred, 30_000, 3).expect("n > 0");
     assert!(
         (mc - exact).abs() < 4.0 * se + 0.05,
         "mc {mc} vs exact {exact} (se {se})"
     );
     let exact_dist = count_distribution(&db, &pred);
-    let mc_dist = mc_count_distribution(&db, &pred, 30_000, 4);
+    let mc_dist = mc_count_distribution(&db, &pred, 30_000, 4).expect("n > 0");
     for (k, &e) in exact_dist.iter().enumerate() {
         assert!(
             (mc_dist[k] - e).abs() < 0.02,

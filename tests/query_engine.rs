@@ -1,0 +1,218 @@
+//! Property tests of the query subsystem: on randomized databases, the
+//! exact columnar evaluators, the tuple-at-a-time reference evaluators and
+//! the Monte-Carlo estimators must all tell the same story for every
+//! predicate constructor (`Eq`, `In`, `Range`, `Or`, `Not`, `And`).
+
+use mrsl_repro::probdb::query::{self, rowwise};
+use mrsl_repro::probdb::{Alternative, Block, Predicate, ProbDb};
+use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, SchemaBuilder, ValueId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random small schema: 2–4 attributes, cardinalities 2–5.
+fn arb_schema() -> impl Strategy<Value = Arc<Schema>> {
+    prop::collection::vec(2usize..=5, 2..=4).prop_map(|cards| {
+        let mut b = SchemaBuilder::default();
+        for (i, card) in cards.iter().enumerate() {
+            b = b.attribute(format!("a{i}"), (0..*card).map(|v| format!("v{v}")));
+        }
+        b.build().expect("valid schema")
+    })
+}
+
+/// Random points for a schema.
+fn arb_points(schema: Arc<Schema>, n: std::ops::Range<usize>) -> BoxedStrategy<Vec<CompleteTuple>> {
+    let cards: Vec<u16> = schema
+        .attr_ids()
+        .map(|a| schema.cardinality(a) as u16)
+        .collect();
+    prop::collection::vec(
+        cards
+            .iter()
+            .map(|&c| (0..c).boxed())
+            .collect::<Vec<_>>()
+            .prop_map(CompleteTuple::from_values),
+        n,
+    )
+    .boxed()
+}
+
+/// A random block: 1–4 distinct alternatives with normalized weights.
+fn arb_block(schema: Arc<Schema>, key: usize) -> BoxedStrategy<Block> {
+    (arb_points(schema, 1..5), prop::collection::vec(1u32..50, 4))
+        .prop_map(move |(mut tuples, weights)| {
+            tuples.sort_by(|a, b| a.raw().cmp(b.raw()));
+            tuples.dedup();
+            let total: f64 = weights.iter().take(tuples.len()).map(|&w| w as f64).sum();
+            let alts: Vec<Alternative> = tuples
+                .into_iter()
+                .zip(&weights)
+                .map(|(tuple, &w)| Alternative {
+                    tuple,
+                    prob: w as f64 / total,
+                })
+                .collect();
+            Block::normalized(key, alts).expect("non-empty normalized block")
+        })
+        .boxed()
+}
+
+/// A random database: certain tuples plus blocks.
+fn arb_db() -> BoxedStrategy<ProbDb> {
+    arb_schema()
+        .prop_flat_map(|schema| {
+            let certain = arb_points(schema.clone(), 0..6);
+            let s = schema.clone();
+            let blocks = prop::collection::vec(0u8..1, 1..7).prop_flat_map(move |slots| {
+                let s = s.clone();
+                slots
+                    .iter()
+                    .enumerate()
+                    .map(|(key, _)| arb_block(s.clone(), key))
+                    .collect::<Vec<_>>()
+            });
+            (Just(schema), certain, blocks)
+        })
+        .prop_map(|(schema, certain, blocks)| {
+            let mut db = ProbDb::new(schema);
+            for t in certain {
+                db.push_certain(t).expect("arity ok");
+            }
+            for b in blocks {
+                db.push_block(b).expect("arity ok");
+            }
+            db
+        })
+        .boxed()
+}
+
+/// One random predicate per constructor under test, sized to the schema.
+fn predicates_for(schema: &Schema, salt: u16) -> Vec<(&'static str, Predicate)> {
+    let arity = schema.attr_count() as u16;
+    let a = AttrId(salt % arity);
+    let b = AttrId((salt + 1) % arity);
+    let card = |attr: AttrId| schema.cardinality(attr) as u16;
+    let v = |attr: AttrId, k: u16| ValueId(k % card(attr));
+    let lo = v(a, salt);
+    let hi = ValueId((lo.0 + 1).min(card(a) - 1));
+    vec![
+        ("eq", Predicate::eq(a, v(a, salt + 1))),
+        ("in", Predicate::is_in(a, [v(a, salt), v(a, salt + 2)])),
+        ("range", Predicate::range(a, lo, hi)),
+        (
+            "or",
+            Predicate::eq(a, v(a, salt)).or(Predicate::eq(b, v(b, salt + 1))),
+        ),
+        ("not", Predicate::eq(b, v(b, salt)).negate()),
+        (
+            "and-not",
+            Predicate::range(a, ValueId(0), hi).and(Predicate::eq(b, v(b, salt)).negate()),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Columnar and per-tuple predicate evaluation are bit-identical, for
+    /// every row of both column sets and every constructor.
+    #[test]
+    fn columnar_eval_is_bit_identical_to_per_tuple(
+        (db, salt) in (arb_db(), 0u16..64)
+    ) {
+        let cols = db.columns();
+        for (name, pred) in predicates_for(db.schema(), salt) {
+            let certain = pred.eval_columns(cols.certain());
+            for (i, t) in db.certain().iter().enumerate() {
+                prop_assert_eq!(certain.get(i), pred.eval(t), "{}: certain row {}", name, i);
+            }
+            let alts = pred.eval_columns(cols.alternatives());
+            let mut row = 0;
+            for block in db.blocks() {
+                for a in block.alternatives() {
+                    prop_assert_eq!(alts.get(row), pred.eval(&a.tuple), "{}: alt row {}", name, row);
+                    row += 1;
+                }
+            }
+            // And therefore the aggregate evaluators agree exactly.
+            prop_assert_eq!(
+                query::expected_count(&db, &pred),
+                rowwise::expected_count(&db, &pred),
+                "{}", name
+            );
+            prop_assert_eq!(
+                query::block_selection_probs(&db, &pred),
+                rowwise::block_selection_probs(&db, &pred),
+                "{}", name
+            );
+            prop_assert_eq!(
+                query::count_distribution(&db, &pred),
+                rowwise::count_distribution(&db, &pred),
+                "{}", name
+            );
+        }
+    }
+
+    /// Exact and Monte-Carlo count distributions agree within MC error on
+    /// randomized databases, for every predicate constructor.
+    #[test]
+    fn exact_and_monte_carlo_distributions_agree(
+        (db, salt) in (arb_db(), 0u16..64)
+    ) {
+        for (name, pred) in predicates_for(db.schema(), salt) {
+            let exact = query::count_distribution(&db, &pred);
+            let n = 6_000;
+            let mc = mrsl_repro::probdb::montecarlo::mc_count_distribution(
+                &db, &pred, n, 0xc0de ^ salt as u64,
+            ).expect("n > 0");
+            // Each bin is a Bernoulli frequency: 4σ + slack covers it.
+            for (k, &e) in exact.iter().enumerate() {
+                let sigma = (e * (1.0 - e) / n as f64).sqrt();
+                prop_assert!(
+                    (mc[k] - e).abs() < 4.0 * sigma + 0.02,
+                    "{}: k={} exact {} mc {}", name, k, e, mc[k]
+                );
+            }
+            // Means line up with the exact expected count too.
+            let (mean, se) = mrsl_repro::probdb::montecarlo::mc_expected_count(
+                &db, &pred, n, 0xfeed ^ salt as u64,
+            ).expect("n > 0");
+            let exact_mean = query::expected_count(&db, &pred);
+            prop_assert!(
+                (mean - exact_mean).abs() < 4.0 * se + 0.05,
+                "{}: mean {} vs {}", name, mean, exact_mean
+            );
+        }
+    }
+
+    /// The planner's two physical paths answer the same question: routing
+    /// the count distribution through Monte Carlo (tiny DP budget) stays
+    /// within sampling error of the exact path.
+    #[test]
+    fn planner_paths_agree_on_count_distribution(
+        (db, salt) in (arb_db(), 0u16..64)
+    ) {
+        use mrsl_repro::probdb::{EvalPath, QueryEngine, QueryEngineConfig};
+        let exact_engine = QueryEngine::new(&db);
+        let mc_engine = QueryEngine::with_config(&db, QueryEngineConfig {
+            max_exact_dp_blocks: 0,
+            mc_samples: 6_000,
+            mc_seed: 0xab ^ salt as u64,
+            ..QueryEngineConfig::default()
+        });
+        let (_, pred) = predicates_for(db.schema(), salt).pop().expect("non-empty");
+        let (exact, exact_report) = exact_engine.count_distribution(&pred).expect("exact");
+        let (mc, mc_report) = mc_engine.count_distribution(&pred).expect("mc");
+        prop_assert_eq!(exact_report.path, EvalPath::ExactColumnar);
+        prop_assert_eq!(mc_report.path, EvalPath::MonteCarlo);
+        prop_assert_eq!(mc_report.mc_samples, 6_000);
+        for (k, &e) in exact.iter().enumerate() {
+            prop_assert!((mc[k] - e).abs() < 0.05, "k={} exact {} mc {}", k, e, mc[k]);
+        }
+        // The report's pruning arithmetic is internally consistent.
+        prop_assert_eq!(
+            exact_report.blocks_touched + exact_report.blocks_pruned,
+            exact_report.blocks_total
+        );
+    }
+}

@@ -212,7 +212,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
