@@ -1,0 +1,73 @@
+//! Bench: exact extensional joins vs multi-relation Monte Carlo.
+//!
+//! A hierarchical two-relation join (sensors ⨝ readings on the station
+//! key, with a selection on each side) is evaluated through the
+//! [`CatalogEngine`] on both physical paths: the exact safe plan — key
+//! partition with per-block products — and the forced joint-world sampler.
+//! The gap is the price of sampling where lifting is possible; the
+//! expected-count rows additionally measure the mass-table join that stays
+//! exact for every shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrsl_bench::synthetic_join_catalog;
+use mrsl_probdb::{CatalogEngine, Predicate, Query, QueryEngineConfig, Statistic};
+use mrsl_relation::{AttrId, ValueId};
+
+/// σ[kind ∈ {0,1}](sensors) ⨝ σ[level ≥ 2](readings) on the station.
+fn join_query() -> Query {
+    Query::scan("sensors")
+        .filter(Predicate::is_in(AttrId(1), [ValueId(0), ValueId(1)]))
+        .join_on(
+            Query::scan("readings").filter(Predicate::range(AttrId(1), ValueId(2), ValueId(3))),
+            [(AttrId(0), AttrId(0))],
+        )
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins");
+    group.sample_size(15);
+    for &(stations, certain, blocks) in &[(64usize, 2_000usize, 1_000usize), (256, 10_000, 5_000)] {
+        let catalog = synthetic_join_catalog(stations, certain, blocks, 3, 42);
+        let query = join_query();
+        let size = certain + blocks;
+        group.bench_with_input(
+            BenchmarkId::new("exact_probability", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::new(catalog);
+                b.iter(|| std::hint::black_box(engine.probability(&query).expect("exact")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mc_probability", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::with_config(
+                    catalog,
+                    QueryEngineConfig {
+                        force_monte_carlo: true,
+                        mc_samples: 500,
+                        ..QueryEngineConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    std::hint::black_box(
+                        engine.evaluate(&query, Statistic::Probability).expect("mc"),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_expected_count", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::new(catalog);
+                b.iter(|| std::hint::black_box(engine.expected_count(&query).expect("exact")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrsl_bench::wide_synthetic_db;
 use mrsl_probdb::query::{self, rowwise, Predicate};
-use mrsl_probdb::{QueryEngine, QueryEngineConfig};
+use mrsl_probdb::{Catalog, CatalogEngine, Query, QueryEngineConfig};
 use mrsl_relation::{AttrId, ValueId};
 
 /// A compound predicate touching three attributes:
@@ -37,28 +37,31 @@ fn bench_selection(c: &mut Criterion) {
             &db,
             |b, db| b.iter(|| std::hint::black_box(query::expected_count(db, &pred))),
         );
+        let mut catalog = Catalog::new();
+        catalog.add("db", db).expect("fresh catalog");
+        let query = Query::scan("db").filter(pred.clone());
         group.bench_with_input(
             BenchmarkId::new("planned_expected_count", certain + blocks),
-            &db,
-            |b, db| {
-                let engine = QueryEngine::new(db);
-                b.iter(|| std::hint::black_box(engine.expected_count(&pred).expect("exact")))
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::new(catalog);
+                b.iter(|| std::hint::black_box(engine.expected_count(&query).expect("exact")))
             },
         );
         group.bench_with_input(
             BenchmarkId::new("planned_count_distribution_mc", certain + blocks),
-            &db,
-            |b, db| {
+            &catalog,
+            |b, catalog| {
                 // A DP budget of 0 forces the Monte-Carlo fallback.
-                let engine = QueryEngine::with_config(
-                    db,
+                let engine = CatalogEngine::with_config(
+                    catalog,
                     QueryEngineConfig {
                         max_exact_dp_blocks: 0,
                         mc_samples: 1_000,
                         ..QueryEngineConfig::default()
                     },
                 );
-                b.iter(|| std::hint::black_box(engine.count_distribution(&pred).expect("mc")))
+                b.iter(|| std::hint::black_box(engine.count_distribution(&query).expect("mc")))
             },
         );
     }

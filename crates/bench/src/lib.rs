@@ -126,6 +126,78 @@ pub fn wide_synthetic_db(
     db
 }
 
+/// Builds a two-relation synthetic catalog for the join benches:
+/// `sensors(station, kind, calib)` and `readings(station, level, flag)`
+/// over a shared `stations`-value dictionary. Every block keeps a fixed
+/// station (the join key) and spreads its `alts` alternatives over the
+/// other attributes, so hierarchical join queries stay on the exact path.
+///
+/// # Panics
+/// Panics when `alts` distinct non-station combinations cannot exist
+/// (`alts > card²` for the fixed per-attribute cardinality of 4).
+pub fn synthetic_join_catalog(
+    stations: usize,
+    certain: usize,
+    blocks: usize,
+    alts: usize,
+    seed: u64,
+) -> mrsl_probdb::Catalog {
+    use mrsl_probdb::{Alternative, Block, Catalog, ProbDb};
+    use mrsl_relation::{CompleteTuple, SchemaBuilder};
+
+    const CARD: usize = 4;
+    assert!(alts <= CARD * CARD, "cannot draw {alts} distinct combos");
+    let station_labels: Vec<String> = (0..stations).map(|s| format!("s{s}")).collect();
+    let schema = |a: &str, b: &str| {
+        SchemaBuilder::default()
+            .attribute("station", station_labels.clone())
+            .attribute(a, (0..CARD).map(|v| format!("{a}{v}")))
+            .attribute(b, (0..CARD).map(|v| format!("{b}{v}")))
+            .build()
+            .expect("valid synthetic schema")
+    };
+    let mut rng = seeded_rng(derive_seed(seed, &[0x10, 0x1b]));
+    let mut build = |schema: std::sync::Arc<mrsl_relation::Schema>| -> ProbDb {
+        let mut db = ProbDb::new(schema);
+        for _ in 0..certain {
+            let t = CompleteTuple::from_values(vec![
+                rng.gen_range(0..stations as u16),
+                rng.gen_range(0..CARD as u16),
+                rng.gen_range(0..CARD as u16),
+            ]);
+            db.push_certain(t).expect("arity ok");
+        }
+        for key in 0..blocks {
+            let station = rng.gen_range(0..stations as u16);
+            let mut combos: Vec<(u16, u16)> = Vec::with_capacity(alts);
+            while combos.len() < alts {
+                let c = (rng.gen_range(0..CARD as u16), rng.gen_range(0..CARD as u16));
+                if !combos.contains(&c) {
+                    combos.push(c);
+                }
+            }
+            let alternatives = combos
+                .into_iter()
+                .map(|(a, b)| Alternative {
+                    tuple: CompleteTuple::from_values(vec![station, a, b]),
+                    prob: rng.gen_range(1..100) as f64,
+                })
+                .collect();
+            db.push_block(Block::normalized(key, alternatives).expect("valid block"))
+                .expect("arity ok");
+        }
+        db
+    };
+    let mut catalog = Catalog::new();
+    catalog
+        .add("sensors", build(schema("kind", "calib")))
+        .expect("fresh catalog");
+    catalog
+        .add("readings", build(schema("level", "flag")))
+        .expect("fresh catalog");
+    catalog
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +210,20 @@ mod tests {
         let (_, m1) = learned_model("BN8", 500, 0.01, 7);
         let (_, m2) = learned_model("BN8", 500, 0.01, 7);
         assert_eq!(m1.size(), m2.size());
+    }
+
+    #[test]
+    fn join_catalog_blocks_keep_unique_stations() {
+        let catalog = synthetic_join_catalog(8, 50, 30, 3, 7);
+        for (_, db) in catalog.iter() {
+            for block in db.blocks() {
+                let station = block.alternatives()[0].tuple.raw()[0];
+                assert!(block
+                    .alternatives()
+                    .iter()
+                    .all(|a| a.tuple.raw()[0] == station));
+            }
+        }
     }
 
     #[test]

@@ -150,7 +150,12 @@ pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> De
 }
 
 /// Converts `Δt` into a block of complete alternatives.
-fn estimate_to_block(key: usize, t: &PartialTuple, est: &JointEstimate, min_prob: f64) -> Block {
+pub(crate) fn estimate_to_block(
+    key: usize,
+    t: &PartialTuple,
+    est: &JointEstimate,
+    min_prob: f64,
+) -> Block {
     let arity = t.arity();
     let mut alternatives = Vec::new();
     for (idx, &p) in est.probs.iter().enumerate() {

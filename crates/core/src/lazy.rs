@@ -21,11 +21,13 @@
 //! expected count, plus how much inference work was skipped.
 
 use crate::config::GibbsConfig;
+use crate::derive::estimate_to_block;
 use crate::infer::batch::infer_batch;
 use crate::infer::dag::{workload_engine, SamplingCost, WorkloadStrategy};
 use crate::model::MrslModel;
 use mrsl_probdb::query::Predicate;
-use mrsl_relation::{PartialTuple, Relation};
+use mrsl_probdb::{Catalog, ProbDb, ProbDbError, Query};
+use mrsl_relation::{CompleteTuple, PartialTuple, Relation};
 use serde::{Deserialize, Serialize};
 
 /// Why a tuple did or did not need inference.
@@ -143,6 +145,140 @@ pub fn derive_for_query(
         sampling_cost,
         skipped,
     }
+}
+
+/// One source relation of a lazy catalog derivation: the raw (partially
+/// incomplete) relation plus the model learned from its complete part.
+#[derive(Debug, Clone, Copy)]
+pub struct LazySource<'a> {
+    /// Catalog name the query's scans refer to.
+    pub name: &'a str,
+    /// The source relation (complete + incomplete tuples).
+    pub relation: &'a Relation,
+    /// The MRSL model used to infer `Δt` for this relation.
+    pub model: &'a MrslModel,
+}
+
+/// Per-relation derivation statistics of [`derive_catalog_for_query`].
+#[derive(Debug, Clone)]
+pub struct LazyRelationStats {
+    /// Relation name.
+    pub relation: String,
+    /// Incomplete tuples whose observed values contradict the query's
+    /// selection: omitted entirely, no inference, no block.
+    pub ruled_out: usize,
+    /// Incomplete tuples the query is already decided on (selection
+    /// observed true, every join key observed): materialized without
+    /// inference.
+    pub pinned: usize,
+    /// Incomplete tuples that needed `Δt` inference.
+    pub inferred: usize,
+    /// Cost of the sampling actually performed for this relation.
+    pub sampling_cost: SamplingCost,
+}
+
+/// Output of [`derive_catalog_for_query`].
+#[derive(Debug)]
+pub struct LazyCatalogOutput {
+    /// The derived catalog, ready for
+    /// [`CatalogEngine`](mrsl_probdb::CatalogEngine).
+    pub catalog: Catalog,
+    /// Per-relation triage statistics, in query scan order.
+    pub per_relation: Vec<LazyRelationStats>,
+}
+
+/// Derives a query-targeted [`Catalog`]: for every relation the `query`
+/// scans, infers `Δt` **only** for the incomplete tuples the query
+/// actually depends on.
+///
+/// The triage extends [`derive_for_query`] per relation with join
+/// awareness (via [`Query::scan_requirements`]):
+///
+/// * selection observed-false → the tuple can never satisfy its scan's
+///   predicate; it is omitted (no inference, no block);
+/// * selection observed-true **and** every join attribute observed → the
+///   tuple's effect on the query is fully determined; it is pinned as a
+///   certain tuple (missing non-query attributes default to value 0), no
+///   inference;
+/// * otherwise → `Δt` is inferred and the tuple becomes a regular block.
+///
+/// The resulting catalog is **valid only for this query's
+/// probability/count statistics** (`Probability`, `ExpectedCount`,
+/// `CountDistribution`): those read nothing beyond the selection and join
+/// attributes the triage conditions on. Statistics that read attribute
+/// *values* out of the tuples — `ValueMarginal`, `TopK` — would see the
+/// pinned tuples' zero-filled missing attributes as real data; use the
+/// eager [`derive_probabilistic_db`](crate::derive_probabilistic_db) for
+/// those, as for any unrelated query (omitted tuples are missing rows
+/// there too). Sources the query does not scan are skipped.
+pub fn derive_catalog_for_query(
+    sources: &[LazySource<'_>],
+    query: &Query,
+    gibbs: &GibbsConfig,
+    strategy: WorkloadStrategy,
+    seed: u64,
+) -> Result<LazyCatalogOutput, ProbDbError> {
+    let requirements = query.scan_requirements()?;
+    let mut catalog = Catalog::new();
+    let mut per_relation = Vec::with_capacity(requirements.len());
+    for req in &requirements {
+        let source = sources
+            .iter()
+            .find(|s| s.name == req.relation)
+            .ok_or_else(|| ProbDbError::UnknownRelation(req.relation.clone()))?;
+        let relation = source.relation;
+        let mut db = ProbDb::new(relation.schema().clone());
+        for point in relation.complete_part() {
+            db.push_certain(point.clone())
+                .expect("schema arity verified by the relation");
+        }
+
+        // Triage: which incomplete tuples does this query actually need
+        // derived?
+        let incomplete = relation.incomplete_part();
+        let mut stats = LazyRelationStats {
+            relation: req.relation.clone(),
+            ruled_out: 0,
+            pinned: 0,
+            inferred: 0,
+            sampling_cost: SamplingCost::default(),
+        };
+        let mut workload: Vec<PartialTuple> = Vec::new();
+        let mut keys: Vec<usize> = Vec::new();
+        for (key, t) in incomplete.iter().enumerate() {
+            match req.pred.eval_partial(t) {
+                Some(false) => stats.ruled_out += 1,
+                Some(true) if req.join_attrs.is_subset(t.mask()) => {
+                    stats.pinned += 1;
+                    let values = (0..t.arity() as u16)
+                        .map(|a| t.get(mrsl_relation::AttrId(a)).map(|v| v.0).unwrap_or(0))
+                        .collect();
+                    db.push_certain(CompleteTuple::from_values(values))
+                        .expect("arity matches the schema");
+                }
+                _ => {
+                    workload.push(t.clone());
+                    keys.push(key);
+                }
+            }
+        }
+        stats.inferred = workload.len();
+        if !workload.is_empty() {
+            let engine = workload_engine(strategy, gibbs);
+            let result = infer_batch(source.model, &workload, engine.as_ref(), gibbs.voting, seed);
+            stats.sampling_cost = result.cost;
+            for ((key, t), est) in keys.iter().zip(&workload).zip(&result.estimates) {
+                db.push_block(estimate_to_block(*key, t, est, 0.0))
+                    .expect("blocks validated on build");
+            }
+        }
+        catalog.add(req.relation.clone(), db)?;
+        per_relation.push(stats);
+    }
+    Ok(LazyCatalogOutput {
+        catalog,
+        per_relation,
+    })
 }
 
 #[cfg(test)]
@@ -273,6 +409,127 @@ mod tests {
             assert_eq!(s.disposition, LazyDisposition::Certain);
             assert_eq!(s.prob, 1.0);
         }
+    }
+
+    #[test]
+    fn empty_conjunction_skips_all_inference() {
+        // Regression (ROADMAP open item): `And([]) ≡ Any` must be decided
+        // — `Some(true)` — on every incomplete tuple, so a query with an
+        // empty conjunction derives nothing.
+        let (rel, model, gibbs) = setup();
+        let pred = Predicate::And(vec![]);
+        let out = derive_for_query(&rel, &model, &pred, &gibbs, WorkloadStrategy::TupleDag, 1);
+        assert!(out
+            .selections
+            .iter()
+            .all(|s| s.disposition == LazyDisposition::Certain && s.prob == 1.0));
+        assert_eq!(out.skipped, rel.incomplete_part().len());
+        assert_eq!(out.sampling_cost.total_draws, 0);
+        assert_eq!(out.expected_count, rel.len() as f64);
+    }
+
+    #[test]
+    fn catalog_derivation_triages_per_relation() {
+        use mrsl_probdb::{CatalogEngine, EvalPath};
+        use mrsl_relation::ValueId;
+
+        let (profiles, model, gibbs) = setup();
+        // A second relation over the same dictionaries: a few complete
+        // partners plus incomplete ones.
+        let mut partners = Relation::new(profiles.schema().clone());
+        for values in [vec![0u16, 0, 1, 0], vec![1, 1, 1, 1], vec![2, 2, 0, 0]] {
+            partners
+                .push_complete(mrsl_relation::CompleteTuple::from_values(values))
+                .unwrap();
+        }
+        // ⟨20, ?, 100K, ?⟩: selection (inc=100K) observed true, join key
+        // (age) observed → pinned without inference.
+        partners
+            .push(PartialTuple::from_options(&[Some(0), None, Some(1), None]))
+            .unwrap();
+        // ⟨?, HS, 100K, ?⟩: join key missing → must be inferred.
+        partners
+            .push(PartialTuple::from_options(&[None, Some(0), Some(1), None]))
+            .unwrap();
+        // ⟨30, BS, 50K, ?⟩: selection observed false → ruled out.
+        partners
+            .push(PartialTuple::from_options(&[
+                Some(1),
+                Some(1),
+                Some(0),
+                None,
+            ]))
+            .unwrap();
+        let partner_model = MrslModel::learn(
+            partners.schema(),
+            partners.complete_part(),
+            &LearnConfig {
+                support_threshold: 0.01,
+                max_itemsets: 1000,
+            },
+        );
+
+        // profiles ⨝ partners on age, selecting inc=100K partners.
+        let inc_100k = Predicate::any().and_eq(AttrId(2), ValueId(1));
+        let query = Query::scan("profiles").join_on(
+            Query::scan("partners").filter(inc_100k.clone()),
+            [(AttrId(0), AttrId(0))],
+        );
+        let sources = [
+            LazySource {
+                name: "profiles",
+                relation: &profiles,
+                model: &model,
+            },
+            LazySource {
+                name: "partners",
+                relation: &partners,
+                model: &partner_model,
+            },
+        ];
+        let out = derive_catalog_for_query(&sources, &query, &gibbs, WorkloadStrategy::TupleDag, 1)
+            .unwrap();
+
+        // Partner triage: exactly the shapes constructed above.
+        let ps = &out.per_relation[1];
+        assert_eq!(ps.relation, "partners");
+        assert_eq!(ps.pinned, 1);
+        assert_eq!(ps.inferred, 1);
+        assert_eq!(ps.ruled_out, 1);
+        let partners_db = out.catalog.get("partners").unwrap();
+        assert_eq!(partners_db.blocks().len(), 1); // only the inferred tuple
+        assert_eq!(partners_db.certain().len(), 4); // 3 complete + 1 pinned
+
+        // Profile triage: no selection on profiles, so nothing is ruled
+        // out, and tuples with the join key (age) observed need no
+        // inference either — only age-missing tuples derive.
+        let pf = &out.per_relation[0];
+        assert_eq!(pf.ruled_out, 0);
+        let age_missing = profiles
+            .incomplete_part()
+            .iter()
+            .filter(|t| t.get(AttrId(0)).is_none())
+            .count();
+        assert_eq!(pf.inferred, age_missing);
+        assert_eq!(pf.pinned, profiles.incomplete_part().len() - age_missing);
+
+        // The catalog answers the join exactly (hierarchical, keys unique
+        // per block since only age-observed tuples were pinned and the
+        // inferred blocks condition on the predicate... unless inference
+        // left the key open — then the planner reports it).
+        let engine = CatalogEngine::new(&out.catalog);
+        let (count, _) = engine.expected_count(&query).unwrap();
+        assert!(count > 0.0, "some 100K partner pairs must exist: {count}");
+        let (p, report) = engine.probability(&query).unwrap();
+        assert!((0.0..=1.0 + 1e-9).contains(&p));
+        // Blocks with the age key inferred straddle join values, so the
+        // planner must take the Monte-Carlo route — and say why.
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+
+        // Missing sources are a typed error.
+        let e =
+            derive_catalog_for_query(&sources[..1], &query, &gibbs, WorkloadStrategy::TupleDag, 1);
+        assert!(matches!(e, Err(ProbDbError::UnknownRelation(n)) if n == "partners"));
     }
 
     #[test]

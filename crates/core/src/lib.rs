@@ -56,7 +56,10 @@ pub use infer::engine::{
 };
 pub use infer::gibbs::JointEstimate;
 pub use lattice::{MetaRuleId, Mrsl};
-pub use lazy::{derive_for_query, LazyDisposition, LazyQueryOutput, LazySelection};
+pub use lazy::{
+    derive_catalog_for_query, derive_for_query, LazyCatalogOutput, LazyDisposition,
+    LazyQueryOutput, LazyRelationStats, LazySelection, LazySource,
+};
 pub use meta_rule::MetaRule;
 pub use model::{LearnStats, MrslModel};
 #[allow(deprecated)]

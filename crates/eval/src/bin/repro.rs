@@ -4,14 +4,15 @@
 //!   repro <experiment|all> [--full] [--json] [--seed N] [--threads N]
 //!
 //! Experiments: table1 fig7 fig4a fig4b fig4c table2 fig5 fig6 fig8a fig8b
-//!              fig8c fig9 fig10 fig11 ablation queries
+//!              fig8c fig9 fig10 fig11 ablation queries joins
 //!
 //! Defaults run scaled-down parameters (minutes); `--full` restores the
 //! paper-scale settings (CPU-hours). `--json` emits machine-readable
 //! output for EXPERIMENTS.md tooling.
 
 use mrsl_eval::experiments::{
-    ablation, fig10, fig11, fig4, fig5, fig6, fig8, fig9, queries, table1, table2, ExpOptions,
+    ablation, fig10, fig11, fig4, fig5, fig6, fig8, fig9, joins, queries, table1, table2,
+    ExpOptions,
 };
 use mrsl_eval::Report;
 use std::io::Write as _;
@@ -36,6 +37,7 @@ fn registry() -> Vec<(&'static str, Runner)> {
         ("fig11", fig11::run),
         ("ablation", ablation::run),
         ("queries", queries::run),
+        ("joins", joins::run),
     ]
 }
 
@@ -128,7 +130,7 @@ fn usage(err: &str) -> ! {
         "usage: repro <experiment ...|all> [--full] [--json] [--seed N] [--threads N] \
          [--instances N] [--splits N]\n\
          experiments: table1 fig7 fig4a fig4b fig4c table2 fig5 fig6 fig8a fig8b fig8c \
-         fig9 fig10 fig11 ablation queries"
+         fig9 fig10 fig11 ablation queries joins"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -15,6 +15,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod joins;
 pub mod queries;
 pub mod table1;
 pub mod table2;

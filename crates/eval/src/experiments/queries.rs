@@ -3,7 +3,7 @@
 //! Beyond the paper's own tables: derives a probabilistic database from a
 //! catalog network plus an incomplete workload, then pushes a suite of
 //! compound `Or`/`Range`/`Not` selections through the planned
-//! [`QueryEngine`] on **both** physical paths. For every predicate the
+//! [`CatalogEngine`] on **both** physical paths. For every predicate the
 //! exact lifted (columnar) path and the Monte-Carlo fallback must agree
 //! within sampling error; the report shows the expected counts, the
 //! planner's pruning, and the MC deviation in standard errors.
@@ -12,7 +12,7 @@ use crate::experiments::ExpOptions;
 use crate::report::Report;
 use mrsl_bayesnet::sampler::sample_dataset;
 use mrsl_core::{derive_probabilistic_db, DeriveConfig, GibbsConfig, LearnConfig};
-use mrsl_probdb::{Predicate, ProbDb, QueryEngine, QueryEngineConfig};
+use mrsl_probdb::{Catalog, CatalogEngine, Predicate, ProbDb, Query, QueryEngineConfig};
 use mrsl_relation::{AttrId, Relation, ValueId};
 use mrsl_util::table::fmt_f;
 use mrsl_util::{derive_seed, seeded_rng, Table};
@@ -94,10 +94,13 @@ fn workload(db: &ProbDb) -> Vec<(&'static str, Predicate)> {
 /// Exact vs Monte-Carlo agreement of the planned engine.
 pub fn run(opts: &ExpOptions) -> Report {
     let (_, _, _, mc_samples) = params(opts);
-    let db = derive_db(opts);
-    let exact_engine = QueryEngine::new(&db);
-    let mc_engine = QueryEngine::with_config(
-        &db,
+    let mut catalog = Catalog::new();
+    catalog
+        .add("derived", derive_db(opts))
+        .expect("fresh catalog");
+    let exact_engine = CatalogEngine::new(&catalog);
+    let mc_engine = CatalogEngine::with_config(
+        &catalog,
         QueryEngineConfig {
             force_monte_carlo: true,
             mc_samples,
@@ -113,10 +116,11 @@ pub fn run(opts: &ExpOptions) -> Report {
         "path exact / MC",
         "blocks pruned",
     ]);
-    for (name, pred) in workload(&db) {
-        let (exact, exact_report) = exact_engine.expected_count(&pred).expect("exact path");
+    for (name, pred) in workload(catalog.get("derived").expect("added above")) {
+        let query = Query::scan("derived").filter(pred);
+        let (exact, exact_report) = exact_engine.expected_count(&query).expect("exact path");
         let (mc_answer, mc_report) = mc_engine
-            .evaluate(&mrsl_probdb::plan::QuerySpec::ExpectedCount(pred.clone()))
+            .evaluate(&query, mrsl_probdb::Statistic::ExpectedCount)
             .expect("mc path");
         let mrsl_probdb::QueryAnswer::Count { mean, std_error } = mc_answer else {
             unreachable!("expected-count answers with a count");
@@ -152,11 +156,12 @@ mod tests {
             seed: 11,
             ..ExpOptions::default()
         };
-        let db = derive_db(&opts);
-        assert!(!db.blocks().is_empty());
-        let exact_engine = QueryEngine::new(&db);
-        let mc_engine = QueryEngine::with_config(
-            &db,
+        let mut catalog = Catalog::new();
+        catalog.add("derived", derive_db(&opts)).unwrap();
+        assert!(!catalog.get("derived").unwrap().blocks().is_empty());
+        let exact_engine = CatalogEngine::new(&catalog);
+        let mc_engine = CatalogEngine::with_config(
+            &catalog,
             QueryEngineConfig {
                 force_monte_carlo: true,
                 mc_samples: 20_000,
@@ -164,10 +169,11 @@ mod tests {
                 ..QueryEngineConfig::default()
             },
         );
-        for (name, pred) in workload(&db) {
-            let (exact, _) = exact_engine.expected_count(&pred).expect("exact");
+        for (name, pred) in workload(catalog.get("derived").unwrap()) {
+            let query = Query::scan("derived").filter(pred);
+            let (exact, _) = exact_engine.expected_count(&query).expect("exact");
             let (answer, _) = mc_engine
-                .evaluate(&mrsl_probdb::plan::QuerySpec::ExpectedCount(pred.clone()))
+                .evaluate(&query, mrsl_probdb::Statistic::ExpectedCount)
                 .expect("mc");
             let mrsl_probdb::QueryAnswer::Count { mean, std_error } = answer else {
                 panic!("count expected");

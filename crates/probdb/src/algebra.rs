@@ -1,0 +1,499 @@
+//! Composable relational-algebra query trees over a [`Catalog`].
+//!
+//! [`Query`] replaces the flat `QuerySpec` enum with a tree the planner
+//! can classify structurally: scans of named relations, selections
+//! ([`Predicate`]), equi-joins on dictionary-encoded attributes, and a
+//! bag-semantics projection. Trees are built fluently —
+//!
+//! ```
+//! use mrsl_probdb::{Predicate, Query};
+//! use mrsl_relation::{AttrId, ValueId};
+//!
+//! let q = Query::scan("sensors")
+//!     .filter(Predicate::eq(AttrId(1), ValueId(0)))
+//!     .join_on("readings", [(AttrId(0), AttrId(0))])
+//!     .project([AttrId(0)]);
+//! assert_eq!(q.relations(), vec!["sensors", "readings"]);
+//! ```
+//!
+//! — and evaluated by [`crate::plan::CatalogEngine`], which classifies the
+//! shape (hierarchical join structures get exact extensional plans,
+//! everything else goes Monte Carlo) and answers a [`Statistic`] about the
+//! result.
+//!
+//! Two deliberate restrictions keep resolution unambiguous: selections
+//! apply to single-relation subtrees (push your σ below the ⨝, as a
+//! planner would anyway), and a relation may be scanned at most once per
+//! query (self-joins have no safe-plan story here yet).
+//!
+//! [`Catalog`]: crate::catalog::Catalog
+
+use crate::predicate::Predicate;
+use crate::ProbDbError;
+use mrsl_relation::{AttrId, AttrMask};
+
+/// One node of a relational-algebra tree. Public so planners and tools can
+/// pattern-match on the shape; built through the [`Query`] methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryNode {
+    /// Scan of a named catalog relation.
+    Scan {
+        /// Relation name, resolved against the catalog at plan time.
+        relation: String,
+    },
+    /// Selection over a single-relation subtree.
+    Filter {
+        /// The filtered input.
+        input: Box<QueryNode>,
+        /// The selection predicate, over the scanned relation's attributes.
+        pred: Predicate,
+    },
+    /// Equi-join of two subtrees on one or more attribute pairs.
+    Join {
+        /// Left input (the tree built so far).
+        left: Box<QueryNode>,
+        /// Right input (usually a scan).
+        right: Box<QueryNode>,
+        /// Join conditions; every pair must be dictionary-compatible.
+        on: Vec<JoinPair>,
+    },
+    /// Bag-semantics projection (presentation metadata: it renames no
+    /// columns and, without duplicate elimination, changes no counts).
+    Project {
+        /// The projected input.
+        input: Box<QueryNode>,
+        /// Attributes of the query's primary (first-scanned) relation to
+        /// report.
+        attrs: Vec<AttrId>,
+    },
+}
+
+/// One equi-join condition `left.left_attr = right.right_attr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPair {
+    /// Which relation of the left subtree anchors `left_attr`; `None`
+    /// means the subtree's primary (first-scanned) relation.
+    pub left_rel: Option<String>,
+    /// The left-side join attribute.
+    pub left_attr: AttrId,
+    /// The right-side join attribute, anchored to the right subtree's
+    /// primary relation.
+    pub right_attr: AttrId,
+}
+
+/// What to compute about a query's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Statistic {
+    /// `P(result is non-empty)` — the boolean-query probability the
+    /// safe-plan literature is about.
+    Probability,
+    /// `E[|result|]` under bag semantics.
+    ExpectedCount,
+    /// Distribution of `|result|` over possible worlds.
+    CountDistribution,
+    /// Per-block selection marginals (single-relation queries only).
+    Marginals,
+    /// The `k` most probable matching tuples (single-relation only).
+    TopK(usize),
+    /// Marginal distribution of one attribute (single-relation only).
+    ValueMarginal(AttrId),
+}
+
+impl Statistic {
+    /// Short name used in errors and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Probability => "probability",
+            Self::ExpectedCount => "expected-count",
+            Self::CountDistribution => "count-distribution",
+            Self::Marginals => "marginals",
+            Self::TopK(_) => "top-k",
+            Self::ValueMarginal(_) => "value-marginal",
+        }
+    }
+}
+
+/// A composable relational-algebra query over catalog relations.
+///
+/// ```
+/// use mrsl_probdb::{Predicate, Query};
+/// use mrsl_relation::{AttrId, ValueId};
+///
+/// // σ[kind=outdoor](sensors) ⨝ σ[level=high](readings) on the station id.
+/// let q = Query::scan("sensors")
+///     .filter(Predicate::eq(AttrId(1), ValueId(1)))
+///     .join_on(
+///         Query::scan("readings").filter(Predicate::eq(AttrId(1), ValueId(1))),
+///         [(AttrId(0), AttrId(0))],
+///     );
+/// assert_eq!(q.relations(), vec!["sensors", "readings"]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    root: QueryNode,
+}
+
+impl Query {
+    /// Starts a query with a scan of the named relation.
+    pub fn scan(relation: impl Into<String>) -> Self {
+        Self {
+            root: QueryNode::Scan {
+                relation: relation.into(),
+            },
+        }
+    }
+
+    /// Applies a selection to the tree built so far. Selections must sit
+    /// over a single-relation subtree (resolution rejects a filter above a
+    /// join with [`ProbDbError::FilterAboveJoin`]).
+    #[must_use]
+    pub fn filter(self, pred: Predicate) -> Self {
+        Self {
+            root: QueryNode::Filter {
+                input: Box::new(self.root),
+                pred,
+            },
+        }
+    }
+
+    /// Joins the tree built so far with `right` on `(left, right)`
+    /// attribute pairs. `right` can be a relation name (via `Into<Query>`
+    /// for `&str`/`String`) or a filtered subtree; left attributes anchor
+    /// to the current tree's primary (first-scanned) relation.
+    #[must_use]
+    pub fn join_on(
+        self,
+        right: impl Into<Query>,
+        on: impl IntoIterator<Item = (AttrId, AttrId)>,
+    ) -> Self {
+        let on = on
+            .into_iter()
+            .map(|(left_attr, right_attr)| JoinPair {
+                left_rel: None,
+                left_attr,
+                right_attr,
+            })
+            .collect();
+        self.join_pairs(right.into(), on)
+    }
+
+    /// Like [`Query::join_on`], but anchors the left attributes to the
+    /// named relation of the current tree instead of the primary one —
+    /// needed for chains like `r ⨝ s ⨝ t` where `t` joins against `s`.
+    #[must_use]
+    pub fn join_on_rel(
+        self,
+        left_rel: impl Into<String>,
+        right: impl Into<Query>,
+        on: impl IntoIterator<Item = (AttrId, AttrId)>,
+    ) -> Self {
+        let left_rel = left_rel.into();
+        let on = on
+            .into_iter()
+            .map(|(left_attr, right_attr)| JoinPair {
+                left_rel: Some(left_rel.clone()),
+                left_attr,
+                right_attr,
+            })
+            .collect();
+        self.join_pairs(right.into(), on)
+    }
+
+    /// The fully explicit join constructor.
+    #[must_use]
+    pub fn join_pairs(self, right: Query, on: Vec<JoinPair>) -> Self {
+        Self {
+            root: QueryNode::Join {
+                left: Box::new(self.root),
+                right: Box::new(right.root),
+                on,
+            },
+        }
+    }
+
+    /// Records a bag-semantics projection onto `attrs` of the primary
+    /// relation. Metadata only: probabilities and (bag) counts are
+    /// unchanged, so the planner carries it into reports but ignores it
+    /// during evaluation.
+    #[must_use]
+    pub fn project(self, attrs: impl IntoIterator<Item = AttrId>) -> Self {
+        Self {
+            root: QueryNode::Project {
+                input: Box::new(self.root),
+                attrs: attrs.into_iter().collect(),
+            },
+        }
+    }
+
+    /// The root node of the tree.
+    pub fn root(&self) -> &QueryNode {
+        &self.root
+    }
+
+    /// The scanned relation names in scan order (the first is the query's
+    /// *primary* relation). Duplicates appear as written; resolution
+    /// rejects them.
+    pub fn relations(&self) -> Vec<&str> {
+        fn collect<'a>(node: &'a QueryNode, out: &mut Vec<&'a str>) {
+            match node {
+                QueryNode::Scan { relation } => out.push(relation),
+                QueryNode::Filter { input, .. } | QueryNode::Project { input, .. } => {
+                    collect(input, out)
+                }
+                QueryNode::Join { left, right, .. } => {
+                    collect(left, out);
+                    collect(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.root, &mut out);
+        out
+    }
+
+    /// Flattens the tree into its conjunctive form: one term per scan with
+    /// its combined selection, resolved join pairs, and the projection.
+    /// This is the shared front half of planning and of lazy per-relation
+    /// derivation triage.
+    pub(crate) fn flatten(&self) -> Result<Flattened, ProbDbError> {
+        let mut flat = Flattened {
+            terms: Vec::new(),
+            joins: Vec::new(),
+            projection: None,
+        };
+        walk(&self.root, &mut flat)?;
+        Ok(flat)
+    }
+
+    /// What each scanned relation must provide for this query: its
+    /// combined selection predicate (already [simplified](Predicate::simplify))
+    /// and the attributes it is joined on. Lazy derivation uses this to
+    /// decide which incomplete tuples actually need inference.
+    pub fn scan_requirements(&self) -> Result<Vec<ScanRequirement>, ProbDbError> {
+        let flat = self.flatten()?;
+        let mut reqs: Vec<ScanRequirement> = flat
+            .terms
+            .into_iter()
+            .map(|t| ScanRequirement {
+                relation: t.relation,
+                pred: t.pred.simplify(),
+                join_attrs: AttrMask::EMPTY,
+            })
+            .collect();
+        for j in &flat.joins {
+            reqs[j.left_term].join_attrs = reqs[j.left_term].join_attrs.with(j.left_attr);
+            reqs[j.right_term].join_attrs = reqs[j.right_term].join_attrs.with(j.right_attr);
+        }
+        Ok(reqs)
+    }
+}
+
+impl From<&str> for Query {
+    fn from(relation: &str) -> Self {
+        Query::scan(relation)
+    }
+}
+
+impl From<String> for Query {
+    fn from(relation: String) -> Self {
+        Query::scan(relation)
+    }
+}
+
+/// What one scan contributes to a query: its relation, the conjunction of
+/// all selections applied to it, and the attributes it joins on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRequirement {
+    /// The scanned relation's name.
+    pub relation: String,
+    /// Combined (simplified) selection predicate over the relation.
+    pub pred: Predicate,
+    /// Attributes of this relation used as join keys.
+    pub join_attrs: AttrMask,
+}
+
+/// The conjunctive form of a query tree (internal planner currency).
+#[derive(Debug, Clone)]
+pub(crate) struct Flattened {
+    /// One term per scan, in scan order; term 0 is the primary relation.
+    pub terms: Vec<ScanTerm>,
+    /// Resolved equi-join conditions between terms.
+    pub joins: Vec<ResolvedPair>,
+    /// Projection attributes, if any (primary relation, bag semantics).
+    pub projection: Option<Vec<AttrId>>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ScanTerm {
+    pub relation: String,
+    pub pred: Predicate,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ResolvedPair {
+    pub left_term: usize,
+    pub left_attr: AttrId,
+    pub right_term: usize,
+    pub right_attr: AttrId,
+}
+
+/// Term indices contributed by one subtree, with its primary term first.
+struct SubTerms {
+    primary: usize,
+    terms: Vec<usize>,
+}
+
+fn walk(node: &QueryNode, out: &mut Flattened) -> Result<SubTerms, ProbDbError> {
+    match node {
+        QueryNode::Scan { relation } => {
+            if out.terms.iter().any(|t| t.relation == *relation) {
+                return Err(ProbDbError::SelfJoin(relation.clone()));
+            }
+            let idx = out.terms.len();
+            out.terms.push(ScanTerm {
+                relation: relation.clone(),
+                pred: Predicate::Any,
+            });
+            Ok(SubTerms {
+                primary: idx,
+                terms: vec![idx],
+            })
+        }
+        QueryNode::Filter { input, pred } => {
+            let sub = walk(input, out)?;
+            if sub.terms.len() != 1 {
+                return Err(ProbDbError::FilterAboveJoin);
+            }
+            let term = &mut out.terms[sub.primary];
+            term.pred = std::mem::take(&mut term.pred).and(pred.clone());
+            Ok(sub)
+        }
+        QueryNode::Join { left, right, on } => {
+            if on.is_empty() {
+                return Err(ProbDbError::EmptyJoinKeys);
+            }
+            let l = walk(left, out)?;
+            let r = walk(right, out)?;
+            for pair in on {
+                let left_term = match &pair.left_rel {
+                    None => l.primary,
+                    Some(name) => *l
+                        .terms
+                        .iter()
+                        .find(|&&t| out.terms[t].relation == *name)
+                        .ok_or_else(|| ProbDbError::JoinAnchorNotInLeft(name.clone()))?,
+                };
+                out.joins.push(ResolvedPair {
+                    left_term,
+                    left_attr: pair.left_attr,
+                    right_term: r.primary,
+                    right_attr: pair.right_attr,
+                });
+            }
+            let mut terms = l.terms;
+            terms.extend(r.terms);
+            Ok(SubTerms {
+                primary: l.primary,
+                terms,
+            })
+        }
+        QueryNode::Project { input, attrs } => {
+            let sub = walk(input, out)?;
+            out.projection = Some(attrs.clone());
+            Ok(sub)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsl_relation::ValueId;
+
+    #[test]
+    fn builder_shapes_and_relation_order() {
+        let q = Query::scan("r")
+            .filter(Predicate::eq(AttrId(0), ValueId(1)))
+            .join_on("s", [(AttrId(1), AttrId(0))])
+            .project([AttrId(0), AttrId(1)]);
+        assert_eq!(q.relations(), vec!["r", "s"]);
+        let flat = q.flatten().unwrap();
+        assert_eq!(flat.terms.len(), 2);
+        assert_eq!(flat.terms[0].pred, Predicate::eq(AttrId(0), ValueId(1)));
+        assert_eq!(flat.terms[1].pred, Predicate::Any);
+        assert_eq!(
+            flat.joins,
+            vec![ResolvedPair {
+                left_term: 0,
+                left_attr: AttrId(1),
+                right_term: 1,
+                right_attr: AttrId(0),
+            }]
+        );
+        assert_eq!(flat.projection, Some(vec![AttrId(0), AttrId(1)]));
+    }
+
+    #[test]
+    fn chained_join_anchors_to_named_relation() {
+        // r ⨝ s on (r.0 = s.0), then t joins against *s* on (s.1 = t.0).
+        let q = Query::scan("r")
+            .join_on("s", [(AttrId(0), AttrId(0))])
+            .join_on_rel("s", "t", [(AttrId(1), AttrId(0))]);
+        let flat = q.flatten().unwrap();
+        assert_eq!(flat.joins[1].left_term, 1);
+        assert_eq!(flat.joins[1].right_term, 2);
+        // Unknown anchors are rejected.
+        let bad = Query::scan("r")
+            .join_on_rel("nope", "s", [(AttrId(0), AttrId(0))])
+            .flatten();
+        assert!(matches!(bad, Err(ProbDbError::JoinAnchorNotInLeft(n)) if n == "nope"));
+    }
+
+    #[test]
+    fn filters_merge_and_misplaced_shapes_error() {
+        let q = Query::scan("r")
+            .filter(Predicate::eq(AttrId(0), ValueId(0)))
+            .filter(Predicate::eq(AttrId(1), ValueId(1)));
+        let flat = q.flatten().unwrap();
+        assert_eq!(
+            flat.terms[0].pred,
+            Predicate::eq(AttrId(0), ValueId(0)).and(Predicate::eq(AttrId(1), ValueId(1)))
+        );
+        let above_join = Query::scan("r")
+            .join_on("s", [(AttrId(0), AttrId(0))])
+            .filter(Predicate::any())
+            .flatten();
+        assert!(matches!(above_join, Err(ProbDbError::FilterAboveJoin)));
+        let self_join = Query::scan("r")
+            .join_on("r", [(AttrId(0), AttrId(0))])
+            .flatten();
+        assert!(matches!(self_join, Err(ProbDbError::SelfJoin(n)) if n == "r"));
+        let no_keys = Query::scan("r")
+            .join_pairs(Query::scan("s"), vec![])
+            .flatten();
+        assert!(matches!(no_keys, Err(ProbDbError::EmptyJoinKeys)));
+    }
+
+    #[test]
+    fn scan_requirements_collect_predicates_and_join_attrs() {
+        let q = Query::scan("r")
+            .filter(Predicate::And(vec![])) // canonicalizes to Any
+            .join_on(
+                Query::scan("s").filter(Predicate::eq(AttrId(1), ValueId(0))),
+                [(AttrId(2), AttrId(0))],
+            );
+        let reqs = q.scan_requirements().unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].relation, "r");
+        assert_eq!(reqs[0].pred, Predicate::Any);
+        assert_eq!(
+            reqs[0].join_attrs.iter().collect::<Vec<_>>(),
+            vec![AttrId(2)]
+        );
+        assert_eq!(reqs[1].pred, Predicate::eq(AttrId(1), ValueId(0)));
+        assert_eq!(
+            reqs[1].join_attrs.iter().collect::<Vec<_>>(),
+            vec![AttrId(0)]
+        );
+    }
+}

@@ -100,14 +100,59 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Number of set bits within `range` (rows of one block, typically).
-    pub fn count_ones_in(&self, range: Range<usize>) -> usize {
-        range.filter(|&i| self.get(i)).count()
+    /// `(word span, first-word mask, last-word mask)` of a non-empty bit
+    /// range: whole `u64` words with the edge words masked down to the bits
+    /// actually inside the range.
+    #[inline]
+    fn word_span(range: &Range<usize>) -> (Range<usize>, u64, u64) {
+        let first = range.start / 64;
+        let last = (range.end - 1) / 64;
+        let head = u64::MAX << (range.start % 64);
+        let tail = u64::MAX >> (63 - (range.end - 1) % 64);
+        (first..last + 1, head, tail)
     }
 
-    /// True when any bit in `range` is set.
+    /// Number of set bits within `range` (rows of one block, typically).
+    ///
+    /// Runs on whole `u64` words (`count_ones` per word, masked edge
+    /// words), not bit by bit.
+    pub fn count_ones_in(&self, range: Range<usize>) -> usize {
+        debug_assert!(range.end <= self.len);
+        if range.start >= range.end {
+            return 0;
+        }
+        let (words, head, tail) = Self::word_span(&range);
+        if words.len() == 1 {
+            return (self.words[words.start] & head & tail).count_ones() as usize;
+        }
+        let mut count = (self.words[words.start] & head).count_ones() as usize;
+        for w in &self.words[words.start + 1..words.end - 1] {
+            count += w.count_ones() as usize;
+        }
+        count + (self.words[words.end - 1] & tail).count_ones() as usize
+    }
+
+    /// True when any bit in `range` is set; same word-masked traversal as
+    /// [`Bitmap::count_ones_in`], short-circuiting on the first hit.
     pub fn any_in(&self, range: Range<usize>) -> bool {
-        range.into_iter().any(|i| self.get(i))
+        debug_assert!(range.end <= self.len);
+        if range.start >= range.end {
+            return false;
+        }
+        let (words, head, tail) = Self::word_span(&range);
+        if words.len() == 1 {
+            return self.words[words.start] & head & tail != 0;
+        }
+        if self.words[words.start] & head != 0 {
+            return true;
+        }
+        if self.words[words.start + 1..words.end - 1]
+            .iter()
+            .any(|&w| w != 0)
+        {
+            return true;
+        }
+        self.words[words.end - 1] & tail != 0
     }
 
     /// `self &= other`.
@@ -315,6 +360,55 @@ mod tests {
         assert!(bm.any_in(0..1));
         assert!(!bm.any_in(1..3));
         assert_eq!(bm.iter_ones().take(2).collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn word_masked_range_kernels_match_naive_at_word_edges() {
+        // A bit pattern with structure around every word boundary.
+        let len = 200;
+        let mut bm = Bitmap::zeros(len);
+        for i in 0..len {
+            if i % 3 == 0 || i == 63 || i == 64 || i == 127 || i == 191 {
+                bm.set(i);
+            }
+        }
+        let naive_count = |r: std::ops::Range<usize>| r.filter(|&i| bm.get(i)).count();
+        let ranges = [
+            0..0,
+            0..1,
+            0..63,
+            0..64,
+            0..65,
+            1..63,
+            63..64,
+            63..65,
+            64..128,
+            65..127,
+            100..100,
+            126..130,
+            5..198,
+            0..200,
+            199..200,
+        ];
+        for r in ranges {
+            assert_eq!(
+                bm.count_ones_in(r.clone()),
+                naive_count(r.clone()),
+                "count in {r:?}"
+            );
+            assert_eq!(
+                bm.any_in(r.clone()),
+                naive_count(r.clone()) > 0,
+                "any in {r:?}"
+            );
+        }
+        // A sparse bitmap where only middle whole-words decide `any_in`.
+        let mut sparse = Bitmap::zeros(300);
+        sparse.set(130);
+        assert!(sparse.any_in(64..192));
+        assert!(!sparse.any_in(64..130));
+        assert!(!sparse.any_in(131..300));
+        assert_eq!(sparse.count_ones_in(0..300), 1);
     }
 
     #[test]

@@ -22,11 +22,20 @@
 //!   (Poisson-binomial DP), value marginals and top-k by probability.
 //! * [`montecarlo`] — Monte-Carlo query evaluation over compiled
 //!   predicates, the fallback path for out-of-budget plans.
-//! * [`plan`] — the planner: [`QueryEngine`] classifies each
-//!   [`plan::QuerySpec`] as exactly liftable or not, routes it, and
-//!   reports the choice in an [`EvalReport`].
+//! * [`catalog`] — [`Catalog`]: a named collection of relations with
+//!   dictionary-compatibility checks for join attributes.
+//! * [`algebra`] — the composable query tree ([`Query`]:
+//!   scan/filter/join/project) and the [`Statistic`] to compute about it.
+//! * [`plan`] — the planner: [`CatalogEngine`] classifies each query
+//!   (hierarchical join shapes compile to exact extensional plans,
+//!   everything else samples), routes it, and reports the choice — with
+//!   the safe-plan decomposition — in an [`EvalReport`]. The flat
+//!   `QuerySpec`/`QueryEngine` API survives as a deprecated shim that
+//!   lowers into the tree.
 
+pub mod algebra;
 pub mod block;
+pub mod catalog;
 pub mod column;
 pub mod database;
 pub mod montecarlo;
@@ -35,22 +44,58 @@ pub mod predicate;
 pub mod query;
 pub mod world;
 
+pub use algebra::{Query, QueryNode, ScanRequirement, Statistic};
 pub use block::{Alternative, Block, BlockError};
+pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSet, ColumnStore};
 pub use database::ProbDb;
-pub use plan::{EvalPath, EvalReport, QueryAnswer, QueryEngine, QueryEngineConfig};
+pub use plan::{
+    CatalogEngine, EvalPath, EvalReport, PlanClass, QueryAnswer, QueryEngineConfig, RelationStats,
+    SafePlan,
+};
+#[allow(deprecated)]
+pub use plan::{QueryEngine, QuerySpec};
 pub use predicate::Predicate;
 pub use world::PossibleWorld;
 
 use std::fmt;
 
 /// Errors reported by the query subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProbDbError {
     /// A Monte-Carlo estimator was asked for zero samples; estimates over
     /// an empty sample are undefined, so this is an error rather than a
     /// panic (callers pick the sample budget at runtime).
     NoSamples,
+    /// A catalog already holds a relation under this name.
+    DuplicateRelation(String),
+    /// A query scanned a relation the catalog does not have.
+    UnknownRelation(String),
+    /// A query scanned the same relation twice; self-joins are not
+    /// supported by the safe-plan machinery.
+    SelfJoin(String),
+    /// A selection was applied above a join; push filters below joins so
+    /// each predicate ranges over one relation.
+    FilterAboveJoin,
+    /// A join with no attribute pairs (a cross product) was requested.
+    EmptyJoinKeys,
+    /// A `join_on_rel` anchor named a relation outside the left subtree.
+    JoinAnchorNotInLeft(String),
+    /// A join pair's attribute dictionaries disagree, so their `ValueId`s
+    /// are not comparable. Each side is reported as `relation.attribute`.
+    IncompatibleJoinDomains {
+        /// Left side, as `relation.attribute`.
+        left: String,
+        /// Right side, as `relation.attribute`.
+        right: String,
+    },
+    /// The requested statistic is only defined for single-relation
+    /// queries (e.g. per-block marginals of a join have no single block
+    /// order to report in).
+    UnsupportedStatistic {
+        /// The statistic's name.
+        statistic: &'static str,
+    },
 }
 
 impl fmt::Display for ProbDbError {
@@ -60,6 +105,38 @@ impl fmt::Display for ProbDbError {
                 write!(
                     f,
                     "Monte-Carlo estimation needs at least one sample (n = 0)"
+                )
+            }
+            Self::DuplicateRelation(name) => {
+                write!(f, "catalog already has a relation named `{name}`")
+            }
+            Self::UnknownRelation(name) => write!(f, "no relation named `{name}` in the catalog"),
+            Self::SelfJoin(name) => {
+                write!(
+                    f,
+                    "relation `{name}` is scanned twice; self-joins are unsupported"
+                )
+            }
+            Self::FilterAboveJoin => {
+                write!(
+                    f,
+                    "filters must apply to a single relation; push them below joins"
+                )
+            }
+            Self::EmptyJoinKeys => write!(f, "joins need at least one attribute pair"),
+            Self::JoinAnchorNotInLeft(name) => {
+                write!(f, "join anchor `{name}` is not part of the left subtree")
+            }
+            Self::IncompatibleJoinDomains { left, right } => {
+                write!(
+                    f,
+                    "join attributes {left} and {right} have different dictionaries"
+                )
+            }
+            Self::UnsupportedStatistic { statistic } => {
+                write!(
+                    f,
+                    "the {statistic} statistic requires a single-relation query"
                 )
             }
         }

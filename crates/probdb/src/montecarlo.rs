@@ -26,9 +26,8 @@ use rand::Rng;
 /// A predicate compiled against one database's columnar store.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledSelection {
-    /// One bit per certain row: does the tuple satisfy the predicate?
-    pub certain_matches: Bitmap,
-    /// Number of set bits in `certain_matches` (cached for the samplers).
+    /// Number of certain rows satisfying the predicate (they count in
+    /// every sampled world).
     pub certain_count: usize,
     /// One bit per alternative row: does the alternative satisfy it?
     pub alt_matches: Bitmap,
@@ -36,10 +35,8 @@ pub(crate) struct CompiledSelection {
 
 impl CompiledSelection {
     pub(crate) fn compile(db: &ProbDb, pred: &Predicate) -> Self {
-        let certain_matches = pred.eval_columns(db.columns().certain());
         Self {
-            certain_count: certain_matches.count_ones(),
-            certain_matches,
+            certain_count: pred.eval_columns(db.columns().certain()).count_ones(),
             alt_matches: pred.eval_columns(db.columns().alternatives()),
         }
     }
@@ -57,6 +54,24 @@ impl CompiledSelection {
             }
         }
         count
+    }
+}
+
+/// Draws one world's alternative choice per block, appending the chosen
+/// *alternative row id* (block offset + choice) per block to `out`.
+///
+/// This is the per-relation half of the multi-relation joint-world sampler
+/// in [`crate::plan`]: one call per catalog relation samples one joint
+/// world. It consumes exactly one uniform draw per block through
+/// [`choose_weighted`], so with a single relation the draws match
+/// [`crate::world::sample_world`] and the compiled estimators below
+/// choice for choice.
+pub(crate) fn sample_block_rows<R: Rng + ?Sized>(db: &ProbDb, rng: &mut R, out: &mut Vec<usize>) {
+    let cols = db.columns();
+    for b in 0..cols.block_count() {
+        let range = cols.block_range(b);
+        let chosen = choose_weighted(cols.alt_probs()[range.clone()].iter().copied(), rng);
+        out.push(range.start + chosen);
     }
 }
 

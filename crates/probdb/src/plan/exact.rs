@@ -1,0 +1,217 @@
+//! Exact extensional evaluation of safe (hierarchical) query plans.
+//!
+//! Three evaluators, all running on the columnar stores through the
+//! compiled live-row bitmaps:
+//!
+//! * [`boolean_probability`] — `P(result non-empty)` by the safe-plan
+//!   recursion: partition every relation of a connected component by the
+//!   shared join key, treat key values as independent (sound because the
+//!   classifier verified no block straddles keys — each block's mass lands
+//!   in exactly one partition), recurse into the subcomponents the removed
+//!   key leaves behind, and bottom out at single relations where
+//!   `P(∃ match) = 1 - ∏_blocks (1 - p_block)`.
+//! * [`expected_join_count`] — `E[|result|]` by linearity of expectation:
+//!   every combination of one row per relation that satisfies the join
+//!   contributes the product of its row probabilities (rows of different
+//!   relations are always independent). This needs no hierarchy or key
+//!   uniqueness, so it is exact for *every* join shape.
+//! * [`value_marginal`] — the selection-weighted histogram of one
+//!   attribute over a single relation.
+
+use super::classify::{components, CompiledTerm, Resolved};
+use mrsl_relation::AttrId;
+use mrsl_util::FxHashMap;
+
+/// Live rows of one term inside the recursion: indices into the certain
+/// and alternative column sets.
+#[derive(Debug, Clone, Default)]
+struct Rows {
+    certain: Vec<u32>,
+    alts: Vec<u32>,
+}
+
+/// `P(query result is non-empty)` of a classified-safe query.
+pub(crate) fn boolean_probability(resolved: &Resolved, compiled: &[CompiledTerm]) -> f64 {
+    let all: Vec<usize> = (0..compiled.len()).collect();
+    let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    let rows: Vec<Rows> = compiled
+        .iter()
+        .map(|ct| Rows {
+            certain: ct.live_certain.iter_ones().map(|i| i as u32).collect(),
+            alts: ct.live_alts.iter_ones().map(|i| i as u32).collect(),
+        })
+        .collect();
+    let mut p = 1.0;
+    for comp in components(resolved, &all, &active) {
+        p *= component_probability(resolved, compiled, &comp, &active, &rows);
+    }
+    p
+}
+
+fn component_probability(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    comp: &[usize],
+    active: &[usize],
+    rows: &[Rows],
+) -> f64 {
+    if comp.len() == 1 {
+        return leaf_probability(&compiled[comp[0]], &rows[comp[0]]);
+    }
+    // Root class: covers every term of a connected hierarchical component
+    // (guaranteed by classification).
+    let root = *active
+        .iter()
+        .find(|&&c| {
+            let terms = resolved.classes[c].terms();
+            comp.iter().all(|t| terms.contains(t))
+        })
+        .expect("hierarchical connected component has a covering class");
+
+    // Partition each term's live rows by the root-class key value.
+    let mut parts: Vec<FxHashMap<u16, Rows>> = Vec::with_capacity(comp.len());
+    for &t in comp {
+        let (ckey, akey) = compiled[t].class_key(root).expect("root covers the term");
+        let mut map: FxHashMap<u16, Rows> = FxHashMap::default();
+        for &r in &rows[t].certain {
+            map.entry(ckey[r as usize]).or_default().certain.push(r);
+        }
+        for &r in &rows[t].alts {
+            map.entry(akey[r as usize]).or_default().alts.push(r);
+        }
+        parts.push(map);
+    }
+
+    // Candidate key values: present in every term of the component (a
+    // value missing anywhere zeroes that branch). Iterate the smallest map
+    // in sorted order for determinism.
+    let probe = parts
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, m)| m.len())
+        .map(|(i, _)| i)
+        .expect("component is non-empty");
+    let mut values: Vec<u16> = parts[probe].keys().copied().collect();
+    values.sort_unstable();
+    values.retain(|v| parts.iter().all(|m| m.contains_key(v)));
+
+    let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
+    let subcomps = components(resolved, comp, &remaining);
+    let mut none = 1.0; // P(no key value produces a result)
+    for v in values {
+        // Rows of this branch: the v-partitions. Branches over different
+        // values touch disjoint blocks (no block straddles keys), so they
+        // are independent.
+        let mut branch_rows: Vec<Rows> = vec![Rows::default(); compiled.len()];
+        for (pi, &t) in comp.iter().enumerate() {
+            branch_rows[t] = parts[pi]
+                .get(&v)
+                .cloned()
+                .expect("value present everywhere");
+        }
+        let mut p_v = 1.0;
+        for sub in &subcomps {
+            p_v *= component_probability(resolved, compiled, sub, &remaining, &branch_rows);
+            if p_v == 0.0 {
+                break;
+            }
+        }
+        none *= 1.0 - p_v;
+        if none == 0.0 {
+            break;
+        }
+    }
+    1.0 - none
+}
+
+/// `P(∃ live row)` of one relation: certain rows decide it; otherwise the
+/// per-block masses are independent Bernoulli trials.
+fn leaf_probability(ct: &CompiledTerm, rows: &Rows) -> f64 {
+    if !rows.certain.is_empty() {
+        return 1.0;
+    }
+    let probs = ct.db.columns().alt_probs();
+    let mut none = 1.0;
+    let mut i = 0;
+    while i < rows.alts.len() {
+        let block = ct.alt_block[rows.alts[i] as usize];
+        let mut mass = 0.0;
+        while i < rows.alts.len() && ct.alt_block[rows.alts[i] as usize] == block {
+            mass += probs[rows.alts[i] as usize];
+            i += 1;
+        }
+        none *= (1.0 - mass).max(0.0);
+    }
+    1.0 - none
+}
+
+/// `E[|result|]` of any conjunctive query shape, by joining per-relation
+/// expected-mass tables over the join-class assignments.
+pub(crate) fn expected_join_count(resolved: &Resolved, compiled: &[CompiledTerm]) -> f64 {
+    let classes = resolved.classes.len();
+    // Seed: the empty assignment (one per class, u16::MAX = unbound).
+    let mut acc: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
+    acc.insert(vec![u16::MAX; classes], 1.0);
+    for ct in compiled {
+        let mass = term_mass(ct);
+        let mut next: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
+        for (assign, m) in &acc {
+            'keys: for (key, w) in &mass {
+                let mut merged = assign.clone();
+                for (&(ci, _, _), &v) in ct.keys.iter().zip(key) {
+                    if merged[ci] == u16::MAX {
+                        merged[ci] = v;
+                    } else if merged[ci] != v {
+                        continue 'keys;
+                    }
+                }
+                *next.entry(merged).or_insert(0.0) += m * w;
+            }
+        }
+        acc = next;
+        if acc.is_empty() {
+            return 0.0;
+        }
+    }
+    acc.values().sum()
+}
+
+/// Expected mass of one term, grouped by its join-key values (in
+/// `ct.keys` order): certain rows weigh 1, alternatives their probability.
+fn term_mass(ct: &CompiledTerm) -> FxHashMap<Vec<u16>, f64> {
+    let mut mass: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
+    let probs = ct.db.columns().alt_probs();
+    for r in ct.live_certain.iter_ones() {
+        let key: Vec<u16> = ct.keys.iter().map(|&(_, ckey, _)| ckey[r]).collect();
+        *mass.entry(key).or_insert(0.0) += 1.0;
+    }
+    for r in ct.live_alts.iter_ones() {
+        let key: Vec<u16> = ct.keys.iter().map(|&(_, _, akey)| akey[r]).collect();
+        *mass.entry(key).or_insert(0.0) += probs[r];
+    }
+    mass
+}
+
+/// Selection-weighted marginal distribution of `attr` over one relation:
+/// live certain rows count 1, live alternatives their probability,
+/// normalized over the matching mass. With the always-true selection this
+/// equals [`crate::query::value_marginal`].
+pub(crate) fn value_marginal(ct: &CompiledTerm, attr: AttrId) -> Vec<f64> {
+    let cols = ct.db.columns();
+    let card = ct.db.schema().cardinality(attr);
+    let mut hist = vec![0.0f64; card];
+    let ccol = cols.certain().col(attr);
+    for r in ct.live_certain.iter_ones() {
+        hist[ccol[r] as usize] += 1.0;
+    }
+    let acol = cols.alternatives().col(attr);
+    let probs = cols.alt_probs();
+    for r in ct.live_alts.iter_ones() {
+        hist[acol[r] as usize] += probs[r];
+    }
+    let total: f64 = hist.iter().sum();
+    if total > 0.0 {
+        hist.iter_mut().for_each(|h| *h /= total);
+    }
+    hist
+}

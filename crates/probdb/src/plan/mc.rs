@@ -1,0 +1,159 @@
+//! Monte-Carlo evaluation of resolved queries.
+//!
+//! The fallback path for everything the exact evaluators cannot lift:
+//! non-hierarchical shapes, key-correlated blocks, out-of-budget DPs and
+//! forced sampling. One *joint world* draws one alternative per block in
+//! **every** catalog relation the query touches (through the shared
+//! [`choose_weighted`](crate::world::choose_weighted) primitive, so
+//! single-relation draws match the legacy sampler draw for draw); the
+//! query tree is then evaluated row-wise against the drawn world by a
+//! hash-join over the join-class assignments, yielding the per-world
+//! result count every estimator is derived from.
+
+use super::classify::CompiledTerm;
+use crate::montecarlo::sample_block_rows;
+use mrsl_util::{seeded_rng, FxHashMap, OnlineStats};
+
+/// Per-world result counts of a resolved query over `n` joint worlds.
+pub(crate) fn sample_join_counts(
+    compiled: &[CompiledTerm],
+    class_count: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<u64> {
+    debug_assert!(n > 0, "callers check the sample budget");
+    let mut rng = seeded_rng(seed);
+    // Live certain rows are present in every world; precompute their ids.
+    let certain_rows: Vec<Vec<u32>> = compiled
+        .iter()
+        .map(|ct| ct.live_certain.iter_ones().map(|i| i as u32).collect())
+        .collect();
+    let mut counts = Vec::with_capacity(n);
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut alt_rows: Vec<Vec<u32>> = vec![Vec::new(); compiled.len()];
+    for _ in 0..n {
+        // One world: the live certain rows plus the drawn live alternative
+        // per block.
+        for (ct, alts) in compiled.iter().zip(&mut alt_rows) {
+            chosen.clear();
+            sample_block_rows(ct.db, &mut rng, &mut chosen);
+            alts.clear();
+            alts.extend(
+                chosen
+                    .iter()
+                    .filter(|&&r| ct.live_alts.get(r))
+                    .map(|&r| r as u32),
+            );
+        }
+        counts.push(world_count(compiled, class_count, &certain_rows, &alt_rows));
+    }
+    counts
+}
+
+/// Result count of one drawn world: a hash-join of the per-term present
+/// rows (certain rows index the certain columns, alternatives the
+/// alternative columns) over the join-class assignments. With no classes
+/// (single relation) this is just the row count.
+fn world_count(
+    compiled: &[CompiledTerm],
+    class_count: usize,
+    certain_rows: &[Vec<u32>],
+    alt_rows: &[Vec<u32>],
+) -> u64 {
+    if class_count == 0 {
+        debug_assert_eq!(compiled.len(), 1, "joins always bind classes");
+        return (certain_rows[0].len() + alt_rows[0].len()) as u64;
+    }
+    let mut acc: FxHashMap<Vec<u16>, u64> = FxHashMap::default();
+    acc.insert(vec![u16::MAX; class_count], 1);
+    for (t, ct) in compiled.iter().enumerate() {
+        // Group this term's present rows by its join-key values.
+        let mut groups: FxHashMap<Vec<u16>, u64> = FxHashMap::default();
+        for &r in &certain_rows[t] {
+            let key: Vec<u16> = ct
+                .keys
+                .iter()
+                .map(|&(_, ckey, _)| ckey[r as usize])
+                .collect();
+            *groups.entry(key).or_insert(0) += 1;
+        }
+        for &r in &alt_rows[t] {
+            let key: Vec<u16> = ct
+                .keys
+                .iter()
+                .map(|&(_, _, akey)| akey[r as usize])
+                .collect();
+            *groups.entry(key).or_insert(0) += 1;
+        }
+        let mut next: FxHashMap<Vec<u16>, u64> = FxHashMap::default();
+        for (assign, m) in &acc {
+            'keys: for (key, c) in &groups {
+                let mut merged = assign.clone();
+                for (&(ci, _, _), &v) in ct.keys.iter().zip(key) {
+                    if merged[ci] == u16::MAX {
+                        merged[ci] = v;
+                    } else if merged[ci] != v {
+                        continue 'keys;
+                    }
+                }
+                *next.entry(merged).or_insert(0) += m * c;
+            }
+        }
+        acc = next;
+        if acc.is_empty() {
+            return 0;
+        }
+    }
+    acc.values().sum()
+}
+
+/// `(estimate, standard error)` of `P(result non-empty)` from per-world
+/// counts.
+pub(crate) fn probability_estimate(counts: &[u64]) -> (f64, f64) {
+    let n = counts.len() as f64;
+    let hits = counts.iter().filter(|&&c| c > 0).count() as f64;
+    let p = hits / n;
+    (p, (p * (1.0 - p) / n).sqrt())
+}
+
+/// `(mean, standard error)` of the result count from per-world counts.
+pub(crate) fn count_estimate(counts: &[u64]) -> (f64, f64) {
+    let mut stats = OnlineStats::new();
+    for &c in counts {
+        stats.push(c as f64);
+    }
+    (stats.mean(), stats.std_dev() / (counts.len() as f64).sqrt())
+}
+
+/// Histogram `d[k] = P(|result| = k)` from per-world counts.
+pub(crate) fn count_histogram(counts: &[u64]) -> Vec<f64> {
+    let max = counts.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0.0f64; max + 1];
+    for &c in counts {
+        hist[c as usize] += 1.0;
+    }
+    let n = counts.len() as f64;
+    hist.iter_mut().for_each(|h| *h /= n);
+    hist
+}
+
+/// Per-block hit frequency of the selection over `n` sampled worlds
+/// (single-relation marginals on the forced-Monte-Carlo path).
+pub(crate) fn mc_selection_marginals(ct: &CompiledTerm, n: usize, seed: u64) -> Vec<f64> {
+    let cols = ct.db.columns();
+    let mut rng = seeded_rng(seed);
+    let mut hits = vec![0usize; cols.block_count()];
+    for _ in 0..n {
+        for (b, hit) in hits.iter_mut().enumerate() {
+            let range = cols.block_range(b);
+            let chosen = crate::world::choose_weighted(
+                cols.alt_probs()[range.clone()].iter().copied(),
+                &mut rng,
+            );
+            if ct.live_alts.get(range.start + chosen) {
+                *hit += 1;
+            }
+        }
+    }
+    hits.iter().map(|&h| h as f64 / n as f64).collect()
+}

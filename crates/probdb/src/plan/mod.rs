@@ -1,0 +1,1246 @@
+//! Logical → physical query planning over the catalog.
+//!
+//! Gatterbauer & Suciu's lifted-inference line shows the useful split for
+//! probabilistic query answering: *safe* plans admit fast extensional
+//! evaluation, everything else needs sampling. For multi-relation
+//! conjunctive queries the safe shapes are the **hierarchical** ones —
+//! join-variable classes whose relation sets nest or are disjoint — and
+//! over BID tables safety additionally needs every block's selected
+//! alternatives to agree on the join keys (see [`mod@crate::algebra`] and
+//! the classifier in this module's `classify` submodule). The
+//! [`CatalogEngine`] routes accordingly:
+//!
+//! * hierarchical, key-consistent joins and all single-relation selection
+//!   statistics evaluate exactly on the columnar stores
+//!   ([`PlanClass::Liftable`]);
+//! * expected counts are liftable for *every* shape (linearity of
+//!   expectation) and stay exact;
+//! * non-hierarchical shapes ([`PlanClass::NonHierarchical`]),
+//!   key-straddling blocks ([`PlanClass::KeyCorrelated`]), statistic/shape
+//!   combinations with no extensional evaluator
+//!   ([`PlanClass::UnliftableStatistic`]) and out-of-budget DPs
+//!   ([`PlanClass::DpBudgetExceeded`]) sample joint worlds instead;
+//! * [`QueryEngineConfig::force_monte_carlo`] routes every estimable
+//!   query through sampling (cross-checking, demos).
+//!
+//! Every evaluation returns an [`EvalReport`] with the choice, the
+//! per-relation scan statistics, and — for joins — the [`SafePlan`]
+//! decomposition that justified (or failed) the exact route.
+//!
+//! The pre-catalog `QuerySpec`/`QueryEngine` API survives below as a
+//! deprecated shim that lowers into the query tree.
+
+mod classify;
+mod exact;
+mod mc;
+mod report;
+
+pub use report::{EvalPath, EvalReport, PlanClass, RelationStats, SafePlan};
+
+use crate::algebra::{Query, Statistic};
+use crate::catalog::Catalog;
+use crate::database::ProbDb;
+use crate::montecarlo::{
+    mc_count_distribution_compiled, mc_expected_count_compiled, CompiledSelection,
+};
+use crate::query::{self, Predicate, RankedTuple};
+use crate::ProbDbError;
+use classify::{classify, resolve, CompiledTerm, Resolved};
+use mrsl_relation::AttrId;
+
+/// Tunables of the query engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEngineConfig {
+    /// Worlds sampled on the Monte-Carlo path.
+    pub mc_samples: usize,
+    /// Seed for the Monte-Carlo path.
+    pub mc_seed: u64,
+    /// Largest block count for which the O(blocks²) exact count
+    /// distribution stays on the exact path.
+    pub max_exact_dp_blocks: usize,
+    /// Route every estimable query through Monte Carlo regardless of
+    /// liftability (ranking and value marginals have no sampling
+    /// estimator and stay exact).
+    pub force_monte_carlo: bool,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        Self {
+            mc_samples: 10_000,
+            mc_seed: 0x5eed,
+            max_exact_dp_blocks: 4_096,
+            force_monte_carlo: false,
+        }
+    }
+}
+
+/// Answer of a planned query.
+#[derive(Debug, Clone)]
+pub enum QueryAnswer {
+    /// Per-block probabilities, in block order.
+    Marginals(Vec<f64>),
+    /// A scalar count estimate; `std_error` is `Some` on the Monte-Carlo
+    /// path.
+    Count {
+        /// Expected count (exact or estimated).
+        mean: f64,
+        /// Standard error of the estimate (Monte Carlo only).
+        std_error: Option<f64>,
+    },
+    /// `d[k] = P(count = k)` (or a value marginal's distribution).
+    Distribution(Vec<f64>),
+    /// Ranked tuples, most probable first.
+    Ranked(Vec<RankedTuple>),
+    /// `P(result non-empty)`; `std_error` is `Some` on the Monte-Carlo
+    /// path.
+    Probability {
+        /// The probability (exact or estimated).
+        p: f64,
+        /// Standard error of the estimate (Monte Carlo only).
+        std_error: Option<f64>,
+    },
+}
+
+/// The query subsystem's entry point: plans a [`Query`] tree against a
+/// [`Catalog`] and evaluates the requested [`Statistic`] on the chosen
+/// physical path.
+///
+/// ```
+/// use mrsl_probdb::{Catalog, CatalogEngine, Predicate, ProbDb, Query, Statistic};
+/// use mrsl_relation::Schema;
+///
+/// let schema = Schema::builder()
+///     .attribute("k", ["a", "b"])
+///     .build()
+///     .unwrap();
+/// let mut catalog = Catalog::new();
+/// catalog.add("r", ProbDb::new(schema)).unwrap();
+///
+/// let engine = CatalogEngine::new(&catalog);
+/// let (p, report) = engine.probability(&Query::scan("r")).unwrap();
+/// assert_eq!(p, 0.0); // empty relation: no result tuple exists
+/// assert_eq!(report.relations[0].relation, "r");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CatalogEngine<'a> {
+    catalog: &'a Catalog,
+    config: QueryEngineConfig,
+}
+
+impl<'a> CatalogEngine<'a> {
+    /// An engine with default configuration.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self::with_config(catalog, QueryEngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(catalog: &'a Catalog, config: QueryEngineConfig) -> Self {
+        Self { catalog, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// The catalog queries resolve against.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Classifies a query for a statistic: which physical path, and why.
+    pub fn plan(&self, q: &Query, stat: Statistic) -> Result<(EvalPath, PlanClass), ProbDbError> {
+        let prepared = prepare(|name| self.catalog.get(name), q, stat, &self.config)?;
+        Ok((prepared.path, prepared.plan))
+    }
+
+    /// Plans and evaluates `q` for `stat`.
+    ///
+    /// Predicates are simplified and compiled into bitmaps exactly once
+    /// per evaluation; the evaluators and the [`EvalReport`]'s pruning
+    /// statistics share the same scan.
+    pub fn evaluate(
+        &self,
+        q: &Query,
+        stat: Statistic,
+    ) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
+        evaluate_with(|name| self.catalog.get(name), q, stat, &self.config)
+    }
+
+    /// Convenience: `P(result non-empty)` with its report.
+    pub fn probability(&self, q: &Query) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::Probability)? {
+            (QueryAnswer::Probability { p, .. }, report) => Ok((p, report)),
+            _ => unreachable!("probability query answers with a probability"),
+        }
+    }
+
+    /// Convenience: expected result count with its report.
+    pub fn expected_count(&self, q: &Query) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::ExpectedCount)? {
+            (QueryAnswer::Count { mean, .. }, report) => Ok((mean, report)),
+            _ => unreachable!("expected-count query answers with a count"),
+        }
+    }
+
+    /// Convenience: result-count distribution with its report.
+    pub fn count_distribution(&self, q: &Query) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::CountDistribution)? {
+            (QueryAnswer::Distribution(d), report) => Ok((d, report)),
+            _ => unreachable!("count-distribution query answers with a distribution"),
+        }
+    }
+
+    /// Convenience: per-block selection marginals (single-relation
+    /// queries) with their report.
+    pub fn marginals(&self, q: &Query) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::Marginals)? {
+            (QueryAnswer::Marginals(m), report) => Ok((m, report)),
+            _ => unreachable!("marginals query answers with marginals"),
+        }
+    }
+
+    /// Convenience: top-k (single-relation queries) with its report.
+    pub fn top_k(
+        &self,
+        q: &Query,
+        k: usize,
+    ) -> Result<(Vec<RankedTuple>, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::TopK(k))? {
+            (QueryAnswer::Ranked(r), report) => Ok((r, report)),
+            _ => unreachable!("top-k query answers with a ranking"),
+        }
+    }
+
+    /// Convenience: a value marginal (single-relation queries) with its
+    /// report.
+    pub fn value_marginal(
+        &self,
+        q: &Query,
+        attr: AttrId,
+    ) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::ValueMarginal(attr))? {
+            (QueryAnswer::Distribution(d), report) => Ok((d, report)),
+            _ => unreachable!("value-marginal query answers with a distribution"),
+        }
+    }
+}
+
+/// A resolved, compiled, classified query — everything both `plan` and
+/// `evaluate` need.
+struct Prepared<'a> {
+    resolved: Resolved<'a>,
+    compiled: Vec<CompiledTerm<'a>>,
+    path: EvalPath,
+    plan: PlanClass,
+    decomposition: Option<SafePlan>,
+}
+
+fn prepare<'a>(
+    lookup: impl Fn(&str) -> Option<&'a ProbDb>,
+    q: &Query,
+    stat: Statistic,
+    config: &QueryEngineConfig,
+) -> Result<Prepared<'a>, ProbDbError> {
+    let flat = q.flatten()?;
+    let resolved = resolve(&flat, lookup)?;
+    let single = resolved.terms.len() == 1;
+    if !single
+        && matches!(
+            stat,
+            Statistic::Marginals | Statistic::TopK(_) | Statistic::ValueMarginal(_)
+        )
+    {
+        return Err(ProbDbError::UnsupportedStatistic {
+            statistic: stat.name(),
+        });
+    }
+    let compiled: Vec<CompiledTerm<'a>> = resolved
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| CompiledTerm::compile(i, t, &resolved.classes))
+        .collect();
+    let classification = (!single).then(|| classify(&resolved, &compiled));
+    let decomposition = classification.as_ref().map(|c| c.decomposition.clone());
+    let forced = config.force_monte_carlo;
+    let (path, plan) = match stat {
+        Statistic::Probability => match &classification {
+            Some(c) if c.class != PlanClass::Liftable => (EvalPath::MonteCarlo, c.class),
+            _ if forced => (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo),
+            _ => (EvalPath::ExactColumnar, PlanClass::Liftable),
+        },
+        // Expected counts are liftable for every shape: linearity of
+        // expectation needs neither hierarchy nor key uniqueness.
+        Statistic::ExpectedCount => {
+            if forced {
+                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            } else {
+                (EvalPath::ExactColumnar, PlanClass::Liftable)
+            }
+        }
+        Statistic::CountDistribution => {
+            if !single {
+                let plan = if forced {
+                    PlanClass::ForcedMonteCarlo
+                } else {
+                    PlanClass::UnliftableStatistic
+                };
+                (EvalPath::MonteCarlo, plan)
+            } else if forced {
+                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            } else if compiled[0].db.blocks().len() > config.max_exact_dp_blocks {
+                (EvalPath::MonteCarlo, PlanClass::DpBudgetExceeded)
+            } else {
+                (EvalPath::ExactColumnar, PlanClass::Liftable)
+            }
+        }
+        Statistic::Marginals => {
+            if forced {
+                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            } else {
+                (EvalPath::ExactColumnar, PlanClass::Liftable)
+            }
+        }
+        // No sampling estimator: always exact, even when forced.
+        Statistic::TopK(_) | Statistic::ValueMarginal(_) => {
+            (EvalPath::ExactColumnar, PlanClass::Liftable)
+        }
+    };
+    Ok(Prepared {
+        resolved,
+        compiled,
+        path,
+        plan,
+        decomposition,
+    })
+}
+
+fn evaluate_with<'a>(
+    lookup: impl Fn(&str) -> Option<&'a ProbDb>,
+    q: &Query,
+    stat: Statistic,
+    config: &QueryEngineConfig,
+) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
+    let prepared = prepare(lookup, q, stat, config)?;
+    let Prepared {
+        resolved,
+        compiled,
+        path,
+        plan,
+        decomposition,
+    } = prepared;
+    let classes = resolved.classes.len();
+    let samples = config.mc_samples;
+    if path == EvalPath::MonteCarlo && samples == 0 {
+        return Err(ProbDbError::NoSamples);
+    }
+    let single_selection = |ct: &CompiledTerm| CompiledSelection {
+        certain_count: ct.live_certain.count_ones(),
+        alt_matches: ct.live_alts.clone(),
+    };
+    let answer = match (stat, path) {
+        (Statistic::Probability, EvalPath::ExactColumnar) => QueryAnswer::Probability {
+            p: exact::boolean_probability(&resolved, &compiled),
+            std_error: None,
+        },
+        (Statistic::Probability, EvalPath::MonteCarlo) => {
+            let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+            let (p, se) = mc::probability_estimate(&counts);
+            QueryAnswer::Probability {
+                p,
+                std_error: Some(se),
+            }
+        }
+        (Statistic::ExpectedCount, EvalPath::ExactColumnar) => {
+            // Single relations keep the legacy arithmetic (certain matches
+            // plus per-block marginals) so shim answers stay bit-identical.
+            let mean = if classes == 0 && compiled.len() == 1 {
+                let ct = &compiled[0];
+                ct.live_certain.count_ones() as f64
+                    + ct.db
+                        .columns()
+                        .block_probs(&ct.live_alts)
+                        .iter()
+                        .sum::<f64>()
+            } else {
+                exact::expected_join_count(&resolved, &compiled)
+            };
+            QueryAnswer::Count {
+                mean,
+                std_error: None,
+            }
+        }
+        (Statistic::ExpectedCount, EvalPath::MonteCarlo) => {
+            let (mean, se) = if classes == 0 && compiled.len() == 1 {
+                let ct = &compiled[0];
+                mc_expected_count_compiled(ct.db, &single_selection(ct), samples, config.mc_seed)
+            } else {
+                let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                mc::count_estimate(&counts)
+            };
+            QueryAnswer::Count {
+                mean,
+                std_error: Some(se),
+            }
+        }
+        (Statistic::CountDistribution, EvalPath::ExactColumnar) => {
+            let ct = &compiled[0];
+            QueryAnswer::Distribution(query::poisson_binomial(
+                ct.live_certain.count_ones(),
+                &ct.db.columns().block_probs(&ct.live_alts),
+            ))
+        }
+        (Statistic::CountDistribution, EvalPath::MonteCarlo) => {
+            let dist = if classes == 0 && compiled.len() == 1 {
+                let ct = &compiled[0];
+                mc_count_distribution_compiled(
+                    ct.db,
+                    &single_selection(ct),
+                    samples,
+                    config.mc_seed,
+                )
+            } else {
+                let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                mc::count_histogram(&counts)
+            };
+            QueryAnswer::Distribution(dist)
+        }
+        (Statistic::Marginals, EvalPath::ExactColumnar) => {
+            let ct = &compiled[0];
+            QueryAnswer::Marginals(ct.db.columns().block_probs(&ct.live_alts))
+        }
+        (Statistic::Marginals, EvalPath::MonteCarlo) => QueryAnswer::Marginals(
+            mc::mc_selection_marginals(&compiled[0], samples, config.mc_seed),
+        ),
+        (Statistic::TopK(k), _) => {
+            let ct = &compiled[0];
+            QueryAnswer::Ranked(query::top_k_from_bitmaps(
+                ct.db,
+                k,
+                &ct.live_certain,
+                &ct.live_alts,
+            ))
+        }
+        (Statistic::ValueMarginal(attr), _) => {
+            QueryAnswer::Distribution(exact::value_marginal(&compiled[0], attr))
+        }
+    };
+    let relations = compiled
+        .iter()
+        .map(|ct| {
+            let cols = ct.db.columns();
+            let pruned = ct.pruned_blocks();
+            RelationStats {
+                relation: ct.name.clone(),
+                blocks_total: cols.block_count(),
+                blocks_pruned: pruned,
+                blocks_touched: cols.block_count() - pruned,
+                certain_rows: cols.certain().rows(),
+                alt_rows: cols.alternatives().rows(),
+            }
+        })
+        .collect();
+    let mc_samples = match path {
+        EvalPath::ExactColumnar => 0,
+        EvalPath::MonteCarlo => samples,
+    };
+    let report = EvalReport::new(path, plan, relations, mc_samples, decomposition);
+    Ok((answer, report))
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated single-table shim.
+// ---------------------------------------------------------------------------
+
+/// Relation name the single-table shim resolves its scans against.
+const SHIM_RELATION: &str = "db";
+
+/// A logical query over one probabilistic table.
+#[deprecated(
+    note = "build a Query tree (Query::scan(..).filter(..)) and evaluate it \
+            through CatalogEngine; QuerySpec lowers into that tree"
+)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// Per-block probability that the true tuple satisfies the predicate.
+    SelectionMarginals(Predicate),
+    /// `E[COUNT(*) WHERE pred]`.
+    ExpectedCount(Predicate),
+    /// Exact or sampled distribution of `COUNT(*) WHERE pred`.
+    CountDistribution(Predicate),
+    /// Marginal distribution of one attribute over the expected table.
+    ValueMarginal(AttrId),
+    /// The `k` most probable tuples satisfying the predicate.
+    TopK(Predicate, usize),
+}
+
+#[allow(deprecated)]
+impl QuerySpec {
+    /// The selection predicate of the query, if it has one.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            Self::SelectionMarginals(p)
+            | Self::ExpectedCount(p)
+            | Self::CountDistribution(p)
+            | Self::TopK(p, _) => Some(p),
+            Self::ValueMarginal(_) => None,
+        }
+    }
+
+    /// Lowers the flat spec into the equivalent query tree over `relation`
+    /// plus the statistic to compute — the shim's bridge into the planner.
+    pub fn lower(&self, relation: &str) -> (Query, Statistic) {
+        let filtered = |p: &Predicate| Query::scan(relation).filter(p.clone());
+        match self {
+            Self::SelectionMarginals(p) => (filtered(p), Statistic::Marginals),
+            Self::ExpectedCount(p) => (filtered(p), Statistic::ExpectedCount),
+            Self::CountDistribution(p) => (filtered(p), Statistic::CountDistribution),
+            Self::ValueMarginal(a) => (Query::scan(relation), Statistic::ValueMarginal(*a)),
+            Self::TopK(p, k) => (filtered(p), Statistic::TopK(*k)),
+        }
+    }
+}
+
+/// The pre-catalog single-table engine: plans a [`QuerySpec`] against one
+/// database by lowering it into the query tree.
+#[deprecated(
+    note = "wrap the database in a Catalog and use CatalogEngine; this shim \
+            lowers every QuerySpec into the Query tree anyway"
+)]
+#[derive(Debug, Clone)]
+pub struct QueryEngine<'a> {
+    db: &'a ProbDb,
+    config: QueryEngineConfig,
+}
+
+#[allow(deprecated)]
+impl<'a> QueryEngine<'a> {
+    /// An engine with default configuration.
+    pub fn new(db: &'a ProbDb) -> Self {
+        Self::with_config(db, QueryEngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(db: &'a ProbDb, config: QueryEngineConfig) -> Self {
+        Self { db, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &QueryEngineConfig {
+        &self.config
+    }
+
+    /// Classifies a query: which physical path, and why.
+    ///
+    /// Kept as the historical O(1), infallible routing decision — it
+    /// looks only at the query shape and configuration, never at the
+    /// predicate (which [`QueryEngine::evaluate`] resolves and compiles).
+    pub fn plan(&self, spec: &QuerySpec) -> (EvalPath, PlanClass) {
+        match spec {
+            QuerySpec::SelectionMarginals(_)
+            | QuerySpec::ExpectedCount(_)
+            | QuerySpec::CountDistribution(_)
+                if self.config.force_monte_carlo =>
+            {
+                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            }
+            QuerySpec::CountDistribution(_)
+                if self.db.blocks().len() > self.config.max_exact_dp_blocks =>
+            {
+                (EvalPath::MonteCarlo, PlanClass::DpBudgetExceeded)
+            }
+            _ => (EvalPath::ExactColumnar, PlanClass::Liftable),
+        }
+    }
+
+    /// Plans and evaluates `spec` by lowering it into the query tree.
+    pub fn evaluate(&self, spec: &QuerySpec) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
+        let (q, stat) = spec.lower(SHIM_RELATION);
+        evaluate_with(|name| self.lookup(name), &q, stat, &self.config)
+    }
+
+    /// Convenience: expected count with its report.
+    pub fn expected_count(&self, pred: &Predicate) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::ExpectedCount(pred.clone()))? {
+            (QueryAnswer::Count { mean, .. }, report) => Ok((mean, report)),
+            _ => unreachable!("expected-count query answers with a count"),
+        }
+    }
+
+    /// Convenience: count distribution with its report.
+    pub fn count_distribution(
+        &self,
+        pred: &Predicate,
+    ) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::CountDistribution(pred.clone()))? {
+            (QueryAnswer::Distribution(d), report) => Ok((d, report)),
+            _ => unreachable!("count-distribution query answers with a distribution"),
+        }
+    }
+
+    /// Convenience: top-k with its report.
+    pub fn top_k(
+        &self,
+        pred: &Predicate,
+        k: usize,
+    ) -> Result<(Vec<RankedTuple>, EvalReport), ProbDbError> {
+        match self.evaluate(&QuerySpec::TopK(pred.clone(), k))? {
+            (QueryAnswer::Ranked(r), report) => Ok((r, report)),
+            _ => unreachable!("top-k query answers with a ranking"),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&'a ProbDb> {
+        (name == SHIM_RELATION).then_some(self.db)
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::block::{Alternative, Block};
+    use crate::catalog::Catalog;
+    use crate::world::{enumerate_worlds, PossibleWorld};
+    use mrsl_relation::schema::fig1_schema;
+    use mrsl_relation::{CompleteTuple, Schema, ValueId};
+    use std::sync::Arc;
+
+    fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+        Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        }
+    }
+
+    fn db() -> ProbDb {
+        let mut db = ProbDb::new(fig1_schema());
+        db.push_certain(CompleteTuple::from_values(vec![0, 0, 1, 0]))
+            .unwrap();
+        db.push_block(
+            Block::new(
+                0,
+                vec![alt(vec![0, 0, 0, 0], 0.3), alt(vec![0, 0, 1, 0], 0.7)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                1,
+                vec![alt(vec![1, 0, 1, 0], 0.6), alt(vec![1, 0, 0, 1], 0.4)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.push_block(
+            Block::new(
+                2,
+                vec![alt(vec![2, 1, 0, 0], 0.5), alt(vec![2, 1, 0, 1], 0.5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    // ---------------------------------------------------------------
+    // Ported single-table engine behavior (through the deprecated shim).
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn liftable_queries_take_the_exact_path() {
+        let db = db();
+        let engine = QueryEngine::new(&db);
+        let pred = Predicate::eq(AttrId(2), ValueId(1));
+        let (count, report) = engine.expected_count(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        assert_eq!(report.plan, PlanClass::Liftable);
+        assert_eq!(report.mc_samples, 0);
+        assert!((count - 2.3).abs() < 1e-12);
+        // Block 2 has no inc=100K alternative: pruned.
+        assert_eq!(report.blocks_total, 3);
+        assert_eq!(report.blocks_pruned, 1);
+        assert_eq!(report.blocks_touched, 2);
+        assert_eq!(report.certain_rows, 1);
+        assert_eq!(report.alt_rows, 6);
+        // The shim reports one relation and no join decomposition.
+        assert_eq!(report.relations.len(), 1);
+        assert!(report.decomposition.is_none());
+    }
+
+    #[test]
+    fn dp_budget_routes_count_distribution_to_monte_carlo() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                max_exact_dp_blocks: 2,
+                mc_samples: 30_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::eq(AttrId(2), ValueId(1));
+        let (mc_dist, report) = engine.count_distribution(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        assert_eq!(report.plan, PlanClass::DpBudgetExceeded);
+        assert_eq!(report.mc_samples, 30_000);
+        let exact = query::count_distribution(&db, &pred);
+        for (k, &e) in exact.iter().enumerate() {
+            assert!((mc_dist[k] - e).abs() < 0.02, "k={k}");
+        }
+        // Expected count stays exact: its cost is linear.
+        let (_, report) = engine.expected_count(&pred).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+    }
+
+    #[test]
+    fn forced_monte_carlo_reports_standard_error() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 20_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::eq(AttrId(2), ValueId(1)).negate();
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::ExpectedCount(pred.clone()))
+            .unwrap();
+        assert_eq!(report.plan, PlanClass::ForcedMonteCarlo);
+        let QueryAnswer::Count { mean, std_error } = answer else {
+            panic!("count answer expected");
+        };
+        let se = std_error.expect("MC path reports a standard error");
+        let exact = query::expected_count(&db, &pred);
+        assert!((mean - exact).abs() < 4.0 * se + 0.02);
+        // Ranking has no sampling estimator: stays exact even when forced.
+        let (_, report) = engine.top_k(&pred, 3).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+    }
+
+    #[test]
+    fn zero_sample_budget_is_an_error() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let e = engine.expected_count(&Predicate::any());
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+        // Every sampled query shape refuses a zero budget the same way.
+        let e = engine.evaluate(&QuerySpec::SelectionMarginals(Predicate::any()));
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+        let e = engine.count_distribution(&Predicate::any());
+        assert!(matches!(e, Err(ProbDbError::NoSamples)));
+    }
+
+    #[test]
+    fn mc_selection_marginals_agree_with_exact() {
+        let db = db();
+        let engine = QueryEngine::with_config(
+            &db,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 30_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let pred = Predicate::is_in(AttrId(3), [ValueId(1)]);
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::SelectionMarginals(pred.clone()))
+            .unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        let QueryAnswer::Marginals(mc) = answer else {
+            panic!("marginals expected");
+        };
+        let exact = query::block_selection_probs(&db, &pred);
+        for (b, (&m, &e)) in mc.iter().zip(&exact).enumerate() {
+            assert!((m - e).abs() < 0.02, "block {b}: {m} vs {e}");
+        }
+    }
+
+    #[test]
+    fn value_marginal_reports_no_pruning() {
+        let db = db();
+        let engine = QueryEngine::new(&db);
+        let (answer, report) = engine
+            .evaluate(&QuerySpec::ValueMarginal(AttrId(0)))
+            .unwrap();
+        assert_eq!(report.blocks_pruned, 0);
+        assert_eq!(report.blocks_touched, 3);
+        let QueryAnswer::Distribution(m) = answer else {
+            panic!("distribution expected");
+        };
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    // ---------------------------------------------------------------
+    // Multi-relation planning: brute-force cross-checks.
+    // ---------------------------------------------------------------
+
+    fn station_schema(extra: &str, values: [&str; 2]) -> Arc<Schema> {
+        Schema::builder()
+            .attribute("station", ["s0", "s1", "s2"])
+            .attribute(extra, values)
+            .build()
+            .unwrap()
+    }
+
+    /// sensors(station, kind): one certain outdoor sensor at s0, one block
+    /// with station observed (s1) and kind inferred.
+    fn sensors() -> ProbDb {
+        let mut db = ProbDb::new(station_schema("kind", ["indoor", "outdoor"]));
+        db.push_certain(CompleteTuple::from_values(vec![0, 1]))
+            .unwrap();
+        db.push_block(Block::new(0, vec![alt(vec![1, 0], 0.5), alt(vec![1, 1], 0.5)]).unwrap())
+            .unwrap();
+        db
+    }
+
+    /// readings(station, level): one certain high reading at s1, blocks at
+    /// s0 and s2 with inferred level.
+    fn readings() -> ProbDb {
+        let mut db = ProbDb::new(station_schema("level", ["low", "high"]));
+        db.push_certain(CompleteTuple::from_values(vec![1, 1]))
+            .unwrap();
+        db.push_block(Block::new(0, vec![alt(vec![0, 0], 0.7), alt(vec![0, 1], 0.3)]).unwrap())
+            .unwrap();
+        db.push_block(Block::new(1, vec![alt(vec![2, 0], 0.6), alt(vec![2, 1], 0.4)]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn sensors_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add("sensors", sensors()).unwrap();
+        catalog.add("readings", readings()).unwrap();
+        catalog
+    }
+
+    /// Brute-force statistics of a two-relation equi-join on attribute 0
+    /// of both sides, with selections: `(P(non-empty), E[count])`.
+    fn brute_force_join(
+        left: &ProbDb,
+        right: &ProbDb,
+        lpred: &Predicate,
+        rpred: &Predicate,
+    ) -> (f64, f64) {
+        let lw = enumerate_worlds(left, 10_000);
+        let rw = enumerate_worlds(right, 10_000);
+        let count = |a: &PossibleWorld, b: &PossibleWorld| -> usize {
+            let mut c = 0;
+            for t1 in a.tuples.iter().filter(|t| lpred.eval(t)) {
+                for t2 in b.tuples.iter().filter(|t| rpred.eval(t)) {
+                    if t1.value(AttrId(0)) == t2.value(AttrId(0)) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let mut p = 0.0;
+        let mut e = 0.0;
+        for a in &lw {
+            for b in &rw {
+                let c = count(a, b);
+                let w = a.prob * b.prob;
+                if c > 0 {
+                    p += w;
+                }
+                e += w * c as f64;
+            }
+        }
+        (p, e)
+    }
+
+    #[test]
+    fn hierarchical_join_probability_is_exact() {
+        let catalog = sensors_catalog();
+        let engine = CatalogEngine::new(&catalog);
+        let lpred = Predicate::eq(AttrId(1), ValueId(1)); // kind = outdoor
+        let rpred = Predicate::eq(AttrId(1), ValueId(1)); // level = high
+        let q = Query::scan("sensors").filter(lpred.clone()).join_on(
+            Query::scan("readings").filter(rpred.clone()),
+            [(AttrId(0), AttrId(0))],
+        );
+        let (path, plan) = engine.plan(&q, Statistic::Probability).unwrap();
+        assert_eq!(path, EvalPath::ExactColumnar);
+        assert_eq!(plan, PlanClass::Liftable);
+        let (p, report) = engine.probability(&q).unwrap();
+        let (brute_p, brute_e) = brute_force_join(
+            catalog.get("sensors").unwrap(),
+            catalog.get("readings").unwrap(),
+            &lpred,
+            &rpred,
+        );
+        assert!((p - brute_p).abs() < 1e-12, "{p} vs {brute_p}");
+        // The decomposition partitions on the shared station key.
+        let Some(SafePlan::KeyPartition { key, inputs }) = &report.decomposition else {
+            panic!("expected a key partition, got {:?}", report.decomposition);
+        };
+        assert_eq!(key, "sensors.station = readings.station");
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(report.relations.len(), 2);
+        // The exact expected count agrees with brute force too.
+        let (e, report) = engine.expected_count(&q).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        assert!((e - brute_e).abs() < 1e-12, "{e} vs {brute_e}");
+    }
+
+    #[test]
+    fn hierarchical_join_monte_carlo_agrees_with_exact() {
+        let catalog = sensors_catalog();
+        let engine = CatalogEngine::with_config(
+            &catalog,
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 30_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let q = Query::scan("sensors")
+            .filter(Predicate::eq(AttrId(1), ValueId(1)))
+            .join_on(
+                Query::scan("readings").filter(Predicate::eq(AttrId(1), ValueId(1))),
+                [(AttrId(0), AttrId(0))],
+            );
+        let (answer, report) = engine.evaluate(&q, Statistic::Probability).unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        assert_eq!(report.plan, PlanClass::ForcedMonteCarlo);
+        let QueryAnswer::Probability { p, std_error } = answer else {
+            panic!("probability expected");
+        };
+        let se = std_error.expect("MC reports a standard error").max(1e-9);
+        let (brute_p, brute_e) = brute_force_join(
+            catalog.get("sensors").unwrap(),
+            catalog.get("readings").unwrap(),
+            &Predicate::eq(AttrId(1), ValueId(1)),
+            &Predicate::eq(AttrId(1), ValueId(1)),
+        );
+        assert!((p - brute_p).abs() < 4.0 * se + 0.01, "{p} vs {brute_p}");
+        // Sampled expected count and count distribution agree as well.
+        let (mean, _) = engine.expected_count(&q).unwrap();
+        assert!((mean - brute_e).abs() < 0.05, "{mean} vs {brute_e}");
+        let (dist, report) = engine.count_distribution(&q).unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let dist_mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        assert!((dist_mean - brute_e).abs() < 0.05);
+    }
+
+    #[test]
+    fn key_straddling_block_routes_to_monte_carlo() {
+        // A sensors block whose alternatives sit at *different* stations:
+        // the station key is correlated inside the block, so the exact
+        // independent partition is unsound and the planner must sample.
+        let mut straddling = ProbDb::new(station_schema("kind", ["indoor", "outdoor"]));
+        straddling
+            .push_block(Block::new(0, vec![alt(vec![0, 1], 0.5), alt(vec![1, 1], 0.5)]).unwrap())
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add("sensors", straddling).unwrap();
+        catalog.add("readings", readings()).unwrap();
+        let engine = CatalogEngine::with_config(
+            &catalog,
+            QueryEngineConfig {
+                mc_samples: 40_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let q = Query::scan("sensors").join_on("readings", [(AttrId(0), AttrId(0))]);
+        let (path, plan) = engine.plan(&q, Statistic::Probability).unwrap();
+        assert_eq!(path, EvalPath::MonteCarlo);
+        assert_eq!(plan, PlanClass::KeyCorrelated);
+        let (p, report) = engine.probability(&q).unwrap();
+        let Some(SafePlan::Unsafe { reason }) = &report.decomposition else {
+            panic!("expected an unsafe decomposition");
+        };
+        assert!(reason.contains("straddles"), "{reason}");
+        let (brute_p, _) = brute_force_join(
+            catalog.get("sensors").unwrap(),
+            catalog.get("readings").unwrap(),
+            &Predicate::Any,
+            &Predicate::Any,
+        );
+        assert!((p - brute_p).abs() < 0.02, "{p} vs {brute_p}");
+        // Expected count does not need key uniqueness: still exact.
+        let (e, report) = engine.expected_count(&q).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        let (_, brute_e) = brute_force_join(
+            catalog.get("sensors").unwrap(),
+            catalog.get("readings").unwrap(),
+            &Predicate::Any,
+            &Predicate::Any,
+        );
+        assert!((e - brute_e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_hierarchical_query_is_exact() {
+        // R(x), S(x, y, ok), T(x, y, ok) with selections ok=1 on S and T:
+        // class {R.x, S.x, T.x} nests class {S.y, T.y} — hierarchical with
+        // real recursion depth. Uncertainty lives in the `ok` attribute so
+        // every block keeps a unique (x, y) join key among its *selected*
+        // alternatives (blocks whose uncertainty spanned join keys would
+        // be key-correlated and routed to Monte Carlo instead).
+        let three = Schema::builder()
+            .attribute("x", ["x0", "x1"])
+            .attribute("y", ["y0", "y1"])
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .unwrap();
+        let two = Schema::builder()
+            .attribute("x", ["x0", "x1"])
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .unwrap();
+        let mut r = ProbDb::new(two);
+        r.push_block(Block::new(0, vec![alt(vec![0, 0], 0.6), alt(vec![0, 1], 0.4)]).unwrap())
+            .unwrap();
+        r.push_block(Block::new(1, vec![alt(vec![1, 0], 0.5), alt(vec![1, 1], 0.5)]).unwrap())
+            .unwrap();
+        let mut s = ProbDb::new(three.clone());
+        s.push_certain(CompleteTuple::from_values(vec![0, 0, 1]))
+            .unwrap();
+        s.push_block(
+            Block::new(0, vec![alt(vec![1, 0, 0], 0.5), alt(vec![1, 0, 1], 0.5)]).unwrap(),
+        )
+        .unwrap();
+        s.push_block(
+            Block::new(1, vec![alt(vec![0, 1, 0], 0.2), alt(vec![0, 1, 1], 0.8)]).unwrap(),
+        )
+        .unwrap();
+        let mut t = ProbDb::new(three);
+        t.push_block(
+            Block::new(0, vec![alt(vec![0, 0, 0], 0.3), alt(vec![0, 0, 1], 0.7)]).unwrap(),
+        )
+        .unwrap();
+        t.push_block(
+            Block::new(1, vec![alt(vec![0, 1, 0], 0.6), alt(vec![0, 1, 1], 0.4)]).unwrap(),
+        )
+        .unwrap();
+        t.push_certain(CompleteTuple::from_values(vec![1, 1, 1]))
+            .unwrap();
+
+        // Brute force over the product of the three world sets.
+        let ok = Predicate::eq(AttrId(2), ValueId(1));
+        let (rw, sw, tw) = (
+            enumerate_worlds(&r, 100),
+            enumerate_worlds(&s, 100),
+            enumerate_worlds(&t, 100),
+        );
+        let r_ok = Predicate::eq(AttrId(1), ValueId(1));
+        let mut brute_p = 0.0;
+        for a in &rw {
+            for b in &sw {
+                for c in &tw {
+                    let hit = a.tuples.iter().filter(|t1| r_ok.eval(t1)).any(|t1| {
+                        b.tuples.iter().filter(|t2| ok.eval(t2)).any(|t2| {
+                            t2.value(AttrId(0)) == t1.value(AttrId(0))
+                                && c.tuples.iter().filter(|t3| ok.eval(t3)).any(|t3| {
+                                    t3.value(AttrId(0)) == t1.value(AttrId(0))
+                                        && t3.value(AttrId(1)) == t2.value(AttrId(1))
+                                })
+                        })
+                    });
+                    if hit {
+                        brute_p += a.prob * b.prob * c.prob;
+                    }
+                }
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        catalog.add("r", r).unwrap();
+        catalog.add("s", s).unwrap();
+        catalog.add("t", t).unwrap();
+        let engine = CatalogEngine::new(&catalog);
+        let q = Query::scan("r")
+            .filter(r_ok)
+            .join_on(
+                Query::scan("s").filter(ok.clone()),
+                [(AttrId(0), AttrId(0))],
+            )
+            .join_on_rel(
+                "s",
+                Query::scan("t").filter(ok.clone()),
+                [(AttrId(0), AttrId(0)), (AttrId(1), AttrId(1))],
+            );
+        let (path, plan) = engine.plan(&q, Statistic::Probability).unwrap();
+        assert_eq!(path, EvalPath::ExactColumnar);
+        assert_eq!(plan, PlanClass::Liftable);
+        let (p, report) = engine.probability(&q).unwrap();
+        assert!((p - brute_p).abs() < 1e-12, "{p} vs {brute_p}");
+        // The decomposition nests: partition on x, then on y inside {s, t}.
+        let Some(SafePlan::KeyPartition { inputs, .. }) = &report.decomposition else {
+            panic!("expected key partition");
+        };
+        assert!(inputs
+            .iter()
+            .any(|i| matches!(i, SafePlan::KeyPartition { .. })));
+    }
+
+    #[test]
+    fn non_hierarchical_query_routes_to_monte_carlo() {
+        // R(x), S(x, y), T(y): sg(x) = {R, S} and sg(y) = {S, T} overlap
+        // without nesting — the classic unsafe query.
+        let one = |n: &str| {
+            Schema::builder()
+                .attribute(n, ["v0", "v1"])
+                .build()
+                .unwrap()
+        };
+        let two = Schema::builder()
+            .attribute("x", ["v0", "v1"])
+            .attribute("y", ["v0", "v1"])
+            .build()
+            .unwrap();
+        let mut r = ProbDb::new(one("x"));
+        r.push_block(Block::new(0, vec![alt(vec![0], 0.5), alt(vec![1], 0.5)]).unwrap())
+            .unwrap();
+        let mut s = ProbDb::new(two);
+        s.push_block(Block::new(0, vec![alt(vec![0, 1], 0.5), alt(vec![1, 0], 0.5)]).unwrap())
+            .unwrap();
+        let mut t = ProbDb::new(one("y"));
+        t.push_block(Block::new(0, vec![alt(vec![0], 0.5), alt(vec![1], 0.5)]).unwrap())
+            .unwrap();
+
+        let (rw, sw, tw) = (
+            enumerate_worlds(&r, 100),
+            enumerate_worlds(&s, 100),
+            enumerate_worlds(&t, 100),
+        );
+        let mut brute_p = 0.0;
+        for a in &rw {
+            for b in &sw {
+                for c in &tw {
+                    let hit = a.tuples.iter().any(|t1| {
+                        b.tuples.iter().any(|t2| {
+                            t1.value(AttrId(0)) == t2.value(AttrId(0))
+                                && c.tuples
+                                    .iter()
+                                    .any(|t3| t3.value(AttrId(0)) == t2.value(AttrId(1)))
+                        })
+                    });
+                    if hit {
+                        brute_p += a.prob * b.prob * c.prob;
+                    }
+                }
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        catalog.add("r", r).unwrap();
+        catalog.add("s", s).unwrap();
+        catalog.add("t", t).unwrap();
+        let engine = CatalogEngine::with_config(
+            &catalog,
+            QueryEngineConfig {
+                mc_samples: 40_000,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let q = Query::scan("r")
+            .join_on("s", [(AttrId(0), AttrId(0))])
+            .join_on_rel("s", "t", [(AttrId(1), AttrId(0))]);
+        let (path, plan) = engine.plan(&q, Statistic::Probability).unwrap();
+        assert_eq!(path, EvalPath::MonteCarlo);
+        assert_eq!(plan, PlanClass::NonHierarchical);
+        let (p, report) = engine.probability(&q).unwrap();
+        assert_eq!(report.plan, PlanClass::NonHierarchical);
+        let Some(SafePlan::Unsafe { reason }) = &report.decomposition else {
+            panic!(
+                "expected unsafe decomposition, got {:?}",
+                report.decomposition
+            );
+        };
+        assert!(reason.contains("non-hierarchical"), "{reason}");
+        assert!((p - brute_p).abs() < 0.02, "{p} vs {brute_p}");
+    }
+
+    #[test]
+    fn single_relation_statistics_reject_join_trees() {
+        let catalog = sensors_catalog();
+        let engine = CatalogEngine::new(&catalog);
+        let q = Query::scan("sensors").join_on("readings", [(AttrId(0), AttrId(0))]);
+        for stat in [
+            Statistic::Marginals,
+            Statistic::TopK(3),
+            Statistic::ValueMarginal(AttrId(0)),
+        ] {
+            let e = engine.evaluate(&q, stat);
+            assert!(
+                matches!(e, Err(ProbDbError::UnsupportedStatistic { .. })),
+                "{stat:?}"
+            );
+        }
+        // Unknown relations and incompatible dictionaries are caught.
+        let e = engine.probability(&Query::scan("nope"));
+        assert!(matches!(e, Err(ProbDbError::UnknownRelation(_))));
+        let q = Query::scan("sensors").join_on("readings", [(AttrId(1), AttrId(1))]);
+        let e = engine.probability(&q); // kind vs level: different labels
+        assert!(matches!(
+            e,
+            Err(ProbDbError::IncompatibleJoinDomains { .. })
+        ));
+    }
+
+    #[test]
+    fn query_spec_lowering_matches_catalog_engine() {
+        // The deprecated shim and the catalog engine share one code path;
+        // answers must be identical on both physical routes.
+        let db = db();
+        let mut catalog = Catalog::new();
+        catalog.add("db", db.clone()).unwrap();
+        for config in [
+            QueryEngineConfig::default(),
+            QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples: 2_000,
+                ..QueryEngineConfig::default()
+            },
+        ] {
+            let old = QueryEngine::with_config(&db, config);
+            let new = CatalogEngine::with_config(&catalog, config);
+            let pred =
+                Predicate::eq(AttrId(2), ValueId(1)).or(Predicate::eq(AttrId(3), ValueId(1)));
+            let (old_count, old_report) = old.expected_count(&pred).unwrap();
+            let (new_count, new_report) = new
+                .expected_count(&Query::scan("db").filter(pred.clone()))
+                .unwrap();
+            assert_eq!(old_count.to_bits(), new_count.to_bits());
+            assert_eq!(old_report, new_report);
+            let (old_dist, _) = old.count_distribution(&pred).unwrap();
+            let (new_dist, _) = new
+                .count_distribution(&Query::scan("db").filter(pred.clone()))
+                .unwrap();
+            assert_eq!(old_dist, new_dist);
+        }
+    }
+
+    #[test]
+    fn single_relation_probability_matches_enumeration() {
+        let db = db();
+        let pred = Predicate::eq(AttrId(2), ValueId(0)); // inc = 50K
+        let brute: f64 = enumerate_worlds(&db, 100)
+            .iter()
+            .filter(|w| w.tuples.iter().any(|t| pred.eval(t)))
+            .map(|w| w.prob)
+            .sum();
+        let mut catalog = Catalog::new();
+        catalog.add("db", db).unwrap();
+        let engine = CatalogEngine::new(&catalog);
+        let (p, report) = engine.probability(&Query::scan("db").filter(pred)).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        assert!((p - brute).abs() < 1e-12, "{p} vs {brute}");
+    }
+}

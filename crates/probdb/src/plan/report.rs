@@ -1,0 +1,223 @@
+//! Evaluation reports: the planner's choices made visible.
+//!
+//! Every answer carries an [`EvalReport`]: which physical path ran, why
+//! the planner chose it ([`PlanClass`]), per-relation scan statistics
+//! ([`RelationStats`]), and — for multi-relation queries — the safe-plan
+//! decomposition ([`SafePlan`]) the classifier found (or why it found
+//! none).
+
+/// Physical evaluation path chosen by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Exact extensional evaluation over the columnar stores.
+    ExactColumnar,
+    /// Monte-Carlo world sampling.
+    MonteCarlo,
+}
+
+/// Why the planner chose the path it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanClass {
+    /// The query is safe (single-relation, or a hierarchical join whose
+    /// blocks do not straddle join keys) and the statistic is extensional:
+    /// exact evaluation.
+    Liftable,
+    /// Liftable, but the exact DP cost exceeds the configured budget.
+    DpBudgetExceeded,
+    /// Monte Carlo was forced by configuration.
+    ForcedMonteCarlo,
+    /// The join-variable structure is not hierarchical — the query is
+    /// unsafe for extensional evaluation and samples instead.
+    NonHierarchical,
+    /// The shape is hierarchical but some block's selected alternatives
+    /// disagree on a join key, correlating key groups that the extensional
+    /// plan must treat as independent: Monte Carlo.
+    KeyCorrelated,
+    /// The statistic itself has no extensional evaluator for this shape
+    /// (e.g. the count distribution of a join): Monte Carlo.
+    UnliftableStatistic,
+}
+
+/// The safe-plan decomposition of a query, as found by the classifier.
+///
+/// A hierarchical query decomposes recursively: pick the join-variable
+/// class shared by every relation of a connected component, partition all
+/// relations by that key (partitions are independent when no block
+/// straddles keys), and recurse into the subcomponents the removed class
+/// leaves behind. The leaves are single-relation scans whose existential
+/// probability is a per-block product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafePlan {
+    /// A single relation: `P(∃ match) = 1 - ∏_blocks (1 - p_block)`.
+    Scan {
+        /// The scanned relation.
+        relation: String,
+    },
+    /// Independent partition on a join-variable class: the outcome for
+    /// each key value is independent of every other key value, and within
+    /// one key value the inputs are independent of each other.
+    KeyPartition {
+        /// Human-readable class label, e.g. `sensors.station = readings.station`.
+        key: String,
+        /// Sub-plans evaluated independently per key value.
+        inputs: Vec<SafePlan>,
+    },
+    /// No safe plan exists; the query was routed to Monte Carlo.
+    Unsafe {
+        /// Why classification failed (non-hierarchical structure or a
+        /// key-straddling block).
+        reason: String,
+    },
+}
+
+impl SafePlan {
+    /// Renders the decomposition as a one-line s-expression, e.g.
+    /// `⨅[r.k = s.k](scan r, scan s)`.
+    pub fn render(&self) -> String {
+        match self {
+            Self::Scan { relation } => format!("scan {relation}"),
+            Self::KeyPartition { key, inputs } => {
+                let parts: Vec<String> = inputs.iter().map(SafePlan::render).collect();
+                format!("⨅[{key}]({})", parts.join(", "))
+            }
+            Self::Unsafe { reason } => format!("unsafe: {reason}"),
+        }
+    }
+}
+
+/// Scan statistics of one relation touched by a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub relation: String,
+    /// Total blocks in the relation.
+    pub blocks_total: usize,
+    /// Blocks whose selection probability the columnar pre-filter proved
+    /// to be 0. On the exact path these are skipped by all downstream
+    /// arithmetic; on the Monte-Carlo path the statistic is informational
+    /// only — the world sampler still draws one alternative per block.
+    pub blocks_pruned: usize,
+    /// Blocks contributing non-zero probability mass.
+    pub blocks_touched: usize,
+    /// Certain rows scanned by the columnar filter.
+    pub certain_rows: usize,
+    /// Alternative rows scanned by the columnar filter.
+    pub alt_rows: usize,
+}
+
+/// Per-query evaluation report: path, classification, per-relation scan
+/// statistics and the safe-plan decomposition.
+///
+/// The flat `blocks_*`/`*_rows` fields aggregate over
+/// [`EvalReport::relations`]; single-relation queries have exactly one
+/// entry there, so the flat fields read the same as they did before the
+/// catalog API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Physical path taken.
+    pub path: EvalPath,
+    /// Planner classification behind the choice.
+    pub plan: PlanClass,
+    /// Total blocks across all scanned relations.
+    pub blocks_total: usize,
+    /// Pruned blocks across all scanned relations.
+    pub blocks_pruned: usize,
+    /// Touched blocks across all scanned relations.
+    pub blocks_touched: usize,
+    /// Certain rows scanned, across relations.
+    pub certain_rows: usize,
+    /// Alternative rows scanned, across relations.
+    pub alt_rows: usize,
+    /// Worlds sampled (0 on the exact path).
+    pub mc_samples: usize,
+    /// Per-relation statistics, in scan order.
+    pub relations: Vec<RelationStats>,
+    /// The safe-plan decomposition for join queries (`None` on
+    /// single-relation queries, where the plan is trivially a scan).
+    pub decomposition: Option<SafePlan>,
+}
+
+impl EvalReport {
+    pub(crate) fn new(
+        path: EvalPath,
+        plan: PlanClass,
+        relations: Vec<RelationStats>,
+        mc_samples: usize,
+        decomposition: Option<SafePlan>,
+    ) -> Self {
+        let sum = |f: fn(&RelationStats) -> usize| relations.iter().map(f).sum();
+        Self {
+            path,
+            plan,
+            blocks_total: sum(|r| r.blocks_total),
+            blocks_pruned: sum(|r| r.blocks_pruned),
+            blocks_touched: sum(|r| r.blocks_touched),
+            certain_rows: sum(|r| r.certain_rows),
+            alt_rows: sum(|r| r.alt_rows),
+            mc_samples,
+            relations,
+            decomposition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_totals_aggregate_relations() {
+        let rel = |name: &str, blocks: usize, pruned: usize| RelationStats {
+            relation: name.to_string(),
+            blocks_total: blocks,
+            blocks_pruned: pruned,
+            blocks_touched: blocks - pruned,
+            certain_rows: 10,
+            alt_rows: blocks * 2,
+        };
+        let report = EvalReport::new(
+            EvalPath::ExactColumnar,
+            PlanClass::Liftable,
+            vec![rel("a", 5, 2), rel("b", 3, 0)],
+            0,
+            None,
+        );
+        assert_eq!(report.blocks_total, 8);
+        assert_eq!(report.blocks_pruned, 2);
+        assert_eq!(report.blocks_touched, 6);
+        assert_eq!(report.certain_rows, 20);
+        assert_eq!(report.alt_rows, 16);
+        assert_eq!(report.relations.len(), 2);
+    }
+
+    #[test]
+    fn safe_plan_renders_nested_structure() {
+        let plan = SafePlan::KeyPartition {
+            key: "r.k = s.k".into(),
+            inputs: vec![
+                SafePlan::Scan {
+                    relation: "r".into(),
+                },
+                SafePlan::KeyPartition {
+                    key: "s.y = t.y".into(),
+                    inputs: vec![
+                        SafePlan::Scan {
+                            relation: "s".into(),
+                        },
+                        SafePlan::Scan {
+                            relation: "t".into(),
+                        },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(
+            plan.render(),
+            "⨅[r.k = s.k](scan r, ⨅[s.y = t.y](scan s, scan t))"
+        );
+        let unsafe_plan = SafePlan::Unsafe {
+            reason: "non-hierarchical".into(),
+        };
+        assert!(unsafe_plan.render().starts_with("unsafe:"));
+    }
+}

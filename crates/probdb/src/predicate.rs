@@ -29,6 +29,9 @@ pub enum Predicate {
     /// The always-true predicate.
     #[default]
     Any,
+    /// The always-false predicate (the canonical form [`Predicate::simplify`]
+    /// folds empty disjunctions and empty `In` sets into).
+    Never,
     /// `attr = value`.
     Eq(AttrId, ValueId),
     /// `attr ∈ {values…}`.
@@ -47,6 +50,11 @@ impl Predicate {
     /// The always-true predicate.
     pub fn any() -> Self {
         Self::Any
+    }
+
+    /// The always-false predicate.
+    pub fn never() -> Self {
+        Self::Never
     }
 
     /// `attr = value`.
@@ -69,6 +77,7 @@ impl Predicate {
     #[must_use]
     pub fn and(self, other: Predicate) -> Predicate {
         match (self, other) {
+            (Self::Never, _) | (_, Self::Never) => Self::Never,
             (Self::Any, o) => o,
             (s, Self::Any) => s,
             (Self::And(mut xs), Self::And(ys)) => {
@@ -93,6 +102,8 @@ impl Predicate {
     pub fn or(self, other: Predicate) -> Predicate {
         match (self, other) {
             (Self::Any, _) | (_, Self::Any) => Self::Any,
+            (Self::Never, o) => o,
+            (s, Self::Never) => s,
             (Self::Or(mut xs), Self::Or(ys)) => {
                 xs.extend(ys);
                 Self::Or(xs)
@@ -129,7 +140,7 @@ impl Predicate {
     /// The attributes the predicate reads.
     pub fn attrs(&self) -> AttrMask {
         match self {
-            Self::Any => AttrMask::EMPTY,
+            Self::Any | Self::Never => AttrMask::EMPTY,
             Self::Eq(a, _) | Self::In(a, _) | Self::Range(a, _, _) => AttrMask::single(*a),
             Self::And(ps) | Self::Or(ps) => {
                 ps.iter().fold(AttrMask::EMPTY, |m, p| m.union(p.attrs()))
@@ -138,10 +149,96 @@ impl Predicate {
         }
     }
 
+    /// Rewrites the predicate into a canonical form without changing its
+    /// meaning on any tuple (complete, partial or columnar):
+    ///
+    /// * `Not(Not(p))` collapses to `simplify(p)`; `Not(Any)` / `Not(Never)`
+    ///   fold to `Never` / `Any`;
+    /// * empty connectives fold to their identity — `And([])` to
+    ///   [`Predicate::Any`], `Or([])` to [`Predicate::Never`] — and
+    ///   single-element connectives unwrap;
+    /// * nested `And` / `Or` flatten, identity elements (`Any` in ∧,
+    ///   `Never` in ∨) disappear, absorbing elements (`Never` in ∧, `Any`
+    ///   in ∨) short-circuit the whole connective;
+    /// * membership tests canonicalize: `In` sets sort and dedup, an empty
+    ///   set is `Never`, a singleton becomes `Eq`, and sibling `Eq` / `In`
+    ///   terms over the same attribute inside one `Or` merge into a single
+    ///   `In`.
+    ///
+    /// The planner runs this once per query so classification and predicate
+    /// compilation see canonical trees.
+    #[must_use]
+    pub fn simplify(&self) -> Predicate {
+        match self {
+            Self::Any => Self::Any,
+            Self::Never => Self::Never,
+            Self::Eq(a, v) => Self::Eq(*a, *v),
+            Self::In(a, vs) => {
+                let mut vs = vs.clone();
+                vs.sort_unstable();
+                vs.dedup();
+                match vs.len() {
+                    0 => Self::Never,
+                    1 => Self::Eq(*a, vs[0]),
+                    _ => Self::In(*a, vs),
+                }
+            }
+            Self::Range(a, lo, hi) => {
+                if lo > hi {
+                    Self::Never
+                } else if lo == hi {
+                    Self::Eq(*a, *lo)
+                } else {
+                    Self::Range(*a, *lo, *hi)
+                }
+            }
+            Self::And(ps) => {
+                let mut flat = Vec::new();
+                for p in ps {
+                    match p.simplify() {
+                        Self::Any => {}
+                        Self::Never => return Self::Never,
+                        Self::And(qs) => flat.extend(qs),
+                        q => flat.push(q),
+                    }
+                }
+                match flat.len() {
+                    0 => Self::Any,
+                    1 => flat.pop().expect("one element"),
+                    _ => Self::And(flat),
+                }
+            }
+            Self::Or(ps) => {
+                let mut flat = Vec::new();
+                for p in ps {
+                    match p.simplify() {
+                        Self::Never => {}
+                        Self::Any => return Self::Any,
+                        Self::Or(qs) => flat.extend(qs),
+                        q => flat.push(q),
+                    }
+                }
+                let flat = merge_membership_terms(flat);
+                match flat.len() {
+                    0 => Self::Never,
+                    1 => flat.into_iter().next().expect("one element"),
+                    _ => Self::Or(flat),
+                }
+            }
+            Self::Not(p) => match p.simplify() {
+                Self::Not(inner) => *inner,
+                Self::Any => Self::Never,
+                Self::Never => Self::Any,
+                q => Self::Not(Box::new(q)),
+            },
+        }
+    }
+
     /// Evaluates the predicate on a complete tuple.
     pub fn eval(&self, t: &CompleteTuple) -> bool {
         match self {
             Self::Any => true,
+            Self::Never => false,
             Self::Eq(a, v) => t.value(*a) == *v,
             Self::In(a, vs) => vs.contains(&t.value(*a)),
             Self::Range(a, lo, hi) => {
@@ -164,10 +261,19 @@ impl Predicate {
     pub fn eval_partial(&self, t: &PartialTuple) -> Option<bool> {
         match self {
             Self::Any => Some(true),
+            Self::Never => Some(false),
             Self::Eq(a, v) => t.get(*a).map(|x| x == *v),
             Self::In(a, vs) => t.get(*a).map(|x| vs.contains(&x)),
             Self::Range(a, lo, hi) => t.get(*a).map(|x| *lo <= x && x <= *hi),
             Self::And(ps) => {
+                // The empty conjunction is the always-true predicate even on
+                // an incomplete tuple: with no conjunct to depend on a
+                // missing attribute, every completion satisfies it. Decided,
+                // never `None` — lazy derivation relies on this to skip
+                // inference.
+                if ps.is_empty() {
+                    return Some(true);
+                }
                 let mut all_true = true;
                 for p in ps {
                     match p.eval_partial(t) {
@@ -206,6 +312,7 @@ impl Predicate {
     pub fn eval_columns(&self, set: &ColumnSet) -> Bitmap {
         match self {
             Self::Any => Bitmap::ones(set.rows()),
+            Self::Never => Bitmap::zeros(set.rows()),
             Self::Eq(a, v) => Bitmap::from_test(set.col(*a), |x| x == v.0),
             Self::In(a, vs) => {
                 let len = vs.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
@@ -242,6 +349,45 @@ impl Predicate {
     }
 }
 
+/// Merges sibling membership terms of one disjunction: `Eq`/`In` terms over
+/// the same attribute combine into a single sorted, deduped `In` (or `Eq`
+/// when a single value remains). Non-membership terms pass through in
+/// order; the merged membership term takes the position of the first term
+/// mentioning its attribute.
+fn merge_membership_terms(terms: Vec<Predicate>) -> Vec<Predicate> {
+    use std::collections::BTreeMap;
+    let mut sets: BTreeMap<AttrId, Vec<ValueId>> = BTreeMap::new();
+    for t in &terms {
+        match t {
+            Predicate::Eq(a, v) => sets.entry(*a).or_default().push(*v),
+            Predicate::In(a, vs) => sets.entry(*a).or_default().extend(vs.iter().copied()),
+            _ => {}
+        }
+    }
+    let mut emitted: Vec<AttrId> = Vec::new();
+    let mut out = Vec::with_capacity(terms.len());
+    for t in terms {
+        match t {
+            Predicate::Eq(a, _) | Predicate::In(a, _) => {
+                if emitted.contains(&a) {
+                    continue;
+                }
+                emitted.push(a);
+                let mut vs = sets.remove(&a).expect("collected above");
+                vs.sort_unstable();
+                vs.dedup();
+                out.push(if vs.len() == 1 {
+                    Predicate::Eq(a, vs[0])
+                } else {
+                    Predicate::In(a, vs)
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 // Manual serde impls: the vendored derive does not support data-carrying
 // enum variants, so predicates encode as `{"op": …}`-tagged objects.
 impl Serialize for Predicate {
@@ -256,6 +402,7 @@ impl Serialize for Predicate {
         }
         match self {
             Self::Any => obj(vec![("op", Value::from("any"))]),
+            Self::Never => obj(vec![("op", Value::from("never"))]),
             Self::Eq(a, v) => obj(vec![
                 ("op", Value::from("eq")),
                 ("attr", a.to_value()),
@@ -287,6 +434,7 @@ impl Deserialize for Predicate {
             .ok_or_else(|| DeError::new("predicate op must be a string"))?;
         Ok(match op {
             "any" => Self::Any,
+            "never" => Self::Never,
             "eq" => Self::Eq(
                 Deserialize::from_value(v.field("attr")?)?,
                 Deserialize::from_value(v.field("value")?)?,
@@ -383,6 +531,143 @@ mod tests {
                 .negate()
                 .eval_partial(&t),
             Some(false)
+        );
+    }
+
+    #[test]
+    fn never_is_false_on_every_path() {
+        let t = CompleteTuple::from_values(vec![0, 1]);
+        assert!(!Predicate::never().eval(&t));
+        assert_eq!(
+            Predicate::never().eval_partial(&pt(&[None, None])),
+            Some(false)
+        );
+        assert!(Predicate::never().attrs().is_empty());
+        // ∧/∨ builders treat it as absorbing / identity.
+        let p = Predicate::eq(AttrId(0), ValueId(0));
+        assert_eq!(p.clone().and(Predicate::never()), Predicate::Never);
+        assert_eq!(Predicate::never().or(p.clone()), p);
+    }
+
+    #[test]
+    fn simplify_folds_empty_connectives() {
+        assert_eq!(Predicate::And(vec![]).simplify(), Predicate::Any);
+        assert_eq!(Predicate::Or(vec![]).simplify(), Predicate::Never);
+        assert_eq!(Predicate::is_in(AttrId(0), []).simplify(), Predicate::Never);
+        // Identity and absorbing elements propagate upward.
+        let p = Predicate::eq(AttrId(0), ValueId(1));
+        assert_eq!(
+            Predicate::And(vec![Predicate::Any, p.clone()]).simplify(),
+            p
+        );
+        assert_eq!(
+            Predicate::And(vec![p.clone(), Predicate::Or(vec![])]).simplify(),
+            Predicate::Never
+        );
+        assert_eq!(
+            Predicate::Or(vec![p.clone(), Predicate::Any]).simplify(),
+            Predicate::Any
+        );
+        assert_eq!(
+            Predicate::Or(vec![Predicate::Never, p.clone()]).simplify(),
+            p
+        );
+    }
+
+    #[test]
+    fn simplify_collapses_negations_and_flattens() {
+        let p = Predicate::eq(AttrId(1), ValueId(0));
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::Not(Box::new(p.clone())))).simplify(),
+            p
+        );
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::Any)).simplify(),
+            Predicate::Never
+        );
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::Or(vec![]))).simplify(),
+            Predicate::Any
+        );
+        // Nested conjunctions flatten into one level.
+        let nested = Predicate::And(vec![
+            Predicate::And(vec![p.clone(), Predicate::eq(AttrId(0), ValueId(0))]),
+            Predicate::And(vec![Predicate::eq(AttrId(2), ValueId(1))]),
+        ]);
+        assert!(matches!(nested.simplify(), Predicate::And(qs) if qs.len() == 3));
+    }
+
+    #[test]
+    fn simplify_merges_membership_sets() {
+        // v2 ∨ (v0|v1) ∨ v0 over one attribute → In {v0, v1, v2}.
+        let p = Predicate::eq(AttrId(0), ValueId(2))
+            .or(Predicate::is_in(AttrId(0), [ValueId(0), ValueId(1)]))
+            .or(Predicate::eq(AttrId(0), ValueId(0)));
+        assert_eq!(
+            p.simplify(),
+            Predicate::In(AttrId(0), vec![ValueId(0), ValueId(1), ValueId(2)])
+        );
+        // Different attributes stay separate; singleton In becomes Eq.
+        let q = Predicate::is_in(AttrId(0), [ValueId(1), ValueId(1)])
+            .or(Predicate::eq(AttrId(1), ValueId(0)));
+        assert_eq!(
+            q.simplify(),
+            Predicate::Or(vec![
+                Predicate::Eq(AttrId(0), ValueId(1)),
+                Predicate::Eq(AttrId(1), ValueId(0)),
+            ])
+        );
+        // Degenerate and inverted ranges canonicalize.
+        assert_eq!(
+            Predicate::range(AttrId(0), ValueId(1), ValueId(1)).simplify(),
+            Predicate::Eq(AttrId(0), ValueId(1))
+        );
+        assert_eq!(
+            Predicate::range(AttrId(0), ValueId(2), ValueId(1)).simplify(),
+            Predicate::Never
+        );
+    }
+
+    #[test]
+    fn simplify_preserves_meaning() {
+        let preds = vec![
+            Predicate::And(vec![]),
+            Predicate::Or(vec![]),
+            Predicate::is_in(AttrId(0), []).negate(),
+            Predicate::eq(AttrId(0), ValueId(2))
+                .or(Predicate::is_in(AttrId(0), [ValueId(0), ValueId(1)]))
+                .negate()
+                .negate(),
+            Predicate::And(vec![
+                Predicate::Any,
+                Predicate::Or(vec![
+                    Predicate::range(AttrId(1), ValueId(1), ValueId(0)),
+                    Predicate::eq(AttrId(2), ValueId(1)),
+                ]),
+            ]),
+        ];
+        let tuples: Vec<CompleteTuple> = (0..3u16)
+            .flat_map(|a| (0..3u16).map(move |b| CompleteTuple::from_values(vec![a, b, a.min(1)])))
+            .collect();
+        for p in &preds {
+            let s = p.simplify();
+            for t in &tuples {
+                assert_eq!(p.eval(t), s.eval(t), "{p:?} vs {s:?} on {t:?}");
+            }
+            // Simplification is idempotent.
+            assert_eq!(s.simplify(), s);
+        }
+    }
+
+    #[test]
+    fn empty_conjunction_is_decided_on_incomplete_tuples() {
+        // Regression: And([]) ≡ Any must be Some(true) on a tuple with
+        // missing attributes, not None — lazy derivation skips on it.
+        let t = pt(&[None, None, None]);
+        assert_eq!(Predicate::And(vec![]).eval_partial(&t), Some(true));
+        assert_eq!(
+            Predicate::And(vec![Predicate::And(vec![])]).eval_partial(&t),
+            Some(true)
         );
     }
 

@@ -16,9 +16,8 @@
 
 use mrsl_repro::bayesnet::{BayesianNetwork, NodeSpec, TopologySpec};
 use mrsl_repro::core::{derive_probabilistic_db, DeriveConfig, GibbsConfig, LearnConfig};
-use mrsl_repro::probdb::plan::QuerySpec;
 use mrsl_repro::probdb::query::{count_distribution, expected_count, top_k, Predicate};
-use mrsl_repro::probdb::{EvalPath, QueryEngine, QueryEngineConfig};
+use mrsl_repro::probdb::{Catalog, CatalogEngine, EvalPath, Query, QueryEngineConfig, Statistic};
 use mrsl_repro::relation::{AttrId, Relation, ValueId};
 use mrsl_repro::util::seeded_rng;
 use rand::seq::SliceRandom;
@@ -144,8 +143,11 @@ fn main() {
     );
 
     // Query 3: top-5 most probable ⟨100K, 500K⟩ completions among blocks.
+    // Certain matches rank first (probability 1), so ask for enough rows
+    // to reach the block tuples behind them.
     println!("\ntop-5 probable ⟨inc=100K, nw=500K⟩ candidates from incomplete profiles:");
-    for ranked in top_k(&out.db, &prime, 50)
+    let deep = out.db.certain().len() + 50;
+    for ranked in top_k(&out.db, &prime, deep)
         .into_iter()
         .filter(|r| r.block.is_some())
         .take(5)
@@ -164,31 +166,43 @@ fn main() {
 
     // Query 4: the planned engine on a compound predicate — prime matches
     // *or* young-and-educated long shots, excluding the lowest bracket:
-    // (inc=100K ∧ nw=500K) ∨ (age=20 ∧ ¬(edu=HS)).
+    // (inc=100K ∧ nw=500K) ∨ (age=20 ∧ ¬(edu=HS)). The derived database
+    // moves into a named catalog and queries become algebra trees.
     let age = schema.attr_id("age").expect("age");
     let edu = schema.attr_id("edu").expect("edu");
     let compound = prime
         .clone()
         .or(Predicate::eq(age, ValueId(0)).and(Predicate::eq(edu, ValueId(0)).negate()));
-    let engine = QueryEngine::new(&out.db);
-    let (count, report) = engine.expected_count(&compound).expect("planned query");
+    let mut catalog = Catalog::new();
+    catalog.add("profiles", out.db).expect("fresh catalog");
+    let engine = CatalogEngine::new(&catalog);
+    let compound_query = Query::scan("profiles").filter(compound);
+    let (count, report) = engine
+        .expected_count(&compound_query)
+        .expect("planned query");
     println!(
         "\nE[#(prime ∨ young-non-HS)] = {count:.1} via {:?} ({} of {} blocks pruned)",
         report.path, report.blocks_pruned, report.blocks_total
     );
+    let (p_any, _) = engine.probability(&compound_query).expect("planned query");
+    println!("P(at least one such profile exists) = {p_any:.4}");
 
     // The same count distribution through both physical paths: exact DP,
     // then the Monte-Carlo fallback a tiny DP budget forces.
-    let (exact_dist, exact_report) = engine.count_distribution(&compound).expect("exact path");
-    let mc_engine = QueryEngine::with_config(
-        &out.db,
+    let (exact_dist, exact_report) = engine
+        .count_distribution(&compound_query)
+        .expect("exact path");
+    let mc_engine = CatalogEngine::with_config(
+        &catalog,
         QueryEngineConfig {
             max_exact_dp_blocks: 0,
             mc_samples: 20_000,
             ..QueryEngineConfig::default()
         },
     );
-    let (mc_dist, mc_report) = mc_engine.count_distribution(&compound).expect("mc path");
+    let (mc_dist, mc_report) = mc_engine
+        .count_distribution(&compound_query)
+        .expect("mc path");
     assert_eq!(exact_report.path, EvalPath::ExactColumnar);
     assert_eq!(mc_report.path, EvalPath::MonteCarlo);
     let exact_mean: f64 = exact_dist
@@ -204,11 +218,10 @@ fn main() {
 
     // A range workload: middle-or-upper age bracket (30..=40).
     let (mature, mature_report) = engine
-        .evaluate(&QuerySpec::ExpectedCount(Predicate::range(
-            age,
-            ValueId(1),
-            ValueId(2),
-        )))
+        .evaluate(
+            &Query::scan("profiles").filter(Predicate::range(age, ValueId(1), ValueId(2))),
+            Statistic::ExpectedCount,
+        )
         .expect("range query");
     if let mrsl_repro::probdb::QueryAnswer::Count { mean, .. } = mature {
         println!(
@@ -218,7 +231,10 @@ fn main() {
     }
 
     // Sanity: compare the derived marginal of `inc` against the network's.
-    let derived = mrsl_repro::probdb::query::value_marginal(&out.db, inc);
+    let derived = mrsl_repro::probdb::query::value_marginal(
+        catalog.get("profiles").expect("added above"),
+        inc,
+    );
     let true_marginal = bn.marginal(inc);
     println!(
         "\nmarginal of inc: derived [{}], true BN [{}]",

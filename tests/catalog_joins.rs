@@ -1,0 +1,245 @@
+//! Acceptance tests for the multi-relation catalog + safe-plan planner:
+//! a two-relation hierarchical join (sensors ⨝ readings on the station id
+//! with a selection on each side) must be classified `Liftable` and
+//! answered exactly — within 3σ of the multi-relation Monte-Carlo
+//! estimate — while a non-hierarchical query must be classified unsafe
+//! and routed to sampling with the decomposition recorded in the report.
+
+use mrsl_repro::probdb::world::enumerate_worlds;
+use mrsl_repro::probdb::{
+    Alternative, Block, Catalog, CatalogEngine, EvalPath, PlanClass, Predicate, ProbDb, Query,
+    QueryAnswer, QueryEngineConfig, SafePlan, Statistic,
+};
+use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, ValueId};
+
+fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+    Alternative {
+        tuple: CompleteTuple::from_values(values),
+        prob,
+    }
+}
+
+/// `sensors(station, kind)`: certain outdoor sensors at s0 and s3, blocks
+/// with known stations and uncertain kind.
+fn sensors() -> ProbDb {
+    let schema = Schema::builder()
+        .attribute("station", ["s0", "s1", "s2", "s3"])
+        .attribute("kind", ["indoor", "outdoor"])
+        .build()
+        .unwrap();
+    let mut db = ProbDb::new(schema);
+    db.push_certain(CompleteTuple::from_values(vec![0, 1]))
+        .unwrap();
+    db.push_certain(CompleteTuple::from_values(vec![3, 1]))
+        .unwrap();
+    db.push_block(Block::new(0, vec![alt(vec![1, 0], 0.8), alt(vec![1, 1], 0.2)]).unwrap())
+        .unwrap();
+    db.push_block(Block::new(1, vec![alt(vec![2, 0], 0.4), alt(vec![2, 1], 0.6)]).unwrap())
+        .unwrap();
+    db
+}
+
+/// `readings(station, level)`: one certain high reading, blocks with known
+/// stations and uncertain level.
+fn readings() -> ProbDb {
+    let schema = Schema::builder()
+        .attribute("station", ["s0", "s1", "s2", "s3"])
+        .attribute("level", ["low", "high"])
+        .build()
+        .unwrap();
+    let mut db = ProbDb::new(schema);
+    db.push_certain(CompleteTuple::from_values(vec![2, 1]))
+        .unwrap();
+    db.push_block(Block::new(0, vec![alt(vec![0, 0], 0.5), alt(vec![0, 1], 0.5)]).unwrap())
+        .unwrap();
+    db.push_block(Block::new(1, vec![alt(vec![1, 0], 0.3), alt(vec![1, 1], 0.7)]).unwrap())
+        .unwrap();
+    db.push_block(Block::new(2, vec![alt(vec![3, 0], 0.9), alt(vec![3, 1], 0.1)]).unwrap())
+        .unwrap();
+    db
+}
+
+fn catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.add("sensors", sensors()).unwrap();
+    catalog.add("readings", readings()).unwrap();
+    catalog
+}
+
+/// σ[kind=outdoor](sensors) ⨝ σ[level=high](readings) on the station id.
+fn hierarchical_query() -> Query {
+    Query::scan("sensors")
+        .filter(Predicate::eq(AttrId(1), ValueId(1)))
+        .join_on(
+            Query::scan("readings").filter(Predicate::eq(AttrId(1), ValueId(1))),
+            [(AttrId(0), AttrId(0))],
+        )
+}
+
+#[test]
+fn hierarchical_join_is_liftable_and_exact_within_3_sigma_of_mc() {
+    let catalog = catalog();
+    let engine = CatalogEngine::new(&catalog);
+    let query = hierarchical_query();
+
+    // Classified safe: exact extensional evaluation.
+    let (path, plan) = engine.plan(&query, Statistic::Probability).unwrap();
+    assert_eq!(path, EvalPath::ExactColumnar);
+    assert_eq!(plan, PlanClass::Liftable);
+    let (p, report) = engine.probability(&query).unwrap();
+    assert_eq!(report.plan, PlanClass::Liftable);
+    assert_eq!(report.mc_samples, 0);
+    assert!(matches!(
+        report.decomposition,
+        Some(SafePlan::KeyPartition { .. })
+    ));
+
+    // The exact answer is the ground truth: verify against brute-force
+    // world enumeration of both relations.
+    let lpred = Predicate::eq(AttrId(1), ValueId(1));
+    let mut brute = 0.0;
+    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
+        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
+            let hit = a.tuples.iter().filter(|t| lpred.eval(t)).any(|s| {
+                b.tuples
+                    .iter()
+                    .filter(|t| lpred.eval(t))
+                    .any(|r| r.value(AttrId(0)) == s.value(AttrId(0)))
+            });
+            if hit {
+                brute += a.prob * b.prob;
+            }
+        }
+    }
+    assert!((p - brute).abs() < 1e-12, "exact {p} vs brute {brute}");
+
+    // The multi-relation Monte-Carlo estimate agrees within 3σ.
+    let mc_engine = CatalogEngine::with_config(
+        &catalog,
+        QueryEngineConfig {
+            force_monte_carlo: true,
+            mc_samples: 50_000,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (answer, mc_report) = mc_engine.evaluate(&query, Statistic::Probability).unwrap();
+    assert_eq!(mc_report.path, EvalPath::MonteCarlo);
+    assert_eq!(mc_report.plan, PlanClass::ForcedMonteCarlo);
+    let QueryAnswer::Probability { p: mc, std_error } = answer else {
+        panic!("probability expected");
+    };
+    let sigma = std_error.expect("MC reports a standard error").max(1e-9);
+    assert!(
+        (p - mc).abs() <= 3.0 * sigma,
+        "exact {p} vs MC {mc} beyond 3σ ({sigma})"
+    );
+}
+
+#[test]
+fn non_hierarchical_query_is_unsafe_and_sampled_with_recorded_decomposition() {
+    // sensors(station, kind) ⨝ readings(station, level) ⨝ levels(level):
+    // station links {sensors, readings}, level links {readings, levels} —
+    // overlapping, non-nested subgoal sets: the classic unsafe shape.
+    let levels_schema = Schema::builder()
+        .attribute("level", ["low", "high"])
+        .build()
+        .unwrap();
+    let mut levels = ProbDb::new(levels_schema);
+    levels
+        .push_block(Block::new(0, vec![alt(vec![0], 0.5), alt(vec![1], 0.5)]).unwrap())
+        .unwrap();
+    let mut catalog = catalog();
+    catalog.add("levels", levels).unwrap();
+    let engine = CatalogEngine::with_config(
+        &catalog,
+        QueryEngineConfig {
+            mc_samples: 30_000,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let query = Query::scan("sensors")
+        .join_on("readings", [(AttrId(0), AttrId(0))])
+        .join_on_rel("readings", "levels", [(AttrId(1), AttrId(0))]);
+
+    let (path, plan) = engine.plan(&query, Statistic::Probability).unwrap();
+    assert_eq!(path, EvalPath::MonteCarlo);
+    assert_eq!(plan, PlanClass::NonHierarchical);
+    let (p, report) = engine.probability(&query).unwrap();
+    assert_eq!(report.path, EvalPath::MonteCarlo);
+    assert_eq!(report.plan, PlanClass::NonHierarchical);
+    assert_eq!(report.mc_samples, 30_000);
+    assert_eq!(report.relations.len(), 3);
+    // The report records why no safe decomposition exists.
+    let Some(SafePlan::Unsafe { reason }) = &report.decomposition else {
+        panic!(
+            "expected unsafe decomposition, got {:?}",
+            report.decomposition
+        );
+    };
+    assert!(reason.contains("non-hierarchical"), "{reason}");
+
+    // The sampled answer still matches brute-force enumeration.
+    let mut brute = 0.0;
+    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
+        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
+            for c in enumerate_worlds(catalog.get("levels").unwrap(), 1000) {
+                let hit = a.tuples.iter().any(|s| {
+                    b.tuples.iter().any(|r| {
+                        r.value(AttrId(0)) == s.value(AttrId(0))
+                            && c.tuples
+                                .iter()
+                                .any(|l| l.value(AttrId(0)) == r.value(AttrId(1)))
+                    })
+                });
+                if hit {
+                    brute += a.prob * b.prob * c.prob;
+                }
+            }
+        }
+    }
+    assert!((p - brute).abs() < 0.02, "MC {p} vs brute {brute}");
+}
+
+#[test]
+fn joined_expected_count_is_exact_for_every_shape() {
+    // Expected counts ride on linearity of expectation: exact even for
+    // the unsafe shape above.
+    let catalog = catalog();
+    let engine = CatalogEngine::new(&catalog);
+    let query = hierarchical_query();
+    let (count, report) = engine.expected_count(&query).unwrap();
+    assert_eq!(report.path, EvalPath::ExactColumnar);
+    let lpred = Predicate::eq(AttrId(1), ValueId(1));
+    let mut brute = 0.0;
+    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
+        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
+            let mut pairs = 0.0;
+            for s in a.tuples.iter().filter(|t| lpred.eval(t)) {
+                for r in b.tuples.iter().filter(|t| lpred.eval(t)) {
+                    if r.value(AttrId(0)) == s.value(AttrId(0)) {
+                        pairs += 1.0;
+                    }
+                }
+            }
+            brute += a.prob * b.prob * pairs;
+        }
+    }
+    assert!(
+        (count - brute).abs() < 1e-12,
+        "exact {count} vs brute {brute}"
+    );
+}
+
+#[test]
+fn projection_is_metadata_and_does_not_change_answers() {
+    let catalog = catalog();
+    let engine = CatalogEngine::new(&catalog);
+    let bare = hierarchical_query();
+    let projected = hierarchical_query().project([AttrId(0)]);
+    let (p1, _) = engine.probability(&bare).unwrap();
+    let (p2, _) = engine.probability(&projected).unwrap();
+    assert_eq!(p1.to_bits(), p2.to_bits());
+    let (c1, _) = engine.expected_count(&bare).unwrap();
+    let (c2, _) = engine.expected_count(&projected).unwrap();
+    assert_eq!(c1.to_bits(), c2.to_bits());
+}

@@ -192,17 +192,20 @@ proptest! {
     fn planner_paths_agree_on_count_distribution(
         (db, salt) in (arb_db(), 0u16..64)
     ) {
-        use mrsl_repro::probdb::{EvalPath, QueryEngine, QueryEngineConfig};
-        let exact_engine = QueryEngine::new(&db);
-        let mc_engine = QueryEngine::with_config(&db, QueryEngineConfig {
+        use mrsl_repro::probdb::{Catalog, CatalogEngine, EvalPath, Query, QueryEngineConfig};
+        let (_, pred) = predicates_for(db.schema(), salt).pop().expect("non-empty");
+        let mut catalog = Catalog::new();
+        catalog.add("db", db).expect("fresh catalog");
+        let query = Query::scan("db").filter(pred);
+        let exact_engine = CatalogEngine::new(&catalog);
+        let mc_engine = CatalogEngine::with_config(&catalog, QueryEngineConfig {
             max_exact_dp_blocks: 0,
             mc_samples: 6_000,
             mc_seed: 0xab ^ salt as u64,
             ..QueryEngineConfig::default()
         });
-        let (_, pred) = predicates_for(db.schema(), salt).pop().expect("non-empty");
-        let (exact, exact_report) = exact_engine.count_distribution(&pred).expect("exact");
-        let (mc, mc_report) = mc_engine.count_distribution(&pred).expect("mc");
+        let (exact, exact_report) = exact_engine.count_distribution(&query).expect("exact");
+        let (mc, mc_report) = mc_engine.count_distribution(&query).expect("mc");
         prop_assert_eq!(exact_report.path, EvalPath::ExactColumnar);
         prop_assert_eq!(mc_report.path, EvalPath::MonteCarlo);
         prop_assert_eq!(mc_report.mc_samples, 6_000);
@@ -215,4 +218,190 @@ proptest! {
             exact_report.blocks_total
         );
     }
+
+    /// The deprecated `QuerySpec` shim lowers into the query tree; its
+    /// answers must be identical to the catalog engine's on single-table
+    /// queries — bit for bit, on both physical paths.
+    #[test]
+    #[allow(deprecated)]
+    fn query_spec_shim_is_answer_identical(
+        (db, salt, force) in (arb_db(), 0u16..64, 0u8..2)
+    ) {
+        let force = force == 1;
+        use mrsl_repro::probdb::plan::QuerySpec;
+        use mrsl_repro::probdb::{
+            Catalog, CatalogEngine, Query, QueryAnswer, QueryEngine, QueryEngineConfig, Statistic,
+        };
+        let config = QueryEngineConfig {
+            force_monte_carlo: force,
+            mc_samples: 500,
+            mc_seed: 0xc0 ^ salt as u64,
+            ..QueryEngineConfig::default()
+        };
+        let mut catalog = Catalog::new();
+        catalog.add("db", db).expect("fresh catalog");
+        let db = catalog.get("db").expect("added above");
+        let old_engine = QueryEngine::with_config(db, config);
+        let new_engine = CatalogEngine::with_config(&catalog, config);
+        let (_, pred) = predicates_for(db.schema(), salt).pop().expect("non-empty");
+        let specs = vec![
+            QuerySpec::SelectionMarginals(pred.clone()),
+            QuerySpec::ExpectedCount(pred.clone()),
+            QuerySpec::CountDistribution(pred.clone()),
+            QuerySpec::ValueMarginal(mrsl_repro::relation::AttrId(0)),
+            QuerySpec::TopK(pred.clone(), 4),
+        ];
+        for spec in specs {
+            let (old_answer, old_report) = old_engine.evaluate(&spec).expect("old path");
+            let (query, stat): (Query, Statistic) = spec.lower("db");
+            let (new_answer, new_report) = new_engine.evaluate(&query, stat).expect("new path");
+            prop_assert_eq!(&old_report, &new_report, "{:?}", spec);
+            match (old_answer, new_answer) {
+                (QueryAnswer::Marginals(a), QueryAnswer::Marginals(b))
+                | (QueryAnswer::Distribution(a), QueryAnswer::Distribution(b)) => {
+                    prop_assert_eq!(a, b, "{:?}", spec);
+                }
+                (
+                    QueryAnswer::Count { mean: a, std_error: ea },
+                    QueryAnswer::Count { mean: b, std_error: eb },
+                ) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", spec);
+                    prop_assert_eq!(ea.map(f64::to_bits), eb.map(f64::to_bits), "{:?}", spec);
+                }
+                (QueryAnswer::Ranked(a), QueryAnswer::Ranked(b)) => {
+                    prop_assert_eq!(a.len(), b.len(), "{:?}", spec);
+                    for (x, y) in a.iter().zip(&b) {
+                        prop_assert_eq!(&x.tuple, &y.tuple);
+                        prop_assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+                        prop_assert_eq!(x.block, y.block);
+                    }
+                }
+                (a, b) => prop_assert!(false, "answer shapes diverge: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    /// Word-masked `Bitmap::count_ones_in` / `any_in` agree with the naive
+    /// bit-by-bit traversal on arbitrary bitmaps and ranges.
+    #[test]
+    fn bitmap_range_kernels_match_naive(
+        (bits, ranges) in (
+            prop::collection::vec(0u8..2, 1..400),
+            prop::collection::vec((0usize..400, 0usize..400), 1..20),
+        )
+    ) {
+        use mrsl_repro::probdb::Bitmap;
+        let mut bm = Bitmap::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b == 1 {
+                bm.set(i);
+            }
+        }
+        for (a, b) in ranges {
+            let lo = a.min(b) % bits.len();
+            let hi = (a.max(b) % bits.len()).max(lo);
+            let naive = (lo..hi).filter(|&i| bits[i] == 1).count();
+            prop_assert_eq!(bm.count_ones_in(lo..hi), naive, "count in {}..{}", lo, hi);
+            prop_assert_eq!(bm.any_in(lo..hi), naive > 0, "any in {}..{}", lo, hi);
+        }
+    }
+
+    /// On randomly generated two-relation catalogs whose blocks keep a
+    /// unique join key, a selective equi-join is classified `Liftable` and
+    /// its exact probability and expected count agree with the
+    /// multi-relation Monte-Carlo sampler within error.
+    #[test]
+    fn hierarchical_join_exact_agrees_with_monte_carlo(
+        (left, right, salt) in (arb_keyed_db(0), arb_keyed_db(1), 0u16..64)
+    ) {
+        use mrsl_repro::probdb::{
+            Catalog, CatalogEngine, EvalPath, PlanClass, Predicate, Query, QueryAnswer,
+            QueryEngineConfig, Statistic,
+        };
+        let vl = ValueId(salt % 3);
+        let vr = ValueId((salt / 3) % 3);
+        let query = Query::scan("left")
+            .filter(Predicate::eq(AttrId(1), vl))
+            .join_on(
+                Query::scan("right").filter(Predicate::eq(AttrId(1), vr)),
+                [(AttrId(0), AttrId(0))],
+            );
+        let mut catalog = Catalog::new();
+        catalog.add("left", left).expect("fresh catalog");
+        catalog.add("right", right).expect("fresh catalog");
+        let exact_engine = CatalogEngine::new(&catalog);
+        let (path, plan) = exact_engine.plan(&query, Statistic::Probability).expect("plan");
+        prop_assert_eq!(path, EvalPath::ExactColumnar);
+        prop_assert_eq!(plan, PlanClass::Liftable);
+        let (p, _) = exact_engine.probability(&query).expect("exact");
+        let (count, _) = exact_engine.expected_count(&query).expect("exact");
+        let n = 6_000;
+        let mc_engine = CatalogEngine::with_config(&catalog, QueryEngineConfig {
+            force_monte_carlo: true,
+            mc_samples: n,
+            mc_seed: 0x7013 ^ salt as u64,
+            ..QueryEngineConfig::default()
+        });
+        let (answer, _) = mc_engine.evaluate(&query, Statistic::Probability).expect("mc");
+        let QueryAnswer::Probability { p: mc_p, std_error } = answer else {
+            panic!("probability expected");
+        };
+        let se = std_error.expect("MC std error").max(1e-9);
+        prop_assert!(
+            (p - mc_p).abs() < 4.0 * se + 0.02,
+            "P: exact {} mc {} (se {})", p, mc_p, se
+        );
+        let (answer, _) = mc_engine.evaluate(&query, Statistic::ExpectedCount).expect("mc");
+        let QueryAnswer::Count { mean, std_error } = answer else {
+            panic!("count expected");
+        };
+        let se = std_error.expect("MC std error").max(1e-9);
+        prop_assert!(
+            (count - mean).abs() < 4.0 * se + 0.05,
+            "E: exact {} mc {} (se {})", count, mean, se
+        );
+    }
+}
+
+/// A random relation over `(k, v)` where `k` is a shared join dictionary
+/// (cardinality 4) and every block keeps one `k`: the shape lazy
+/// derivation produces when the join key is observed.
+fn arb_keyed_db(flavor: u16) -> BoxedStrategy<ProbDb> {
+    let schema = Schema::builder()
+        .attribute("k", (0..4).map(|v| format!("k{v}")))
+        .attribute("v", (0..3).map(|v| format!("v{v}")))
+        .build()
+        .expect("valid schema");
+    let certain = prop::collection::vec((0u16..4, 0u16..3), 0..4);
+    let blocks = prop::collection::vec(
+        (0u16..4, prop::collection::vec((0u16..3, 1u32..50), 1..4)),
+        1..5,
+    );
+    (certain, blocks)
+        .prop_map(move |(certain, blocks)| {
+            let mut db = ProbDb::new(schema.clone());
+            let _ = flavor;
+            for (k, v) in certain {
+                db.push_certain(CompleteTuple::from_values(vec![k, v]))
+                    .expect("arity ok");
+            }
+            for (key, (k, alts)) in blocks.into_iter().enumerate() {
+                let mut seen = Vec::new();
+                let mut alternatives = Vec::new();
+                for (v, w) in alts {
+                    if seen.contains(&v) {
+                        continue;
+                    }
+                    seen.push(v);
+                    alternatives.push(Alternative {
+                        tuple: CompleteTuple::from_values(vec![k, v]),
+                        prob: w as f64,
+                    });
+                }
+                db.push_block(Block::normalized(key, alternatives).expect("non-empty"))
+                    .expect("arity ok");
+            }
+            db
+        })
+        .boxed()
 }
