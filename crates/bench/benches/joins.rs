@@ -1,4 +1,5 @@
-//! Bench: exact extensional joins vs multi-relation Monte Carlo.
+//! Bench: exact extensional joins vs multi-relation Monte Carlo, and
+//! dissociation bounds vs sampling on unsafe shapes.
 //!
 //! A hierarchical two-relation join (sensors ⨝ readings on the station
 //! key, with a selection on each side) is evaluated through the
@@ -7,9 +8,16 @@
 //! The gap is the price of sampling where lifting is possible; the
 //! expected-count rows additionally measure the mass-table join that stays
 //! exact for every shape.
+//!
+//! The `dissociation` group runs the non-hierarchical chain
+//! `R(x), S(x,y), T(y)`: `bounds_probability` computes the deterministic
+//! dissociation bracket on the exact path (no sampling — tolerance 1.0),
+//! `mc_probability` is the joint-world sampler the same query takes for
+//! the point statistic. The bracket should be exact-path fast while the
+//! sampler pays per-world join costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrsl_bench::synthetic_join_catalog;
+use mrsl_bench::{synthetic_chain_catalog, synthetic_join_catalog};
 use mrsl_probdb::{CatalogEngine, Predicate, Query, QueryEngineConfig, Statistic};
 use mrsl_relation::{AttrId, ValueId};
 
@@ -69,5 +77,60 @@ fn bench_joins(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_joins);
+/// `σ[ok] R(x) ⨝ σ[ok] S(x,y) ⨝ σ[ok] T(y)` — unsafe, dissociable.
+fn chain_query() -> Query {
+    let ok2 = Predicate::eq(AttrId(1), ValueId(1));
+    let ok3 = Predicate::eq(AttrId(2), ValueId(1));
+    Query::scan("r")
+        .filter(ok2.clone())
+        .join_on(Query::scan("s").filter(ok3), [(AttrId(0), AttrId(0))])
+        .join_on_rel("s", Query::scan("t").filter(ok2), [(AttrId(1), AttrId(0))])
+}
+
+fn bench_dissociation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dissociation");
+    group.sample_size(15);
+    for &(keys, blocks) in &[(16usize, 500usize), (64, 2_500)] {
+        let catalog = synthetic_chain_catalog(keys, blocks, 42);
+        let query = chain_query();
+        let size = 4 * blocks; // r + t + 2·blocks in s
+        group.bench_with_input(
+            BenchmarkId::new("bounds_probability", size),
+            &catalog,
+            |b, catalog| {
+                // Tolerance 1.0: the bracket is never refined, so this
+                // row measures the pure exact-path dissociation cost.
+                let engine = CatalogEngine::with_config(
+                    catalog,
+                    QueryEngineConfig {
+                        bounds_tolerance: 1.0,
+                        ..QueryEngineConfig::default()
+                    },
+                );
+                b.iter(|| std::hint::black_box(engine.probability_bounds(&query).expect("bounds")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mc_probability", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::with_config(
+                    catalog,
+                    QueryEngineConfig {
+                        mc_samples: 500,
+                        ..QueryEngineConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    std::hint::black_box(
+                        engine.evaluate(&query, Statistic::Probability).expect("mc"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_dissociation);
 criterion_main!(benches);

@@ -198,6 +198,76 @@ pub fn synthetic_join_catalog(
     catalog
 }
 
+/// Builds the classic non-hierarchical chain `R(x), S(x,y), T(y)` at
+/// benchmark scale: `keys` distinct join values per side, `blocks` blocks
+/// in `r`/`t` and `2·blocks` in `s`. Every block sits at a fixed join key
+/// and is "present" when its trailing `ok` attribute equals `yes`
+/// (uniformly random probability per block, deterministic per `seed`), so
+/// the shape is unsafe for the exact plan but dissociable — the fixture
+/// the bounds-vs-sampling benchmarks run on.
+pub fn synthetic_chain_catalog(keys: usize, blocks: usize, seed: u64) -> mrsl_probdb::Catalog {
+    use mrsl_probdb::{Alternative, Block, Catalog, ProbDb};
+    use mrsl_relation::{CompleteTuple, SchemaBuilder};
+
+    let key_labels: Vec<String> = (0..keys).map(|k| format!("k{k}")).collect();
+    let one = |name: &str| {
+        SchemaBuilder::default()
+            .attribute(name, key_labels.clone())
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .expect("valid chain schema")
+    };
+    let two = SchemaBuilder::default()
+        .attribute("x", key_labels.clone())
+        .attribute("y", key_labels.clone())
+        .attribute("ok", ["no", "yes"])
+        .build()
+        .expect("valid chain schema");
+    let mut rng = seeded_rng(derive_seed(seed, &[0xc4, 0xa1]));
+    let gated = |values: Vec<u16>, key: usize, db: &mut ProbDb, p: f64| {
+        let mut absent = values.clone();
+        absent.push(0);
+        let mut present = values;
+        present.push(1);
+        let block = Block::new(
+            key,
+            vec![
+                Alternative {
+                    tuple: CompleteTuple::from_values(absent),
+                    prob: 1.0 - p,
+                },
+                Alternative {
+                    tuple: CompleteTuple::from_values(present),
+                    prob: p,
+                },
+            ],
+        )
+        .expect("normalized gated block");
+        db.push_block(block).expect("arity ok");
+    };
+    let mut r = ProbDb::new(one("x"));
+    let mut t = ProbDb::new(one("y"));
+    for key in 0..blocks {
+        let k = (key % keys) as u16;
+        let p = rng.gen_range(5..95) as f64 / 100.0;
+        gated(vec![k], key, &mut r, p);
+        let p = rng.gen_range(5..95) as f64 / 100.0;
+        gated(vec![(keys - 1 - key % keys) as u16], key, &mut t, p);
+    }
+    let mut s = ProbDb::new(two);
+    for key in 0..2 * blocks {
+        let x = rng.gen_range(0..keys as u16);
+        let y = rng.gen_range(0..keys as u16);
+        let p = rng.gen_range(5..95) as f64 / 100.0;
+        gated(vec![x, y], key, &mut s, p);
+    }
+    let mut catalog = Catalog::new();
+    catalog.add("r", r).expect("fresh catalog");
+    catalog.add("s", s).expect("fresh catalog");
+    catalog.add("t", t).expect("fresh catalog");
+    catalog
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +294,24 @@ mod tests {
                     .all(|a| a.tuple.raw()[0] == station));
             }
         }
+    }
+
+    #[test]
+    fn chain_catalog_is_dissociable() {
+        use mrsl_probdb::{CatalogEngine, PlanClass, Predicate, Query, Statistic};
+        use mrsl_relation::{AttrId, ValueId};
+        let catalog = synthetic_chain_catalog(8, 40, 11);
+        let ok2 = Predicate::eq(AttrId(1), ValueId(1));
+        let ok3 = Predicate::eq(AttrId(2), ValueId(1));
+        let q = Query::scan("r")
+            .filter(ok2.clone())
+            .join_on(Query::scan("s").filter(ok3), [(AttrId(0), AttrId(0))])
+            .join_on_rel("s", Query::scan("t").filter(ok2), [(AttrId(1), AttrId(0))]);
+        let engine = CatalogEngine::new(&catalog);
+        let (_, plan) = engine.plan(&q, Statistic::Probability).expect("plan");
+        assert_eq!(plan, PlanClass::NonHierarchical);
+        let (_, plan) = engine.plan(&q, Statistic::ProbabilityBounds).expect("plan");
+        assert_eq!(plan, PlanClass::Dissociable);
     }
 
     #[test]

@@ -246,9 +246,18 @@ pub fn derive_catalog_for_query(
         let mut workload: Vec<PartialTuple> = Vec::new();
         let mut keys: Vec<usize> = Vec::new();
         for (key, t) in incomplete.iter().enumerate() {
+            // Pinning fabricates the missing attributes (zero-filled), so
+            // it needs the tuple's whole effect on the query decided:
+            // *every* scan's selection individually (Kleene's OR in
+            // `req.pred` can be true while one alias still hinges on an
+            // unobserved attribute) plus all join keys observed.
+            let decided_everywhere = || {
+                req.join_attrs.is_subset(t.mask())
+                    && req.scan_preds.iter().all(|p| p.eval_partial(t).is_some())
+            };
             match req.pred.eval_partial(t) {
                 Some(false) => stats.ruled_out += 1,
-                Some(true) if req.join_attrs.is_subset(t.mask()) => {
+                Some(true) if decided_everywhere() => {
                     stats.pinned += 1;
                     let values = (0..t.arity() as u16)
                         .map(|a| t.get(mrsl_relation::AttrId(a)).map(|v| v.0).unwrap_or(0))
@@ -426,6 +435,55 @@ mod tests {
         assert_eq!(out.skipped, rel.incomplete_part().len());
         assert_eq!(out.sampling_cost.total_draws, 0);
         assert_eq!(out.expected_count, rel.len() as f64);
+    }
+
+    #[test]
+    fn alias_merged_requirements_only_pin_fully_decided_tuples() {
+        let (rel, model, gibbs) = setup();
+        // σ[age=20](r1) ⋈ σ[inc=100K](r2) on age: the merged requirement
+        // is (age=20 ∨ inc=100K). A tuple with age=20 observed but inc
+        // missing satisfies Kleene's OR, yet r2's selection is undecided —
+        // pinning it would fabricate inc=0 (50K). It must be inferred.
+        let mut partners = Relation::new(rel.schema().clone());
+        for values in [vec![0u16, 0, 1, 0], vec![1, 1, 1, 1], vec![2, 2, 0, 0]] {
+            partners
+                .push_complete(mrsl_relation::CompleteTuple::from_values(values))
+                .unwrap();
+        }
+        // ⟨20, HS, ?, ?⟩: age observed (r1's filter true, join key known),
+        // inc missing (r2's filter undecided) → inferred, never pinned.
+        partners
+            .push(PartialTuple::from_options(&[Some(0), Some(0), None, None]))
+            .unwrap();
+        // ⟨20, ?, 100K, ?⟩: both filters decided, join key observed →
+        // pinned without inference.
+        partners
+            .push(PartialTuple::from_options(&[Some(0), None, Some(1), None]))
+            .unwrap();
+        // ⟨30, ?, 50K, ?⟩: both filters decided false → ruled out.
+        partners
+            .push(PartialTuple::from_options(&[Some(1), None, Some(0), None]))
+            .unwrap();
+        let query = Query::scan_as("partners", "r1")
+            .filter(Predicate::any().and_eq(AttrId(0), ValueId(0)))
+            .join_on(
+                Query::scan_as("partners", "r2")
+                    .filter(Predicate::any().and_eq(AttrId(2), ValueId(1))),
+                [(AttrId(0), AttrId(0))],
+            );
+        let sources = [LazySource {
+            name: "partners",
+            relation: &partners,
+            model: &model,
+        }];
+        let out = derive_catalog_for_query(&sources, &query, &gibbs, WorkloadStrategy::TupleDag, 1)
+            .unwrap();
+        // One requirement for the twice-scanned relation.
+        assert_eq!(out.per_relation.len(), 1);
+        let stats = &out.per_relation[0];
+        assert_eq!(stats.inferred, 1, "undecided alias selection must infer");
+        assert_eq!(stats.pinned, 1);
+        assert_eq!(stats.ruled_out, 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! forced multi-relation Monte-Carlo sampler, for both `P(non-empty)` and
 //! `E[|⨝|]`. A third, non-hierarchical query (`R(x), S(x,y), T(y)`) shows
 //! the classifier routing unsafely-shaped queries to sampling, with the
-//! decomposition verdict in the report.
+//! decomposition verdict in the report — and the dissociation bracket the
+//! same shape gets deterministically from `Statistic::ProbabilityBounds`.
 
 use crate::experiments::ExpOptions;
 use crate::report::Report;
@@ -282,6 +283,26 @@ pub fn run(opts: &ExpOptions) -> Report {
         .decomposition
         .map(|d| d.render())
         .unwrap_or_else(|| "(none)".into());
+    // Dissociation bounds on the same unsafe chain: a deterministic
+    // bracket the sampled estimate must fall into (up to MC error).
+    let (bounds, bounds_report) = chain_engine
+        .probability_bounds(&chain)
+        .expect("bounds on the chain");
+    table.push_row([
+        "chain bounds".to_string(),
+        format!("[{}, {}]", fmt_f(bounds.lower, 4), fmt_f(bounds.upper, 4)),
+        bounds
+            .estimate
+            .map(|e| fmt_f(e, 4))
+            .unwrap_or_else(|| "—".into()),
+        "—".to_string(),
+        format!("{:?} / {:?}", bounds_report.plan, bounds_report.path),
+    ]);
+    let dissociated = if bounds_report.dissociated.is_empty() {
+        "(none)".to_string()
+    } else {
+        bounds_report.dissociated.join(", ")
+    };
 
     let triage: Vec<String> = derived
         .lazy
@@ -300,7 +321,8 @@ pub fn run(opts: &ExpOptions) -> Report {
         table,
     )
     .note(format!(
-        "safe plan: {decomposition}; chain verdict: {verdict}; lazy triage — {}",
+        "safe plan: {decomposition}; chain verdict: {verdict}; dissociated: {dissociated}; \
+         lazy triage — {}",
         triage.join("; ")
     ))
 }

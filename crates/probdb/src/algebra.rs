@@ -23,8 +23,14 @@
 //!
 //! Two deliberate restrictions keep resolution unambiguous: selections
 //! apply to single-relation subtrees (push your σ below the ⨝, as a
-//! planner would anyway), and a relation may be scanned at most once per
-//! query (self-joins have no safe-plan story here yet).
+//! planner would anyway), and every scan must be addressable by a unique
+//! name. Scanning one relation twice — a self-join — is admitted through
+//! [`Query::scan_as`] aliases (`R(x) ⋈ R(y)` becomes two aliased scans of
+//! `r`); the planner knows aliased scans of one relation share their block
+//! choices and answers them with dissociation bounds or sampling, never
+//! the independent-product safe plan. Two scans under the *same* name are
+//! still rejected ([`ProbDbError::SelfJoin`]) because join anchors and
+//! reports address terms by name.
 //!
 //! [`Catalog`]: crate::catalog::Catalog
 
@@ -40,6 +46,10 @@ pub enum QueryNode {
     Scan {
         /// Relation name, resolved against the catalog at plan time.
         relation: String,
+        /// Alias this scan is addressed by in join anchors and reports;
+        /// `None` means the relation name itself. Distinct aliases let one
+        /// relation be scanned several times (self-joins).
+        alias: Option<String>,
     },
     /// Selection over a single-relation subtree.
     Filter {
@@ -71,8 +81,9 @@ pub enum QueryNode {
 /// One equi-join condition `left.left_attr = right.right_attr`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinPair {
-    /// Which relation of the left subtree anchors `left_attr`; `None`
-    /// means the subtree's primary (first-scanned) relation.
+    /// Which scan of the left subtree anchors `left_attr`, addressed by
+    /// its name (the relation name, or the [`Query::scan_as`] alias);
+    /// `None` means the subtree's primary (first-scanned) relation.
     pub left_rel: Option<String>,
     /// The left-side join attribute.
     pub left_attr: AttrId,
@@ -87,6 +98,12 @@ pub enum Statistic {
     /// `P(result is non-empty)` — the boolean-query probability the
     /// safe-plan literature is about.
     Probability,
+    /// Guaranteed `[lower, upper]` brackets on `P(result is non-empty)`.
+    /// Safe queries collapse to the exact point; unsafe shapes get
+    /// deterministic dissociation bounds (Gatterbauer & Suciu) where they
+    /// apply, with Monte-Carlo refinement when the bracket is wider than
+    /// [`crate::QueryEngineConfig::bounds_tolerance`].
+    ProbabilityBounds,
     /// `E[|result|]` under bag semantics.
     ExpectedCount,
     /// Distribution of `|result|` over possible worlds.
@@ -104,6 +121,7 @@ impl Statistic {
     pub fn name(&self) -> &'static str {
         match self {
             Self::Probability => "probability",
+            Self::ProbabilityBounds => "probability-bounds",
             Self::ExpectedCount => "expected-count",
             Self::CountDistribution => "count-distribution",
             Self::Marginals => "marginals",
@@ -139,6 +157,30 @@ impl Query {
         Self {
             root: QueryNode::Scan {
                 relation: relation.into(),
+                alias: None,
+            },
+        }
+    }
+
+    /// Starts a query with an *aliased* scan of the named relation —
+    /// the only way to scan one relation more than once (self-joins).
+    /// Join anchors ([`Query::join_on_rel`]) and evaluation reports
+    /// address this scan by `alias`.
+    ///
+    /// ```
+    /// use mrsl_probdb::Query;
+    /// use mrsl_relation::AttrId;
+    ///
+    /// // R ⋈ R on its own key, as two aliased scans.
+    /// let q = Query::scan_as("r", "r1")
+    ///     .join_on(Query::scan_as("r", "r2"), [(AttrId(0), AttrId(0))]);
+    /// assert_eq!(q.relations(), vec!["r", "r"]);
+    /// ```
+    pub fn scan_as(relation: impl Into<String>, alias: impl Into<String>) -> Self {
+        Self {
+            root: QueryNode::Scan {
+                relation: relation.into(),
+                alias: Some(alias.into()),
             },
         }
     }
@@ -231,12 +273,13 @@ impl Query {
     }
 
     /// The scanned relation names in scan order (the first is the query's
-    /// *primary* relation). Duplicates appear as written; resolution
-    /// rejects them.
+    /// *primary* relation). A relation scanned under several aliases
+    /// appears once per scan; duplicates *without* distinct aliases are
+    /// rejected at resolution.
     pub fn relations(&self) -> Vec<&str> {
         fn collect<'a>(node: &'a QueryNode, out: &mut Vec<&'a str>) {
             match node {
-                QueryNode::Scan { relation } => out.push(relation),
+                QueryNode::Scan { relation, .. } => out.push(relation),
                 QueryNode::Filter { input, .. } | QueryNode::Project { input, .. } => {
                     collect(input, out)
                 }
@@ -269,20 +312,43 @@ impl Query {
     /// combined selection predicate (already [simplified](Predicate::simplify))
     /// and the attributes it is joined on. Lazy derivation uses this to
     /// decide which incomplete tuples actually need inference.
+    ///
+    /// Aliased scans of one relation collapse into a single requirement
+    /// for that relation: a tuple matters when it can satisfy *any* of the
+    /// aliases' selections (the predicates are OR-ed), and every alias's
+    /// join attributes are needed.
     pub fn scan_requirements(&self) -> Result<Vec<ScanRequirement>, ProbDbError> {
         let flat = self.flatten()?;
-        let mut reqs: Vec<ScanRequirement> = flat
+        let mut per_term: Vec<ScanRequirement> = flat
             .terms
-            .into_iter()
-            .map(|t| ScanRequirement {
-                relation: t.relation,
-                pred: t.pred.simplify(),
-                join_attrs: AttrMask::EMPTY,
+            .iter()
+            .map(|t| {
+                let pred = t.pred.simplify();
+                ScanRequirement {
+                    relation: t.relation.clone(),
+                    pred: pred.clone(),
+                    scan_preds: vec![pred],
+                    join_attrs: AttrMask::EMPTY,
+                }
             })
             .collect();
         for j in &flat.joins {
-            reqs[j.left_term].join_attrs = reqs[j.left_term].join_attrs.with(j.left_attr);
-            reqs[j.right_term].join_attrs = reqs[j.right_term].join_attrs.with(j.right_attr);
+            per_term[j.left_term].join_attrs = per_term[j.left_term].join_attrs.with(j.left_attr);
+            per_term[j.right_term].join_attrs =
+                per_term[j.right_term].join_attrs.with(j.right_attr);
+        }
+        let mut reqs: Vec<ScanRequirement> = Vec::with_capacity(per_term.len());
+        for mut req in per_term {
+            match reqs.iter_mut().find(|r| r.relation == req.relation) {
+                Some(merged) => {
+                    merged.pred = std::mem::replace(&mut merged.pred, Predicate::Any)
+                        .or(req.pred)
+                        .simplify();
+                    merged.scan_preds.append(&mut req.scan_preds);
+                    merged.join_attrs = merged.join_attrs.union(req.join_attrs);
+                }
+                None => reqs.push(req),
+            }
         }
         Ok(reqs)
     }
@@ -306,8 +372,16 @@ impl From<String> for Query {
 pub struct ScanRequirement {
     /// The scanned relation's name.
     pub relation: String,
-    /// Combined (simplified) selection predicate over the relation.
+    /// Combined (simplified) selection predicate over the relation: the
+    /// OR across this relation's scans. A tuple that cannot satisfy it
+    /// matters to no scan.
     pub pred: Predicate,
+    /// The individual scans' (simplified) selection predicates, one per
+    /// alias. Deciding a tuple's effect on the query *fully* — e.g. to
+    /// pin it without inference — requires every entry to be decided on
+    /// it: Kleene's OR in [`ScanRequirement::pred`] can be true while
+    /// some alias's selection still hinges on an unobserved attribute.
+    pub scan_preds: Vec<Predicate>,
     /// Attributes of this relation used as join keys.
     pub join_attrs: AttrMask,
 }
@@ -325,7 +399,10 @@ pub(crate) struct Flattened {
 
 #[derive(Debug, Clone)]
 pub(crate) struct ScanTerm {
+    /// Catalog relation this scan reads.
     pub relation: String,
+    /// Name the scan is addressed by: its alias, or the relation name.
+    pub name: String,
     pub pred: Predicate,
 }
 
@@ -345,13 +422,18 @@ struct SubTerms {
 
 fn walk(node: &QueryNode, out: &mut Flattened) -> Result<SubTerms, ProbDbError> {
     match node {
-        QueryNode::Scan { relation } => {
-            if out.terms.iter().any(|t| t.relation == *relation) {
-                return Err(ProbDbError::SelfJoin(relation.clone()));
+        QueryNode::Scan { relation, alias } => {
+            let name = alias.as_ref().unwrap_or(relation);
+            // Scans are addressed by name (anchors, labels, reports): a
+            // duplicate name — an alias-less self-join included — is
+            // unresolvable.
+            if out.terms.iter().any(|t| t.name == *name) {
+                return Err(ProbDbError::SelfJoin(name.clone()));
             }
             let idx = out.terms.len();
             out.terms.push(ScanTerm {
                 relation: relation.clone(),
+                name: name.clone(),
                 pred: Predicate::Any,
             });
             Ok(SubTerms {
@@ -380,7 +462,7 @@ fn walk(node: &QueryNode, out: &mut Flattened) -> Result<SubTerms, ProbDbError> 
                     Some(name) => *l
                         .terms
                         .iter()
-                        .find(|&&t| out.terms[t].relation == *name)
+                        .find(|&&t| out.terms[t].name == *name)
                         .ok_or_else(|| ProbDbError::JoinAnchorNotInLeft(name.clone()))?,
                 };
                 out.joins.push(ResolvedPair {
@@ -472,6 +554,65 @@ mod tests {
             .join_pairs(Query::scan("s"), vec![])
             .flatten();
         assert!(matches!(no_keys, Err(ProbDbError::EmptyJoinKeys)));
+    }
+
+    #[test]
+    fn aliased_scans_resolve_and_unaliased_self_joins_still_error() {
+        // R(x) ⋈ R(y): two aliased scans of one relation flatten into two
+        // terms addressed by their aliases.
+        let q =
+            Query::scan_as("r", "r1").join_on(Query::scan_as("r", "r2"), [(AttrId(0), AttrId(0))]);
+        let flat = q.flatten().unwrap();
+        assert_eq!(flat.terms.len(), 2);
+        assert_eq!(flat.terms[0].relation, "r");
+        assert_eq!(flat.terms[1].relation, "r");
+        assert_eq!(flat.terms[0].name, "r1");
+        assert_eq!(flat.terms[1].name, "r2");
+        // Anchors address scans by alias.
+        let chained = Query::scan_as("r", "r1")
+            .join_on(Query::scan_as("r", "r2"), [(AttrId(0), AttrId(0))])
+            .join_on_rel("r2", "s", [(AttrId(1), AttrId(0))])
+            .flatten()
+            .unwrap();
+        assert_eq!(chained.joins[1].left_term, 1);
+        // Without distinct aliases the old rejection still applies…
+        let dup = Query::scan("r")
+            .join_on("r", [(AttrId(0), AttrId(0))])
+            .flatten();
+        assert!(matches!(dup, Err(ProbDbError::SelfJoin(n)) if n == "r"));
+        // …including two scans under one alias, or an alias shadowing a
+        // scanned relation's name.
+        let dup_alias = Query::scan_as("r", "x")
+            .join_on(Query::scan_as("r", "x"), [(AttrId(0), AttrId(0))])
+            .flatten();
+        assert!(matches!(dup_alias, Err(ProbDbError::SelfJoin(n)) if n == "x"));
+        let shadow = Query::scan("s")
+            .join_on(Query::scan_as("r", "s"), [(AttrId(0), AttrId(0))])
+            .flatten();
+        assert!(matches!(shadow, Err(ProbDbError::SelfJoin(n)) if n == "s"));
+    }
+
+    #[test]
+    fn aliased_scan_requirements_merge_per_relation() {
+        let q = Query::scan_as("r", "r1")
+            .filter(Predicate::eq(AttrId(1), ValueId(0)))
+            .join_on(
+                Query::scan_as("r", "r2").filter(Predicate::eq(AttrId(1), ValueId(1))),
+                [(AttrId(0), AttrId(0))],
+            );
+        let reqs = q.scan_requirements().unwrap();
+        // One requirement for `r`: either alias's selection can matter
+        // (the OR of the two equalities simplifies to a membership set).
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].relation, "r");
+        assert_eq!(
+            reqs[0].pred,
+            Predicate::is_in(AttrId(1), [ValueId(0), ValueId(1)])
+        );
+        assert_eq!(
+            reqs[0].join_attrs.iter().collect::<Vec<_>>(),
+            vec![AttrId(0)]
+        );
     }
 
     #[test]

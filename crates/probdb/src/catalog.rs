@@ -13,7 +13,11 @@
 //! index (`ValueId`) means the same value on both sides and the planner
 //! can marginalize alternatives straight through the dictionary-encoded
 //! key columns. [`Catalog::join_compatible`] is that check; query
-//! resolution applies it to every join pair.
+//! resolution applies it to every join pair. Every attribute is trivially
+//! join-compatible with itself, which is what lets aliased self-join
+//! scans ([`crate::Query::scan_as`]) resolve against one catalog entry —
+//! the catalog holds each relation once, and resolution maps any number
+//! of aliases onto the same [`ProbDb`].
 //!
 //! ```
 //! use mrsl_probdb::{Catalog, ProbDb};

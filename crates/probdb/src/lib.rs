@@ -28,10 +28,15 @@
 //!   scan/filter/join/project) and the [`Statistic`] to compute about it.
 //! * [`plan`] — the planner: [`CatalogEngine`] classifies each query
 //!   (hierarchical join shapes compile to exact extensional plans,
-//!   everything else samples), routes it, and reports the choice — with
-//!   the safe-plan decomposition — in an [`EvalReport`]. The flat
+//!   unsafe-but-dissociable shapes — non-hierarchical chains, aliased
+//!   self-joins — answer [`Statistic::ProbabilityBounds`] with
+//!   deterministic dissociation brackets, everything else samples),
+//!   routes it, and reports the choice — with the safe-plan
+//!   decomposition — in an [`EvalReport`]. The flat
 //!   `QuerySpec`/`QueryEngine` API survives as a deprecated shim that
 //!   lowers into the tree.
+//! * [`testutil`] — brute-force joint-world oracles every evaluator is
+//!   tested against (shared by unit, integration and property suites).
 
 pub mod algebra;
 pub mod block;
@@ -42,6 +47,7 @@ pub mod montecarlo;
 pub mod plan;
 pub mod predicate;
 pub mod query;
+pub mod testutil;
 pub mod world;
 
 pub use algebra::{Query, QueryNode, ScanRequirement, Statistic};
@@ -50,8 +56,8 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSet, ColumnStore};
 pub use database::ProbDb;
 pub use plan::{
-    CatalogEngine, EvalPath, EvalReport, PlanClass, QueryAnswer, QueryEngineConfig, RelationStats,
-    SafePlan,
+    CatalogEngine, EvalPath, EvalReport, PlanClass, ProbabilityBounds, QueryAnswer,
+    QueryEngineConfig, RelationStats, SafePlan,
 };
 #[allow(deprecated)]
 pub use plan::{QueryEngine, QuerySpec};

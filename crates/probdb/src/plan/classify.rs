@@ -36,7 +36,10 @@ use mrsl_relation::AttrId;
 /// One scan bound to its relation, with the combined selection.
 #[derive(Debug)]
 pub(crate) struct Term<'a> {
+    /// Name the scan is addressed by: its alias, or the relation name.
     pub name: String,
+    /// Catalog relation the scan reads (shared across aliased scans).
+    pub relation: String,
     pub db: &'a ProbDb,
     pub pred: Predicate,
     /// `(class index, representative attribute)` for every class this term
@@ -95,7 +98,8 @@ pub(crate) fn resolve<'a>(
             )));
         }
         terms.push(Term {
-            name: t.relation.clone(),
+            name: t.name.clone(),
+            relation: t.relation.clone(),
             db,
             pred,
             class_attrs: Vec::new(),
@@ -199,7 +203,11 @@ pub(crate) fn resolve<'a>(
 /// (selection ∧ intra-class attribute equality), per-alternative block
 /// ids, and per-class key columns.
 pub(crate) struct CompiledTerm<'a> {
+    /// Addressing name of the scan (alias or relation name).
     pub name: String,
+    /// Catalog relation the scan reads; aliased scans of one relation
+    /// share this (and their block choices — they are *not* independent).
+    pub relation: String,
     pub db: &'a ProbDb,
     /// One bit per certain row: does it survive selection and intra-class
     /// equality?
@@ -249,6 +257,7 @@ impl<'a> CompiledTerm<'a> {
             .collect();
         Self {
             name: term.name.clone(),
+            relation: term.relation.clone(),
             db: term.db,
             live_certain,
             live_alts,
@@ -292,31 +301,49 @@ pub(crate) struct Classification {
     pub decomposition: SafePlan,
 }
 
-/// Classifies a resolved, compiled multi-relation query for extensional
-/// evaluation of the boolean statistic.
-pub(crate) fn classify(resolved: &Resolved, compiled: &[CompiledTerm]) -> Classification {
-    debug_assert!(resolved.terms.len() > 1);
-    // 1. Shape: subgoal sets of every two classes nested or disjoint.
-    let sgs: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
+/// The shape criterion: subgoal sets of every two classes nested or
+/// disjoint. Returns the violating pair's labels, if any. `extra` extends
+/// each class's term set with dissociated members (empty for the plain
+/// classifier).
+pub(crate) fn shape_violation(
+    resolved: &Resolved,
+    extra: &[(usize, usize)],
+) -> Option<(String, String)> {
+    let sgs: Vec<Vec<usize>> = resolved
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let mut t = c.terms();
+            t.extend(extra.iter().filter(|&&(ec, _)| ec == ci).map(|&(_, et)| et));
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect();
     for i in 0..sgs.len() {
         for j in i + 1..sgs.len() {
             let inter = sgs[i].iter().filter(|t| sgs[j].contains(t)).count();
             let nested = inter == sgs[i].len() || inter == sgs[j].len();
             if inter > 0 && !nested {
-                let reason = format!(
-                    "non-hierarchical: classes [{}] and [{}] overlap without nesting",
-                    resolved.classes[i].label, resolved.classes[j].label
-                );
-                return Classification {
-                    class: PlanClass::NonHierarchical,
-                    decomposition: SafePlan::Unsafe { reason },
-                };
+                return Some((
+                    resolved.classes[i].label.clone(),
+                    resolved.classes[j].label.clone(),
+                ));
             }
         }
     }
-    // 2. Keys: within every block, live alternatives agree on each join
-    // key. Restrictions at deeper recursion levels only shrink the live
-    // sets, so the top-level check covers all levels.
+    None
+}
+
+/// The key criterion: within every block, live alternatives agree on each
+/// join key the term participates in. Returns a human-readable reason for
+/// the first straddling block, if any. Restrictions at deeper recursion
+/// levels only shrink the live sets, so this top-level check covers all
+/// levels — of the safe plan *and* of the dissociation recursion, which
+/// additionally relies on it to reduce each block to a single Bernoulli
+/// event shared by every branch the block is copied into.
+pub(crate) fn key_straddle(resolved: &Resolved, compiled: &[CompiledTerm]) -> Option<String> {
     for (ti, ct) in compiled.iter().enumerate() {
         let cols = ct.db.columns();
         for &(ci, _, alt_key) in &ct.keys {
@@ -329,16 +356,12 @@ pub(crate) fn classify(resolved: &Resolved, compiled: &[CompiledTerm]) -> Classi
                     match seen {
                         None => seen = Some(alt_key[r]),
                         Some(v) if v != alt_key[r] => {
-                            let reason = format!(
+                            return Some(format!(
                                 "key-correlated: block {} of `{}` straddles values of [{}]",
                                 ct.db.blocks()[b].key(),
                                 resolved.terms[ti].name,
                                 resolved.classes[ci].label
-                            );
-                            return Classification {
-                                class: PlanClass::KeyCorrelated,
-                                decomposition: SafePlan::Unsafe { reason },
-                            };
+                            ));
                         }
                         Some(_) => {}
                     }
@@ -346,8 +369,85 @@ pub(crate) fn classify(resolved: &Resolved, compiled: &[CompiledTerm]) -> Classi
             }
         }
     }
+    None
+}
+
+/// Groups of term indices scanning the same catalog relation more than
+/// once (self-join alias groups), in first-scan order.
+pub(crate) fn alias_groups(resolved: &Resolved) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (i, t) in resolved.terms.iter().enumerate() {
+        match groups.iter_mut().find(|(r, _)| *r == t.relation) {
+            Some((_, g)) => g.push(i),
+            None => groups.push((&t.relation, vec![i])),
+        }
+    }
+    groups
+        .into_iter()
+        .filter(|(_, g)| g.len() > 1)
+        .map(|(_, g)| g)
+        .collect()
+}
+
+/// Do aliased scans of one relation see the same live alternatives in
+/// every block? The dissociation bounds reduce each block to one shared
+/// Bernoulli event; aliases with *different* live sets would make copies
+/// of different, mutually correlated events, which neither bound
+/// direction survives. Returns a reason naming the first offending group.
+pub(crate) fn alias_live_mismatch(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+) -> Option<String> {
+    for group in alias_groups(resolved) {
+        let first = &compiled[group[0]];
+        for &t in &group[1..] {
+            if compiled[t].live_alts != first.live_alts
+                || compiled[t].live_certain != first.live_certain
+            {
+                return Some(format!(
+                    "alias-correlated: scans `{}` and `{}` of `{}` select different \
+                     live rows, so their shared blocks cannot dissociate",
+                    resolved.terms[group[0]].name,
+                    resolved.terms[t].name,
+                    resolved.terms[t].relation,
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Classifies a resolved, compiled multi-relation query for extensional
+/// evaluation of the boolean statistic.
+pub(crate) fn classify(resolved: &Resolved, compiled: &[CompiledTerm]) -> Classification {
+    debug_assert!(resolved.terms.len() > 1);
+    // 1. Shape: subgoal sets of every two classes nested or disjoint.
+    if let Some((a, b)) = shape_violation(resolved, &[]) {
+        let reason = format!("non-hierarchical: classes [{a}] and [{b}] overlap without nesting");
+        return Classification {
+            class: PlanClass::NonHierarchical,
+            decomposition: SafePlan::Unsafe { reason },
+        };
+    }
+    // 2. Keys: within every block, live alternatives agree on each join
+    // key.
+    if let Some(reason) = key_straddle(resolved, compiled) {
+        return Classification {
+            class: PlanClass::KeyCorrelated,
+            decomposition: SafePlan::Unsafe { reason },
+        };
+    }
     let all: Vec<usize> = (0..resolved.terms.len()).collect();
     let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    // 3. Aliases: scanning one relation twice shares its block choices
+    // across the scans, so the independent-product safe plan is a
+    // *dissociation* of the query, not its exact value.
+    if !alias_groups(resolved).is_empty() {
+        return Classification {
+            class: PlanClass::Dissociable,
+            decomposition: decompose(resolved, &all, &active),
+        };
+    }
     Classification {
         class: PlanClass::Liftable,
         decomposition: decompose(resolved, &all, &active),
@@ -372,7 +472,8 @@ fn decompose(resolved: &Resolved, comp: &[usize], active: &[usize]) -> SafePlan 
         };
     };
     let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
-    let inputs = components(resolved, comp, &remaining)
+    let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
+    let inputs = components(&class_terms, comp, &remaining)
         .into_iter()
         .map(|sub| decompose(resolved, &sub, &remaining))
         .collect();
@@ -383,13 +484,18 @@ fn decompose(resolved: &Resolved, comp: &[usize], active: &[usize]) -> SafePlan 
 }
 
 /// Connected components of `comp` under the `active` classes, in
-/// first-term order.
-pub(crate) fn components(resolved: &Resolved, comp: &[usize], active: &[usize]) -> Vec<Vec<usize>> {
+/// first-term order. `class_terms` holds each class's term set — the
+/// resolved memberships for the safe plan, or the dissociation-extended
+/// ones for the bounds recursion.
+pub(crate) fn components(
+    class_terms: &[Vec<usize>],
+    comp: &[usize],
+    active: &[usize],
+) -> Vec<Vec<usize>> {
     let mut comps: Vec<Vec<usize>> = comp.iter().map(|&t| vec![t]).collect();
     for &c in active {
-        let class_terms = resolved.classes[c].terms();
         let linked: Vec<usize> = (0..comps.len())
-            .filter(|&i| comps[i].iter().any(|t| class_terms.contains(t)))
+            .filter(|&i| comps[i].iter().any(|t| class_terms[c].contains(t)))
             .collect();
         if linked.len() > 1 {
             let mut merged = Vec::new();

@@ -1,0 +1,646 @@
+//! Dissociation bounds for unsafe queries.
+//!
+//! The safe-plan recursion gives up on two kinds of boolean conjunctive
+//! queries: non-hierarchical shapes (`R(x), S(x,y), T(y)`) and self-joins
+//! (aliased scans of one relation share their block choices). Gatterbauer
+//! & Suciu's *dissociation* recovers deterministic guarantees for both:
+//! make the offending shared variable *independent copies*, evaluate the
+//! now-safe query exactly, and the answer brackets the true probability
+//! depending on how the copies' probabilities are chosen (their
+//! "oblivious bounds"):
+//!
+//! * **Branch replication** (non-hierarchical shapes). A scan that does
+//!   not bind a partition key is replicated into every key branch. The
+//!   copies land in *disjunctive* positions (one per branch of the
+//!   existential `1 - ∏(1 - p_v)`), so keeping each copy's Bernoulli mass
+//!   `m` unchanged yields an **upper** bound, and the dual *propagation*
+//!   masses `1 - (1-m)^(1/d)` (whose `d`-fold disjunction reproduces `m`)
+//!   yield a **lower** bound.
+//! * **Alias copies** (self-joins). Aliased scans of one relation are
+//!   treated as independent copies. These separate *conjunctively* in the
+//!   safe plan (aliased leaves co-travel through every key partition —
+//!   their blocks agree on every join key — until a subcomponent product
+//!   splits them), so the dual choice applies: `m^(1/k)` per copy (whose
+//!   `k`-fold conjunction reproduces `m`) is the **upper** bound and the
+//!   unchanged mass the **lower** bound.
+//!
+//! Soundness leans on the classifier's key-uniqueness check: every live
+//! alternative of a block agrees on each join key its scan binds, so a
+//! block contributes the *same* Bernoulli event (`mass = Σ live p`) to
+//! every branch or alias it is copied into — exactly the single-variable
+//! setting of the oblivious-bounds theorems. Key-straddling blocks and
+//! aliases with different live sets are therefore rejected here and fall
+//! back to Monte Carlo.
+//!
+//! When several minimal dissociations exist, each yields valid bounds, so
+//! the bracket is their intersection — the ensemble's best upper and
+//! lower bound (the paper's "inference ensembles" restated for query
+//! evaluation).
+
+use super::classify::{
+    alias_groups, alias_live_mismatch, components, key_straddle, shape_violation, CompiledTerm,
+    Resolved,
+};
+use super::exact::{leaf_probability_with, Rows};
+use super::report::SafePlan;
+
+/// One way to make the query hierarchical: class memberships to add
+/// (dissociating the member term on that class's variable).
+#[derive(Debug, Clone)]
+pub(crate) struct Dissociation {
+    /// `(class, term)` memberships added; empty for pure alias
+    /// dissociations (the shape was already hierarchical).
+    pub extensions: Vec<(usize, usize)>,
+}
+
+/// How [`crate::Statistic::ProbabilityBounds`] should be answered.
+#[derive(Debug)]
+pub(crate) enum BoundsPlan {
+    /// The query is safe: the bracket collapses to the exact probability.
+    Exact,
+    /// Dissociation bounds apply; every entry is a valid bracket and the
+    /// answer intersects them.
+    Dissociate(Vec<Dissociation>),
+    /// No sound dissociation exists (key-straddling blocks, or aliases
+    /// with different live sets): Monte Carlo, with the reason.
+    Sample(String),
+}
+
+/// Decides how to bound the boolean probability of a resolved, compiled
+/// multi-relation query, given the classifier's verdict.
+pub(crate) fn plan_bounds(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    class: super::report::PlanClass,
+) -> BoundsPlan {
+    use super::report::PlanClass;
+    match class {
+        PlanClass::Liftable => BoundsPlan::Exact,
+        PlanClass::KeyCorrelated => BoundsPlan::Sample(
+            key_straddle(resolved, compiled).unwrap_or_else(|| "key-correlated".into()),
+        ),
+        PlanClass::Dissociable | PlanClass::NonHierarchical => {
+            // The classifier checks keys only after the shape, so a
+            // non-hierarchical verdict may still hide straddling blocks —
+            // and the bounds need key uniqueness everywhere.
+            if let Some(reason) = key_straddle(resolved, compiled) {
+                return BoundsPlan::Sample(reason);
+            }
+            if let Some(reason) = alias_live_mismatch(resolved, compiled) {
+                return BoundsPlan::Sample(reason);
+            }
+            if shape_violation(resolved, &[]).is_none() {
+                // Hierarchical already: only the aliases dissociate.
+                return BoundsPlan::Dissociate(vec![Dissociation {
+                    extensions: Vec::new(),
+                }]);
+            }
+            let candidates = minimal_dissociations(resolved);
+            if candidates.is_empty() {
+                BoundsPlan::Sample("no admissible dissociation".into())
+            } else {
+                BoundsPlan::Dissociate(candidates)
+            }
+        }
+        // The classifier never hands other classes to the bounds planner.
+        _ => BoundsPlan::Sample("not a bounds-eligible plan class".into()),
+    }
+}
+
+/// All minimal-size extension sets that make the shape hierarchical and
+/// admit a dissociated decomposition. Searches breadth-first by extension
+/// count (size 1, then 2); beyond that it falls back to the always-valid
+/// full dissociation (every term in every class).
+fn minimal_dissociations(resolved: &Resolved) -> Vec<Dissociation> {
+    let pairs: Vec<(usize, usize)> = (0..resolved.classes.len())
+        .flat_map(|c| {
+            let members = resolved.classes[c].terms();
+            (0..resolved.terms.len())
+                .filter(move |t| !members.contains(t))
+                .map(move |t| (c, t))
+        })
+        .collect();
+    let admissible = |ext: &[(usize, usize)]| {
+        shape_violation(resolved, ext).is_none() && decompose(resolved, ext).is_some()
+    };
+    let singles: Vec<Dissociation> = pairs
+        .iter()
+        .filter(|&&p| admissible(&[p]))
+        .map(|&p| Dissociation {
+            extensions: vec![p],
+        })
+        .collect();
+    if !singles.is_empty() {
+        return singles;
+    }
+    let mut doubles = Vec::new();
+    for i in 0..pairs.len() {
+        for j in i + 1..pairs.len() {
+            let ext = [pairs[i], pairs[j]];
+            if admissible(&ext) {
+                doubles.push(Dissociation {
+                    extensions: ext.to_vec(),
+                });
+            }
+        }
+    }
+    if !doubles.is_empty() {
+        return doubles;
+    }
+    if admissible(&pairs) {
+        vec![Dissociation { extensions: pairs }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// The evaluated ensemble: the intersected bracket, the decomposition of
+/// the candidate with the tightest upper bound, and the dissociated
+/// variables behind each side of the bracket.
+#[derive(Debug)]
+pub(crate) struct DissociatedBounds {
+    pub lower: f64,
+    pub upper: f64,
+    pub plan: SafePlan,
+    /// Human-readable dissociation entries for the report.
+    pub dissociated: Vec<String>,
+}
+
+/// Evaluates every candidate dissociation on both bound modes and
+/// intersects the brackets.
+pub(crate) fn evaluate_bounds(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    candidates: &[Dissociation],
+) -> DissociatedBounds {
+    debug_assert!(!candidates.is_empty());
+    let mut best_upper = f64::INFINITY;
+    let mut best_lower = f64::NEG_INFINITY;
+    let (mut upper_at, mut lower_at) = (0usize, 0usize);
+    for (i, cand) in candidates.iter().enumerate() {
+        let upper = bound_probability(resolved, compiled, &cand.extensions, Mode::Upper);
+        let lower = bound_probability(resolved, compiled, &cand.extensions, Mode::Lower);
+        if upper < best_upper {
+            best_upper = upper;
+            upper_at = i;
+        }
+        if lower > best_lower {
+            best_lower = lower;
+            lower_at = i;
+        }
+    }
+    // Floating point could cross an (in exact arithmetic) ordered pair;
+    // keep the bracket well-formed.
+    if best_lower > best_upper {
+        let mid = 0.5 * (best_lower + best_upper);
+        best_lower = mid;
+        best_upper = mid;
+    }
+    let plan = decompose(resolved, &candidates[upper_at].extensions)
+        .expect("candidate admissibility includes decomposability");
+    let mut dissociated = Vec::new();
+    for group in alias_groups(resolved) {
+        let names: Vec<String> = group
+            .iter()
+            .map(|&t| format!("`{}`", resolved.terms[t].name))
+            .collect();
+        dissociated.push(format!(
+            "{} ≡ independent copies of `{}`",
+            names.join(", "),
+            resolved.terms[group[0]].relation
+        ));
+    }
+    for &i in &[upper_at, lower_at] {
+        for &(c, t) in &candidates[i].extensions {
+            let entry = format!(
+                "`{}` ⇢ [{}]",
+                resolved.terms[t].name, resolved.classes[c].label
+            );
+            if !dissociated.contains(&entry) {
+                dissociated.push(entry);
+            }
+        }
+    }
+    DissociatedBounds {
+        lower: best_lower,
+        upper: best_upper,
+        plan,
+        dissociated,
+    }
+}
+
+/// Which side of the bracket a recursion computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Upper,
+    Lower,
+}
+
+/// Extended per-class term sets: resolved memberships plus dissociated
+/// copies.
+fn extended_class_terms(resolved: &Resolved, ext: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    resolved
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let mut terms = c.terms();
+            terms.extend(ext.iter().filter(|&&(ec, _)| ec == ci).map(|&(_, et)| et));
+            terms.sort_unstable();
+            terms.dedup();
+            terms
+        })
+        .collect()
+}
+
+/// The root class of a dissociated component: covers every term under the
+/// extended memberships and still *binds* at least one of them (a key
+/// column to partition on must exist somewhere).
+fn covering_root(
+    resolved: &Resolved,
+    class_terms: &[Vec<usize>],
+    comp: &[usize],
+    active: &[usize],
+) -> Option<usize> {
+    active.iter().copied().find(|&c| {
+        comp.iter().all(|t| class_terms[c].contains(t))
+            && comp.iter().any(|t| resolved.classes[c].terms().contains(t))
+    })
+}
+
+/// One bound of the dissociated query, by the generalized safe-plan
+/// recursion: terms that bind the partition key partition as usual; terms
+/// dissociated on it are replicated into every branch, accumulating the
+/// branch count into their replication multiplicity for the lower bound's
+/// mass transform.
+fn bound_probability(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    ext: &[(usize, usize)],
+    mode: Mode,
+) -> f64 {
+    let class_terms = extended_class_terms(resolved, ext);
+    // Alias multiplicity: how many scans share each term's relation.
+    let alias_k: Vec<f64> = resolved
+        .terms
+        .iter()
+        .map(|t| {
+            resolved
+                .terms
+                .iter()
+                .filter(|o| o.relation == t.relation)
+                .count() as f64
+        })
+        .collect();
+    let all: Vec<usize> = (0..compiled.len()).collect();
+    let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    let rows = Rows::live(compiled);
+    let repl = vec![1.0f64; compiled.len()];
+    let cx = BoundCx {
+        resolved,
+        compiled,
+        class_terms: &class_terms,
+        alias_k: &alias_k,
+        mode,
+    };
+    let mut p = 1.0;
+    for comp in components(&class_terms, &all, &active) {
+        p *= component_bound(&cx, &comp, &active, &rows, &repl);
+    }
+    p.clamp(0.0, 1.0)
+}
+
+struct BoundCx<'a, 'b> {
+    resolved: &'a Resolved<'b>,
+    compiled: &'a [CompiledTerm<'b>],
+    class_terms: &'a [Vec<usize>],
+    alias_k: &'a [f64],
+    mode: Mode,
+}
+
+fn component_bound(
+    cx: &BoundCx,
+    comp: &[usize],
+    active: &[usize],
+    rows: &[Rows],
+    repl: &[f64],
+) -> f64 {
+    if comp.len() == 1 {
+        let t = comp[0];
+        return leaf_bound(cx, t, &rows[t], repl[t]);
+    }
+    let root = covering_root(cx.resolved, cx.class_terms, comp, active)
+        .expect("admissible dissociations decompose");
+    let binding: Vec<usize> = comp
+        .iter()
+        .copied()
+        .filter(|t| cx.resolved.classes[root].terms().contains(t))
+        .collect();
+    let copied: Vec<usize> = comp
+        .iter()
+        .copied()
+        .filter(|t| !binding.contains(t))
+        .collect();
+
+    // Partition each binding term's live rows by the root-class key.
+    let mut parts: Vec<mrsl_util::FxHashMap<u16, Rows>> = Vec::with_capacity(binding.len());
+    for &t in &binding {
+        let (ckey, akey) = cx.compiled[t]
+            .class_key(root)
+            .expect("binding term has key");
+        let mut map: mrsl_util::FxHashMap<u16, Rows> = mrsl_util::FxHashMap::default();
+        for &r in &rows[t].certain {
+            map.entry(ckey[r as usize]).or_default().certain.push(r);
+        }
+        for &r in &rows[t].alts {
+            map.entry(akey[r as usize]).or_default().alts.push(r);
+        }
+        parts.push(map);
+    }
+    let mut values: Vec<u16> = parts
+        .iter()
+        .min_by_key(|m| m.len())
+        .map(|m| m.keys().copied().collect())
+        .unwrap_or_default();
+    values.sort_unstable();
+    values.retain(|v| parts.iter().all(|m| m.contains_key(v)));
+
+    let d = values.len() as f64;
+    let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
+    let subcomps = components(cx.class_terms, comp, &remaining);
+    let mut none = 1.0; // P(no key value produces a result)
+    for v in values {
+        let mut branch_rows: Vec<Rows> = vec![Rows::default(); cx.compiled.len()];
+        let mut branch_repl = repl.to_vec();
+        for (pi, &t) in binding.iter().enumerate() {
+            branch_rows[t] = parts[pi]
+                .get(&v)
+                .cloned()
+                .expect("value present in every binding term");
+        }
+        for &t in &copied {
+            branch_rows[t] = rows[t].clone();
+            branch_repl[t] *= d;
+        }
+        let mut p_v = 1.0;
+        for sub in &subcomps {
+            p_v *= component_bound(cx, sub, &remaining, &branch_rows, &branch_repl);
+            if p_v == 0.0 {
+                break;
+            }
+        }
+        none *= 1.0 - p_v;
+        if none == 0.0 {
+            break;
+        }
+    }
+    1.0 - none
+}
+
+/// A dissociated leaf: the exact leaf with the mode's mass transform.
+///
+/// * Upper: alias copies are a conjunctive dissociation — `m^(1/k)` per
+///   copy multiplies back to `m`; branch replicas keep `m` (disjunctive
+///   copies at the original probability only over-count).
+/// * Lower: branch replicas take the propagation mass `1 - (1-m)^(1/d)`
+///   — their `d`-fold disjunction reproduces `m`; alias copies keep `m`
+///   (conjunctive copies at the original probability only under-count).
+fn leaf_bound(cx: &BoundCx, t: usize, rows: &Rows, repl: f64) -> f64 {
+    let k = cx.alias_k[t];
+    match cx.mode {
+        Mode::Upper => leaf_probability_with(&cx.compiled[t], rows, |m| {
+            if k > 1.0 {
+                m.powf(1.0 / k)
+            } else {
+                m
+            }
+        }),
+        Mode::Lower => leaf_probability_with(&cx.compiled[t], rows, |m| {
+            if repl > 1.0 {
+                1.0 - (1.0 - m).powf(1.0 / repl)
+            } else {
+                m
+            }
+        }),
+    }
+}
+
+/// The dissociated decomposition: like the classifier's, but the root
+/// class only needs to cover the component under the *extended*
+/// memberships, and terms it does not bind render as [`SafePlan::Copy`].
+/// Returns `None` when some component has no admissible root — such
+/// extension sets are rejected during the candidate search.
+pub(crate) fn decompose(resolved: &Resolved, ext: &[(usize, usize)]) -> Option<SafePlan> {
+    let class_terms = extended_class_terms(resolved, ext);
+    let all: Vec<usize> = (0..resolved.terms.len()).collect();
+    let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    let copied_on: Vec<Vec<usize>> = (0..resolved.terms.len())
+        .map(|t| {
+            ext.iter()
+                .filter(|&&(_, et)| et == t)
+                .map(|&(c, _)| c)
+                .collect()
+        })
+        .collect();
+    let comps = components(&class_terms, &all, &active);
+    let mut inputs = Vec::with_capacity(comps.len());
+    for comp in comps {
+        inputs.push(decompose_component(
+            resolved,
+            &class_terms,
+            &copied_on,
+            &comp,
+            &active,
+        )?);
+    }
+    Some(if inputs.len() == 1 {
+        inputs.pop().expect("one input")
+    } else {
+        SafePlan::KeyPartition {
+            key: "⊤".into(),
+            inputs,
+        }
+    })
+}
+
+fn decompose_component(
+    resolved: &Resolved,
+    class_terms: &[Vec<usize>],
+    copied_on: &[Vec<usize>],
+    comp: &[usize],
+    active: &[usize],
+) -> Option<SafePlan> {
+    if comp.len() == 1 {
+        let t = comp[0];
+        let name = resolved.terms[t].name.clone();
+        return Some(if copied_on[t].is_empty() {
+            SafePlan::Scan { relation: name }
+        } else {
+            let keys: Vec<String> = copied_on[t]
+                .iter()
+                .map(|&c| resolved.classes[c].label.clone())
+                .collect();
+            SafePlan::Copy {
+                relation: name,
+                key: keys.join(" ∥ "),
+            }
+        });
+    }
+    let root = covering_root(resolved, class_terms, comp, active)?;
+    let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
+    let inputs = components(class_terms, comp, &remaining)
+        .into_iter()
+        .map(|sub| decompose_component(resolved, class_terms, copied_on, &sub, &remaining))
+        .collect::<Option<Vec<_>>>()?;
+    Some(SafePlan::KeyPartition {
+        key: resolved.classes[root].label.clone(),
+        inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Query;
+    use crate::block::{Alternative, Block};
+    use crate::catalog::Catalog;
+    use crate::database::ProbDb;
+    use crate::plan::classify::{classify, resolve};
+    use crate::plan::report::PlanClass;
+    use mrsl_relation::{AttrId, CompleteTuple, Schema};
+
+    fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+        Alternative {
+            tuple: CompleteTuple::from_values(values),
+            prob,
+        }
+    }
+
+    /// The classic unsafe chain `R(x), S(x,y), T(y)` over tiny relations.
+    /// Tuples are "present" when their `ok` attribute passes the
+    /// selection, so every block keeps a unique join key among its live
+    /// alternatives (the precondition dissociation shares with the safe
+    /// plan).
+    fn chain_catalog() -> Catalog {
+        let one = |n: &str| {
+            Schema::builder()
+                .attribute(n, ["v0", "v1"])
+                .attribute("ok", ["no", "yes"])
+                .build()
+                .unwrap()
+        };
+        let two = Schema::builder()
+            .attribute("x", ["v0", "v1"])
+            .attribute("y", ["v0", "v1"])
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .unwrap();
+        let pair = |k: u16, p: f64| vec![alt(vec![k, 0], 1.0 - p), alt(vec![k, 1], p)];
+        let spair =
+            |x: u16, y: u16, p: f64| vec![alt(vec![x, y, 0], 1.0 - p), alt(vec![x, y, 1], p)];
+        let mut r = ProbDb::new(one("x"));
+        r.push_block(Block::new(0, pair(0, 0.6)).unwrap()).unwrap();
+        r.push_block(Block::new(1, pair(1, 0.5)).unwrap()).unwrap();
+        let mut s = ProbDb::new(two);
+        s.push_block(Block::new(0, spair(0, 1, 0.7)).unwrap())
+            .unwrap();
+        s.push_block(Block::new(1, spair(1, 0, 0.4)).unwrap())
+            .unwrap();
+        s.push_block(Block::new(2, spair(0, 0, 0.5)).unwrap())
+            .unwrap();
+        let mut t = ProbDb::new(one("y"));
+        t.push_block(Block::new(0, pair(0, 0.8)).unwrap()).unwrap();
+        t.push_block(Block::new(1, pair(1, 0.3)).unwrap()).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add("r", r).unwrap();
+        catalog.add("s", s).unwrap();
+        catalog.add("t", t).unwrap();
+        catalog
+    }
+
+    fn chain_query() -> Query {
+        use crate::predicate::Predicate;
+        use mrsl_relation::ValueId;
+        let ok2 = Predicate::eq(AttrId(1), ValueId(1));
+        let ok3 = Predicate::eq(AttrId(2), ValueId(1));
+        Query::scan("r")
+            .filter(ok2.clone())
+            .join_on(Query::scan("s").filter(ok3), [(AttrId(0), AttrId(0))])
+            .join_on_rel("s", Query::scan("t").filter(ok2), [(AttrId(1), AttrId(0))])
+    }
+
+    #[test]
+    fn chain_query_has_single_extension_dissociations() {
+        let catalog = chain_catalog();
+        let flat = chain_query().flatten().unwrap();
+        let resolved = resolve(&flat, |n| catalog.get(n)).unwrap();
+        let candidates = minimal_dissociations(&resolved);
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_eq!(c.extensions.len(), 1, "{:?}", c.extensions);
+            assert!(shape_violation(&resolved, &c.extensions).is_none());
+        }
+        // Dissociating R into the y-class and T into the x-class both
+        // repair the chain.
+        let exts: Vec<(usize, usize)> = candidates.iter().map(|c| c.extensions[0]).collect();
+        assert!(exts.contains(&(1, 0)) || exts.contains(&(0, 0)) || exts.len() >= 2);
+    }
+
+    #[test]
+    fn chain_bounds_bracket_the_brute_force_probability() {
+        let catalog = chain_catalog();
+        let q = chain_query();
+        let brute = crate::testutil::oracle_probability(&catalog, &q).unwrap();
+        let flat = q.flatten().unwrap();
+        let resolved = resolve(&flat, |n| catalog.get(n)).unwrap();
+        let compiled: Vec<CompiledTerm> = resolved
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| CompiledTerm::compile(i, t, &resolved.classes))
+            .collect();
+        let classification = classify(&resolved, &compiled);
+        assert_eq!(classification.class, PlanClass::NonHierarchical);
+        let BoundsPlan::Dissociate(cands) = plan_bounds(&resolved, &compiled, classification.class)
+        else {
+            panic!("chain query must dissociate");
+        };
+        let bounds = evaluate_bounds(&resolved, &compiled, &cands);
+        assert!(
+            bounds.lower - 1e-12 <= brute && brute <= bounds.upper + 1e-12,
+            "bracket [{}, {}] misses brute {}",
+            bounds.lower,
+            bounds.upper,
+            brute
+        );
+        assert!(bounds.upper - bounds.lower < 0.5, "vacuous bracket");
+        assert!(!bounds.dissociated.is_empty());
+        assert!(
+            bounds.plan.render().contains("copy"),
+            "{}",
+            bounds.plan.render()
+        );
+    }
+
+    #[test]
+    fn hierarchical_queries_collapse_to_exact() {
+        // Only aliases dissociate on hierarchical shapes; with none the
+        // planner reports Exact.
+        let catalog = chain_catalog();
+        let q = Query::scan("r").join_on("s", [(AttrId(0), AttrId(0))]);
+        let flat = q.flatten().unwrap();
+        let resolved = resolve(&flat, |n| catalog.get(n)).unwrap();
+        let compiled: Vec<CompiledTerm> = resolved
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| CompiledTerm::compile(i, t, &resolved.classes))
+            .collect();
+        let classification = classify(&resolved, &compiled);
+        assert_eq!(classification.class, PlanClass::Liftable);
+        assert!(matches!(
+            plan_bounds(&resolved, &compiled, classification.class),
+            BoundsPlan::Exact
+        ));
+    }
+}

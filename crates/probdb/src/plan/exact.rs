@@ -18,31 +18,39 @@
 //! * [`value_marginal`] — the selection-weighted histogram of one
 //!   attribute over a single relation.
 
-use super::classify::{components, CompiledTerm, Resolved};
+use super::classify::{components, Class, CompiledTerm, Resolved};
 use mrsl_relation::AttrId;
 use mrsl_util::FxHashMap;
 
 /// Live rows of one term inside the recursion: indices into the certain
 /// and alternative column sets.
 #[derive(Debug, Clone, Default)]
-struct Rows {
-    certain: Vec<u32>,
-    alts: Vec<u32>,
+pub(crate) struct Rows {
+    pub(crate) certain: Vec<u32>,
+    pub(crate) alts: Vec<u32>,
+}
+
+impl Rows {
+    /// The initial live rows of every compiled term.
+    pub(crate) fn live(compiled: &[CompiledTerm]) -> Vec<Rows> {
+        compiled
+            .iter()
+            .map(|ct| Rows {
+                certain: ct.live_certain.iter_ones().map(|i| i as u32).collect(),
+                alts: ct.live_alts.iter_ones().map(|i| i as u32).collect(),
+            })
+            .collect()
+    }
 }
 
 /// `P(query result is non-empty)` of a classified-safe query.
 pub(crate) fn boolean_probability(resolved: &Resolved, compiled: &[CompiledTerm]) -> f64 {
     let all: Vec<usize> = (0..compiled.len()).collect();
     let active: Vec<usize> = (0..resolved.classes.len()).collect();
-    let rows: Vec<Rows> = compiled
-        .iter()
-        .map(|ct| Rows {
-            certain: ct.live_certain.iter_ones().map(|i| i as u32).collect(),
-            alts: ct.live_alts.iter_ones().map(|i| i as u32).collect(),
-        })
-        .collect();
+    let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
+    let rows = Rows::live(compiled);
     let mut p = 1.0;
-    for comp in components(resolved, &all, &active) {
+    for comp in components(&class_terms, &all, &active) {
         p *= component_probability(resolved, compiled, &comp, &active, &rows);
     }
     p
@@ -96,7 +104,8 @@ fn component_probability(
     values.retain(|v| parts.iter().all(|m| m.contains_key(v)));
 
     let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
-    let subcomps = components(resolved, comp, &remaining);
+    let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
+    let subcomps = components(&class_terms, comp, &remaining);
     let mut none = 1.0; // P(no key value produces a result)
     for v in values {
         // Rows of this branch: the v-partitions. Branches over different
@@ -127,6 +136,19 @@ fn component_probability(
 /// `P(∃ live row)` of one relation: certain rows decide it; otherwise the
 /// per-block masses are independent Bernoulli trials.
 fn leaf_probability(ct: &CompiledTerm, rows: &Rows) -> f64 {
+    leaf_probability_with(ct, rows, |mass| mass)
+}
+
+/// [`leaf_probability`] with a parameterized per-block mass: dissociation
+/// evaluates the same leaves with transformed Bernoulli masses (e.g.
+/// `m^(1/k)` for the conjunctive upper bound of `k` aliased copies,
+/// `1 - (1-m)^(1/d)` for the disjunctive lower bound of `d` replicated
+/// copies), so both bounds share the exact path's arithmetic.
+pub(crate) fn leaf_probability_with(
+    ct: &CompiledTerm,
+    rows: &Rows,
+    transform: impl Fn(f64) -> f64,
+) -> f64 {
     if !rows.certain.is_empty() {
         return 1.0;
     }
@@ -140,7 +162,7 @@ fn leaf_probability(ct: &CompiledTerm, rows: &Rows) -> f64 {
             mass += probs[rows.alts[i] as usize];
             i += 1;
         }
-        none *= (1.0 - mass).max(0.0);
+        none *= (1.0 - transform(mass.min(1.0))).max(0.0);
     }
     1.0 - none
 }

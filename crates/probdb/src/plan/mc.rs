@@ -1,14 +1,18 @@
 //! Monte-Carlo evaluation of resolved queries.
 //!
 //! The fallback path for everything the exact evaluators cannot lift:
-//! non-hierarchical shapes, key-correlated blocks, out-of-budget DPs and
-//! forced sampling. One *joint world* draws one alternative per block in
-//! **every** catalog relation the query touches (through the shared
-//! [`choose_weighted`](crate::world::choose_weighted) primitive, so
-//! single-relation draws match the legacy sampler draw for draw); the
-//! query tree is then evaluated row-wise against the drawn world by a
-//! hash-join over the join-class assignments, yielding the per-world
-//! result count every estimator is derived from.
+//! non-hierarchical shapes, key-correlated blocks, aliased self-joins,
+//! out-of-budget DPs, forced sampling, and the bracket-gated refinement of
+//! dissociation bounds. One *joint world* draws one alternative per block
+//! in every **distinct** catalog relation the query touches (through the
+//! shared [`choose_weighted`](crate::world::choose_weighted) primitive,
+//! so single-relation draws match the legacy sampler draw for draw);
+//! aliased scans of one relation read the *same* draw — they see one
+//! world, which is exactly the dependence that makes self-joins unsafe
+//! for the independent-product plans. The query tree is then evaluated
+//! row-wise against the drawn world by a hash-join over the join-class
+//! assignments, yielding the per-world result count every estimator is
+//! derived from.
 
 use super::classify::CompiledTerm;
 use crate::montecarlo::sample_block_rows;
@@ -23,23 +27,38 @@ pub(crate) fn sample_join_counts(
 ) -> Vec<u64> {
     debug_assert!(n > 0, "callers check the sample budget");
     let mut rng = seeded_rng(seed);
+    // One draw per *distinct relation*, shared by its aliased scans:
+    // map every term to the first term scanning the same relation.
+    let draw_group: Vec<usize> = compiled
+        .iter()
+        .map(|ct| {
+            compiled
+                .iter()
+                .position(|o| o.relation == ct.relation)
+                .expect("the term itself matches")
+        })
+        .collect();
     // Live certain rows are present in every world; precompute their ids.
     let certain_rows: Vec<Vec<u32>> = compiled
         .iter()
         .map(|ct| ct.live_certain.iter_ones().map(|i| i as u32).collect())
         .collect();
     let mut counts = Vec::with_capacity(n);
-    let mut chosen: Vec<usize> = Vec::new();
+    let mut chosen: Vec<Vec<usize>> = vec![Vec::new(); compiled.len()];
     let mut alt_rows: Vec<Vec<u32>> = vec![Vec::new(); compiled.len()];
     for _ in 0..n {
-        // One world: the live certain rows plus the drawn live alternative
-        // per block.
-        for (ct, alts) in compiled.iter().zip(&mut alt_rows) {
-            chosen.clear();
-            sample_block_rows(ct.db, &mut rng, &mut chosen);
+        // One world: one draw per distinct relation, then per scan the
+        // live certain rows plus the drawn live alternatives.
+        for (t, ct) in compiled.iter().enumerate() {
+            if draw_group[t] == t {
+                chosen[t].clear();
+                sample_block_rows(ct.db, &mut rng, &mut chosen[t]);
+            }
+        }
+        for (t, (ct, alts)) in compiled.iter().zip(&mut alt_rows).enumerate() {
             alts.clear();
             alts.extend(
-                chosen
+                chosen[draw_group[t]]
                     .iter()
                     .filter(|&&r| ct.live_alts.get(r))
                     .map(|&r| r as u32),

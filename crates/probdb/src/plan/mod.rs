@@ -20,6 +20,12 @@
 //!   combinations with no extensional evaluator
 //!   ([`PlanClass::UnliftableStatistic`]) and out-of-budget DPs
 //!   ([`PlanClass::DpBudgetExceeded`]) sample joint worlds instead;
+//! * unsafe-but-dissociable queries ([`PlanClass::Dissociable`]) —
+//!   non-hierarchical shapes and aliased self-joins with key-unique
+//!   blocks — additionally answer [`Statistic::ProbabilityBounds`]
+//!   with deterministic dissociation brackets (Gatterbauer & Suciu),
+//!   sampling only when the bracket exceeds
+//!   [`QueryEngineConfig::bounds_tolerance`] ([`EvalPath::Hybrid`]);
 //! * [`QueryEngineConfig::force_monte_carlo`] routes every estimable
 //!   query through sampling (cross-checking, demos).
 //!
@@ -30,12 +36,13 @@
 //! The pre-catalog `QuerySpec`/`QueryEngine` API survives below as a
 //! deprecated shim that lowers into the query tree.
 
-mod classify;
+pub(crate) mod classify;
+mod dissociate;
 mod exact;
 mod mc;
 mod report;
 
-pub use report::{EvalPath, EvalReport, PlanClass, RelationStats, SafePlan};
+pub use report::{EvalPath, EvalReport, PlanClass, ProbabilityBounds, RelationStats, SafePlan};
 
 use crate::algebra::{Query, Statistic};
 use crate::catalog::Catalog;
@@ -45,7 +52,8 @@ use crate::montecarlo::{
 };
 use crate::query::{self, Predicate, RankedTuple};
 use crate::ProbDbError;
-use classify::{classify, resolve, CompiledTerm, Resolved};
+use classify::{alias_groups, classify, resolve, CompiledTerm, Resolved};
+use dissociate::BoundsPlan;
 use mrsl_relation::AttrId;
 
 /// Tunables of the query engines.
@@ -62,6 +70,12 @@ pub struct QueryEngineConfig {
     /// liftability (ranking and value marginals have no sampling
     /// estimator and stay exact).
     pub force_monte_carlo: bool,
+    /// Widest dissociation bracket [`Statistic::ProbabilityBounds`]
+    /// accepts without refinement. Brackets wider than this trigger a
+    /// Monte-Carlo point estimate inside the bracket
+    /// ([`EvalPath::Hybrid`]); set it to `1.0` to never sample, `0.0` to
+    /// always refine non-collapsed brackets.
+    pub bounds_tolerance: f64,
 }
 
 impl Default for QueryEngineConfig {
@@ -71,6 +85,7 @@ impl Default for QueryEngineConfig {
             mc_seed: 0x5eed,
             max_exact_dp_blocks: 4_096,
             force_monte_carlo: false,
+            bounds_tolerance: 0.05,
         }
     }
 }
@@ -100,6 +115,10 @@ pub enum QueryAnswer {
         /// Standard error of the estimate (Monte Carlo only).
         std_error: Option<f64>,
     },
+    /// Guaranteed `[lower, upper]` brackets on `P(result non-empty)`,
+    /// with a Monte-Carlo point estimate when the bracket was wider than
+    /// [`QueryEngineConfig::bounds_tolerance`].
+    Bounds(ProbabilityBounds),
 }
 
 /// The query subsystem's entry point: plans a [`Query`] tree against a
@@ -150,6 +169,12 @@ impl<'a> CatalogEngine<'a> {
     }
 
     /// Classifies a query for a statistic: which physical path, and why.
+    ///
+    /// [`Statistic::ProbabilityBounds`] on a dissociable query plans as
+    /// [`EvalPath::ExactColumnar`]; evaluation upgrades it to
+    /// [`EvalPath::Hybrid`] if the bracket turns out wider than
+    /// [`QueryEngineConfig::bounds_tolerance`] (the width is only known
+    /// after the bounds run).
     pub fn plan(&self, q: &Query, stat: Statistic) -> Result<(EvalPath, PlanClass), ProbDbError> {
         let prepared = prepare(|name| self.catalog.get(name), q, stat, &self.config)?;
         Ok((prepared.path, prepared.plan))
@@ -173,6 +198,25 @@ impl<'a> CatalogEngine<'a> {
         match self.evaluate(q, Statistic::Probability)? {
             (QueryAnswer::Probability { p, .. }, report) => Ok((p, report)),
             _ => unreachable!("probability query answers with a probability"),
+        }
+    }
+
+    /// Convenience: guaranteed probability bounds with their report.
+    ///
+    /// Safe queries collapse the bracket to the exact probability;
+    /// dissociable unsafe queries (non-hierarchical shapes, aliased
+    /// self-joins) get deterministic dissociation bounds, refined by a
+    /// clamped Monte-Carlo estimate when wider than
+    /// [`QueryEngineConfig::bounds_tolerance`]; everything else samples
+    /// inside the trivial `[0, 1]` bracket. The report's
+    /// [`EvalReport::dissociated`] names what was dissociated.
+    pub fn probability_bounds(
+        &self,
+        q: &Query,
+    ) -> Result<(ProbabilityBounds, EvalReport), ProbDbError> {
+        match self.evaluate(q, Statistic::ProbabilityBounds)? {
+            (QueryAnswer::Bounds(b), report) => Ok((b, report)),
+            _ => unreachable!("probability-bounds query answers with bounds"),
         }
     }
 
@@ -235,6 +279,9 @@ struct Prepared<'a> {
     path: EvalPath,
     plan: PlanClass,
     decomposition: Option<SafePlan>,
+    /// How to answer [`Statistic::ProbabilityBounds`]; `None` for every
+    /// other statistic.
+    bounds_plan: Option<BoundsPlan>,
 }
 
 fn prepare<'a>(
@@ -265,17 +312,46 @@ fn prepare<'a>(
     let classification = (!single).then(|| classify(&resolved, &compiled));
     let decomposition = classification.as_ref().map(|c| c.decomposition.clone());
     let forced = config.force_monte_carlo;
+    // Aliased scans of one relation share their block choices: no
+    // independent-product evaluator (exact probability, mass-table
+    // expected count) is sound over them.
+    let aliased = !single && !alias_groups(&resolved).is_empty();
+    let mut bounds_plan = None;
     let (path, plan) = match stat {
         Statistic::Probability => match &classification {
             Some(c) if c.class != PlanClass::Liftable => (EvalPath::MonteCarlo, c.class),
             _ if forced => (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo),
             _ => (EvalPath::ExactColumnar, PlanClass::Liftable),
         },
-        // Expected counts are liftable for every shape: linearity of
-        // expectation needs neither hierarchy nor key uniqueness.
+        Statistic::ProbabilityBounds => match &classification {
+            _ if forced => (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo),
+            None => (EvalPath::ExactColumnar, PlanClass::Liftable),
+            Some(c) => {
+                let plan = dissociate::plan_bounds(&resolved, &compiled, c.class);
+                let route = match &plan {
+                    BoundsPlan::Exact => (EvalPath::ExactColumnar, PlanClass::Liftable),
+                    // Refinement may upgrade the path to Hybrid at
+                    // evaluation time, once the bracket width is known.
+                    BoundsPlan::Dissociate(_) => (EvalPath::ExactColumnar, PlanClass::Dissociable),
+                    BoundsPlan::Sample(_) => (EvalPath::MonteCarlo, c.class),
+                };
+                bounds_plan = Some(plan);
+                route
+            }
+        },
+        // Expected counts are liftable for every *alias-free* shape:
+        // linearity of expectation needs neither hierarchy nor key
+        // uniqueness, but it does need rows of different terms to be
+        // independent, which aliased scans of one relation are not.
         Statistic::ExpectedCount => {
             if forced {
                 (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
+            } else if aliased {
+                let class = classification
+                    .as_ref()
+                    .map(|c| c.class)
+                    .unwrap_or(PlanClass::Dissociable);
+                (EvalPath::MonteCarlo, class)
             } else {
                 (EvalPath::ExactColumnar, PlanClass::Liftable)
             }
@@ -314,6 +390,7 @@ fn prepare<'a>(
         path,
         plan,
         decomposition,
+        bounds_plan,
     })
 }
 
@@ -327,10 +404,12 @@ fn evaluate_with<'a>(
     let Prepared {
         resolved,
         compiled,
-        path,
+        mut path,
         plan,
-        decomposition,
+        mut decomposition,
+        bounds_plan,
     } = prepared;
+    let mut dissociated: Vec<String> = Vec::new();
     let classes = resolved.classes.len();
     let samples = config.mc_samples;
     if path == EvalPath::MonteCarlo && samples == 0 {
@@ -352,6 +431,49 @@ fn evaluate_with<'a>(
                 p,
                 std_error: Some(se),
             }
+        }
+        (Statistic::ProbabilityBounds, EvalPath::ExactColumnar) => {
+            let bounds = match &bounds_plan {
+                Some(BoundsPlan::Dissociate(candidates)) => {
+                    let eval = dissociate::evaluate_bounds(&resolved, &compiled, candidates);
+                    decomposition = Some(eval.plan);
+                    dissociated = eval.dissociated;
+                    let mut bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
+                    // Bracket-gated refinement: sample only when the
+                    // deterministic bounds are too loose to act on.
+                    if bounds.width() > config.bounds_tolerance && samples > 0 {
+                        let counts =
+                            mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                        let (p, se) = mc::probability_estimate(&counts);
+                        bounds.estimate = Some(p.clamp(bounds.lower, bounds.upper));
+                        bounds.std_error = Some(se);
+                        path = EvalPath::Hybrid;
+                    }
+                    bounds
+                }
+                // Safe queries (or single scans): the bracket collapses
+                // to the exact probability.
+                _ => ProbabilityBounds::exact(exact::boolean_probability(&resolved, &compiled)),
+            };
+            QueryAnswer::Bounds(bounds)
+        }
+        (Statistic::ProbabilityBounds, EvalPath::MonteCarlo) => {
+            // No sound dissociation (or sampling was forced): the only
+            // guaranteed bracket is the trivial one, refined by the
+            // estimate. The report records why dissociation refused.
+            if let Some(BoundsPlan::Sample(reason)) = &bounds_plan {
+                decomposition = Some(SafePlan::Unsafe {
+                    reason: reason.clone(),
+                });
+            }
+            let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+            let (p, se) = mc::probability_estimate(&counts);
+            QueryAnswer::Bounds(ProbabilityBounds {
+                lower: 0.0,
+                upper: 1.0,
+                estimate: Some(p),
+                std_error: Some(se),
+            })
         }
         (Statistic::ExpectedCount, EvalPath::ExactColumnar) => {
             // Single relations keep the legacy arithmetic (certain matches
@@ -426,6 +548,9 @@ fn evaluate_with<'a>(
         (Statistic::ValueMarginal(attr), _) => {
             QueryAnswer::Distribution(exact::value_marginal(&compiled[0], attr))
         }
+        (_, EvalPath::Hybrid) => {
+            unreachable!("the hybrid path is only assigned during bounds evaluation")
+        }
     };
     let relations = compiled
         .iter()
@@ -444,9 +569,16 @@ fn evaluate_with<'a>(
         .collect();
     let mc_samples = match path {
         EvalPath::ExactColumnar => 0,
-        EvalPath::MonteCarlo => samples,
+        EvalPath::MonteCarlo | EvalPath::Hybrid => samples,
     };
-    let report = EvalReport::new(path, plan, relations, mc_samples, decomposition);
+    let report = EvalReport::new(
+        path,
+        plan,
+        relations,
+        mc_samples,
+        decomposition,
+        dissociated,
+    );
     Ok((answer, report))
 }
 
@@ -603,7 +735,7 @@ mod tests {
     use super::*;
     use crate::block::{Alternative, Block};
     use crate::catalog::Catalog;
-    use crate::world::{enumerate_worlds, PossibleWorld};
+    use crate::testutil::{oracle, oracle_probability};
     use mrsl_relation::schema::fig1_schema;
     use mrsl_relation::{CompleteTuple, Schema, ValueId};
     use std::sync::Arc;
@@ -826,42 +958,6 @@ mod tests {
         catalog
     }
 
-    /// Brute-force statistics of a two-relation equi-join on attribute 0
-    /// of both sides, with selections: `(P(non-empty), E[count])`.
-    fn brute_force_join(
-        left: &ProbDb,
-        right: &ProbDb,
-        lpred: &Predicate,
-        rpred: &Predicate,
-    ) -> (f64, f64) {
-        let lw = enumerate_worlds(left, 10_000);
-        let rw = enumerate_worlds(right, 10_000);
-        let count = |a: &PossibleWorld, b: &PossibleWorld| -> usize {
-            let mut c = 0;
-            for t1 in a.tuples.iter().filter(|t| lpred.eval(t)) {
-                for t2 in b.tuples.iter().filter(|t| rpred.eval(t)) {
-                    if t1.value(AttrId(0)) == t2.value(AttrId(0)) {
-                        c += 1;
-                    }
-                }
-            }
-            c
-        };
-        let mut p = 0.0;
-        let mut e = 0.0;
-        for a in &lw {
-            for b in &rw {
-                let c = count(a, b);
-                let w = a.prob * b.prob;
-                if c > 0 {
-                    p += w;
-                }
-                e += w * c as f64;
-            }
-        }
-        (p, e)
-    }
-
     #[test]
     fn hierarchical_join_probability_is_exact() {
         let catalog = sensors_catalog();
@@ -876,12 +972,8 @@ mod tests {
         assert_eq!(path, EvalPath::ExactColumnar);
         assert_eq!(plan, PlanClass::Liftable);
         let (p, report) = engine.probability(&q).unwrap();
-        let (brute_p, brute_e) = brute_force_join(
-            catalog.get("sensors").unwrap(),
-            catalog.get("readings").unwrap(),
-            &lpred,
-            &rpred,
-        );
+        let brute = oracle(&catalog, &q, 100_000).unwrap();
+        let (brute_p, brute_e) = (brute.probability, brute.expected_count);
         assert!((p - brute_p).abs() < 1e-12, "{p} vs {brute_p}");
         // The decomposition partitions on the shared station key.
         let Some(SafePlan::KeyPartition { key, inputs }) = &report.decomposition else {
@@ -920,12 +1012,8 @@ mod tests {
             panic!("probability expected");
         };
         let se = std_error.expect("MC reports a standard error").max(1e-9);
-        let (brute_p, brute_e) = brute_force_join(
-            catalog.get("sensors").unwrap(),
-            catalog.get("readings").unwrap(),
-            &Predicate::eq(AttrId(1), ValueId(1)),
-            &Predicate::eq(AttrId(1), ValueId(1)),
-        );
+        let brute = oracle(&catalog, &q, 100_000).unwrap();
+        let (brute_p, brute_e) = (brute.probability, brute.expected_count);
         assert!((p - brute_p).abs() < 4.0 * se + 0.01, "{p} vs {brute_p}");
         // Sampled expected count and count distribution agree as well.
         let (mean, _) = engine.expected_count(&q).unwrap();
@@ -965,23 +1053,16 @@ mod tests {
             panic!("expected an unsafe decomposition");
         };
         assert!(reason.contains("straddles"), "{reason}");
-        let (brute_p, _) = brute_force_join(
-            catalog.get("sensors").unwrap(),
-            catalog.get("readings").unwrap(),
-            &Predicate::Any,
-            &Predicate::Any,
+        let brute = oracle(&catalog, &q, 100_000).unwrap();
+        assert!(
+            (p - brute.probability).abs() < 0.02,
+            "{p} vs {}",
+            brute.probability
         );
-        assert!((p - brute_p).abs() < 0.02, "{p} vs {brute_p}");
         // Expected count does not need key uniqueness: still exact.
         let (e, report) = engine.expected_count(&q).unwrap();
         assert_eq!(report.path, EvalPath::ExactColumnar);
-        let (_, brute_e) = brute_force_join(
-            catalog.get("sensors").unwrap(),
-            catalog.get("readings").unwrap(),
-            &Predicate::Any,
-            &Predicate::Any,
-        );
-        assert!((e - brute_e).abs() < 1e-12);
+        assert!((e - brute.expected_count).abs() < 1e-12);
     }
 
     #[test]
@@ -1031,34 +1112,8 @@ mod tests {
         t.push_certain(CompleteTuple::from_values(vec![1, 1, 1]))
             .unwrap();
 
-        // Brute force over the product of the three world sets.
         let ok = Predicate::eq(AttrId(2), ValueId(1));
-        let (rw, sw, tw) = (
-            enumerate_worlds(&r, 100),
-            enumerate_worlds(&s, 100),
-            enumerate_worlds(&t, 100),
-        );
         let r_ok = Predicate::eq(AttrId(1), ValueId(1));
-        let mut brute_p = 0.0;
-        for a in &rw {
-            for b in &sw {
-                for c in &tw {
-                    let hit = a.tuples.iter().filter(|t1| r_ok.eval(t1)).any(|t1| {
-                        b.tuples.iter().filter(|t2| ok.eval(t2)).any(|t2| {
-                            t2.value(AttrId(0)) == t1.value(AttrId(0))
-                                && c.tuples.iter().filter(|t3| ok.eval(t3)).any(|t3| {
-                                    t3.value(AttrId(0)) == t1.value(AttrId(0))
-                                        && t3.value(AttrId(1)) == t2.value(AttrId(1))
-                                })
-                        })
-                    });
-                    if hit {
-                        brute_p += a.prob * b.prob * c.prob;
-                    }
-                }
-            }
-        }
-
         let mut catalog = Catalog::new();
         catalog.add("r", r).unwrap();
         catalog.add("s", s).unwrap();
@@ -1079,6 +1134,8 @@ mod tests {
         assert_eq!(path, EvalPath::ExactColumnar);
         assert_eq!(plan, PlanClass::Liftable);
         let (p, report) = engine.probability(&q).unwrap();
+        // Brute force over the product of the three world sets.
+        let brute_p = oracle_probability(&catalog, &q).unwrap();
         assert!((p - brute_p).abs() < 1e-12, "{p} vs {brute_p}");
         // The decomposition nests: partition on x, then on y inside {s, t}.
         let Some(SafePlan::KeyPartition { inputs, .. }) = &report.decomposition else {
@@ -1114,30 +1171,6 @@ mod tests {
         t.push_block(Block::new(0, vec![alt(vec![0], 0.5), alt(vec![1], 0.5)]).unwrap())
             .unwrap();
 
-        let (rw, sw, tw) = (
-            enumerate_worlds(&r, 100),
-            enumerate_worlds(&s, 100),
-            enumerate_worlds(&t, 100),
-        );
-        let mut brute_p = 0.0;
-        for a in &rw {
-            for b in &sw {
-                for c in &tw {
-                    let hit = a.tuples.iter().any(|t1| {
-                        b.tuples.iter().any(|t2| {
-                            t1.value(AttrId(0)) == t2.value(AttrId(0))
-                                && c.tuples
-                                    .iter()
-                                    .any(|t3| t3.value(AttrId(0)) == t2.value(AttrId(1)))
-                        })
-                    });
-                    if hit {
-                        brute_p += a.prob * b.prob * c.prob;
-                    }
-                }
-            }
-        }
-
         let mut catalog = Catalog::new();
         catalog.add("r", r).unwrap();
         catalog.add("s", s).unwrap();
@@ -1164,7 +1197,18 @@ mod tests {
             );
         };
         assert!(reason.contains("non-hierarchical"), "{reason}");
+        let brute_p = oracle_probability(&catalog, &q).unwrap();
         assert!((p - brute_p).abs() < 0.02, "{p} vs {brute_p}");
+
+        // These blocks straddle their join keys (each alternative sits at
+        // a different key value), so even ProbabilityBounds cannot
+        // dissociate: it samples inside the trivial bracket.
+        let (bounds, report) = engine.probability_bounds(&q).unwrap();
+        assert_eq!(report.path, EvalPath::MonteCarlo);
+        assert_eq!(report.plan, PlanClass::NonHierarchical);
+        assert_eq!((bounds.lower, bounds.upper), (0.0, 1.0));
+        let est = bounds.estimate.expect("sampled estimate");
+        assert!((est - brute_p).abs() < 0.02, "{est} vs {brute_p}");
     }
 
     #[test]
@@ -1231,16 +1275,17 @@ mod tests {
     fn single_relation_probability_matches_enumeration() {
         let db = db();
         let pred = Predicate::eq(AttrId(2), ValueId(0)); // inc = 50K
-        let brute: f64 = enumerate_worlds(&db, 100)
-            .iter()
-            .filter(|w| w.tuples.iter().any(|t| pred.eval(t)))
-            .map(|w| w.prob)
-            .sum();
         let mut catalog = Catalog::new();
         catalog.add("db", db).unwrap();
         let engine = CatalogEngine::new(&catalog);
-        let (p, report) = engine.probability(&Query::scan("db").filter(pred)).unwrap();
+        let q = Query::scan("db").filter(pred);
+        let brute = oracle_probability(&catalog, &q).unwrap();
+        let (p, report) = engine.probability(&q).unwrap();
         assert_eq!(report.path, EvalPath::ExactColumnar);
         assert!((p - brute).abs() < 1e-12, "{p} vs {brute}");
+        // Bounds on a safe query collapse to the exact point.
+        let (bounds, report) = engine.probability_bounds(&q).unwrap();
+        assert_eq!(report.path, EvalPath::ExactColumnar);
+        assert_eq!(bounds, ProbabilityBounds::exact(p));
     }
 }

@@ -9,10 +9,16 @@
 /// Physical evaluation path chosen by the planner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalPath {
-    /// Exact extensional evaluation over the columnar stores.
+    /// Exact extensional evaluation over the columnar stores. Also the
+    /// path of *deterministic dissociation bounds*, which run the same
+    /// recursion twice and never sample.
     ExactColumnar,
     /// Monte-Carlo world sampling.
     MonteCarlo,
+    /// Deterministic dissociation bounds refined by Monte-Carlo sampling
+    /// because the bracket exceeded
+    /// [`crate::QueryEngineConfig::bounds_tolerance`].
+    Hybrid,
 }
 
 /// Why the planner chose the path it chose.
@@ -36,6 +42,14 @@ pub enum PlanClass {
     /// The statistic itself has no extensional evaluator for this shape
     /// (e.g. the count distribution of a join): Monte Carlo.
     UnliftableStatistic,
+    /// The query is unsafe for exact extensional evaluation, but
+    /// dissociating a join variable (or treating aliased scans of one
+    /// relation as independent copies) yields safe plans whose answers
+    /// are guaranteed upper/lower bounds on the true probability
+    /// (Gatterbauer & Suciu). [`crate::Statistic::ProbabilityBounds`]
+    /// evaluates those bounds deterministically; point statistics still
+    /// sample.
+    Dissociable,
 }
 
 /// The safe-plan decomposition of a query, as found by the classifier.
@@ -68,6 +82,18 @@ pub enum SafePlan {
         /// key-straddling block).
         reason: String,
     },
+    /// A *dissociated* scan inside a [`SafePlan::KeyPartition`]: the scan
+    /// does not bind the partition key, so one independent copy of it is
+    /// replicated into every key branch. The surrounding plan is then a
+    /// safe plan of the dissociated query, and its probability bounds the
+    /// original query's (upper with original probabilities, lower with
+    /// the dual propagation probabilities).
+    Copy {
+        /// The replicated scan's name (alias or relation name).
+        relation: String,
+        /// The key class the scan was dissociated on.
+        key: String,
+    },
 }
 
 impl SafePlan {
@@ -81,7 +107,91 @@ impl SafePlan {
                 format!("⨅[{key}]({})", parts.join(", "))
             }
             Self::Unsafe { reason } => format!("unsafe: {reason}"),
+            Self::Copy { relation, key } => format!("copy {relation}∥[{key}]"),
         }
+    }
+}
+
+/// Guaranteed brackets on a boolean query's probability, answered by
+/// [`crate::Statistic::ProbabilityBounds`].
+///
+/// Safe queries collapse the bracket to the exact probability; unsafe
+/// ones carry the dissociation bounds (deterministic, exact-path) and —
+/// when the bracket was wider than
+/// [`crate::QueryEngineConfig::bounds_tolerance`] — a Monte-Carlo point
+/// estimate clamped into the bracket.
+///
+/// ```
+/// use mrsl_probdb::ProbabilityBounds;
+///
+/// let bounds = ProbabilityBounds::exact(0.42);
+/// assert!(bounds.is_exact(1e-12));
+/// assert_eq!(bounds.best(), 0.42);
+/// assert!(bounds.contains(0.42));
+///
+/// let bracket = ProbabilityBounds::bracket(0.3, 0.5);
+/// assert!((bracket.width() - 0.2).abs() < 1e-12);
+/// assert_eq!(bracket.best(), 0.4); // midpoint without an estimate
+/// assert!(!bracket.contains(0.6));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilityBounds {
+    /// Guaranteed lower bound on `P(result non-empty)`.
+    pub lower: f64,
+    /// Guaranteed upper bound on `P(result non-empty)`.
+    pub upper: f64,
+    /// Monte-Carlo point estimate, clamped into `[lower, upper]`; `None`
+    /// when the bracket was within tolerance and no sampling ran.
+    pub estimate: Option<f64>,
+    /// Standard error of the estimate, when one was sampled.
+    pub std_error: Option<f64>,
+}
+
+impl ProbabilityBounds {
+    /// A collapsed bracket around an exactly known probability.
+    pub fn exact(p: f64) -> Self {
+        Self {
+            lower: p,
+            upper: p,
+            estimate: None,
+            std_error: None,
+        }
+    }
+
+    /// A deterministic bracket without a sampled estimate.
+    pub fn bracket(lower: f64, upper: f64) -> Self {
+        Self {
+            lower,
+            upper,
+            estimate: None,
+            std_error: None,
+        }
+    }
+
+    /// Width of the bracket, `upper - lower`.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Midpoint of the bracket.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Is the bracket collapsed (within `eps`) to a point?
+    pub fn is_exact(&self, eps: f64) -> bool {
+        self.width() <= eps
+    }
+
+    /// The best available point answer: the sampled estimate when one
+    /// exists, the bracket midpoint otherwise.
+    pub fn best(&self) -> f64 {
+        self.estimate.unwrap_or_else(|| self.midpoint())
+    }
+
+    /// Does the bracket contain `p`?
+    pub fn contains(&self, p: f64) -> bool {
+        self.lower <= p && p <= self.upper
     }
 }
 
@@ -135,6 +245,12 @@ pub struct EvalReport {
     /// The safe-plan decomposition for join queries (`None` on
     /// single-relation queries, where the plan is trivially a scan).
     pub decomposition: Option<SafePlan>,
+    /// What was dissociated to make the plan safe, when the answer came
+    /// from dissociation bounds: one human-readable entry per dissociated
+    /// variable, e.g. `` `levels` ⇢ [readings.level = levels.level] `` for
+    /// a branch-replicated scan, or `` `r1`, `r2` ≡ `r` `` for aliased
+    /// scans treated as independent copies. Empty otherwise.
+    pub dissociated: Vec<String>,
 }
 
 impl EvalReport {
@@ -144,6 +260,7 @@ impl EvalReport {
         relations: Vec<RelationStats>,
         mc_samples: usize,
         decomposition: Option<SafePlan>,
+        dissociated: Vec<String>,
     ) -> Self {
         let sum = |f: fn(&RelationStats) -> usize| relations.iter().map(f).sum();
         Self {
@@ -157,6 +274,7 @@ impl EvalReport {
             mc_samples,
             relations,
             decomposition,
+            dissociated,
         }
     }
 }
@@ -181,6 +299,7 @@ mod tests {
             vec![rel("a", 5, 2), rel("b", 3, 0)],
             0,
             None,
+            Vec::new(),
         );
         assert_eq!(report.blocks_total, 8);
         assert_eq!(report.blocks_pruned, 2);

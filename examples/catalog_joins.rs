@@ -47,14 +47,17 @@ fn network(name: &str, attr: &str, card: usize) -> TopologySpec {
     .expect("valid topology")
 }
 
-/// Samples `complete` full tuples plus `incomplete` tuples that lost one
-/// non-key attribute (the station id survives every dropout, as it would
-/// in a real ingest pipeline — it is the record's address).
+/// Samples `complete` full tuples plus `incomplete` tuples that each lost
+/// one attribute drawn from `hideable` (the station id survives every
+/// dropout, as it would in a real ingest pipeline — it is the record's
+/// address; relations whose *other* attributes serve as join keys keep
+/// those observed too, or blocks would straddle the key).
 fn sample_relation(
     bn: &BayesianNetwork,
     complete: usize,
     incomplete: usize,
     seed: u64,
+    hideable: std::ops::Range<u16>,
 ) -> Relation {
     let mut rel = Relation::new(bn.schema().clone());
     for p in mrsl_repro::bayesnet::sampler::sample_dataset(bn, complete, seed) {
@@ -62,7 +65,7 @@ fn sample_relation(
     }
     let mut rng = seeded_rng(seed ^ 0xd06);
     for p in mrsl_repro::bayesnet::sampler::sample_dataset(bn, incomplete, seed ^ 0xfeed) {
-        let hide = AttrId(rng.gen_range(1..3u16));
+        let hide = AttrId(rng.gen_range(hideable.clone()));
         rel.push(p.to_partial().without_attr(hide))
             .expect("arity ok");
     }
@@ -85,8 +88,10 @@ fn main() {
     let sensors_model = MrslModel::learn(sensors_bn.schema(), &sensors_history, &learn);
     let readings_model = MrslModel::learn(readings_bn.schema(), &readings_history, &learn);
 
-    let sensors = sample_relation(&sensors_bn, 2, 6, 4);
-    let readings = sample_relation(&readings_bn, 3, 9, 174);
+    // Sensors may lose kind or ok; readings keep (station, level) — their
+    // level becomes a join key below — and only lose the ok flag.
+    let sensors = sample_relation(&sensors_bn, 2, 6, 4, 1..3);
+    let readings = sample_relation(&readings_bn, 3, 9, 174, 2..3);
     println!(
         "today's snapshot — sensors: {} complete + {} incomplete; \
          readings: {} complete + {} incomplete (models from 3000 historical rows each)",
@@ -174,7 +179,7 @@ fn main() {
     let quality_bn = BayesianNetwork::instantiate(&network("quality", "level", 3), 0.5, 31);
     let quality_history = mrsl_repro::bayesnet::sampler::sample_dataset(&quality_bn, 3_000, 103);
     let quality_model = MrslModel::learn(quality_bn.schema(), &quality_history, &learn);
-    let quality = sample_relation(&quality_bn, 3, 8, 3);
+    let quality = sample_relation(&quality_bn, 3, 8, 3, 2..3);
     let chain = Query::scan("sensors")
         .join_on("readings", [(AttrId(0), AttrId(0))])
         .join_on_rel("readings", "quality", [(AttrId(1), AttrId(1))]);
@@ -217,4 +222,33 @@ fn main() {
     if let Some(plan) = &chain_report.decomposition {
         println!("classifier verdict: {}", plan.render());
     }
+
+    // Dissociation gives the same unsafe shape deterministic guarantees:
+    // replicate the scan that skips a join variable into every key branch
+    // and the safe plan's answer brackets the truth — no sampling needed
+    // unless the bracket is wider than the configured tolerance.
+    let (bounds, bounds_report) = chain_engine
+        .probability_bounds(&chain)
+        .expect("bounds on the chain");
+    println!(
+        "dissociation bounds: P ∈ [{:.4}, {:.4}] via {:?} ({:?})",
+        bounds.lower, bounds.upper, bounds_report.path, bounds_report.plan
+    );
+    for d in &bounds_report.dissociated {
+        println!("dissociated: {d}");
+    }
+    if let Some(plan) = &bounds_report.decomposition {
+        println!("dissociated plan: {}", plan.render());
+    }
+    match (bounds.estimate, bounds.std_error) {
+        (Some(est), Some(se)) => println!(
+            "bracket wider than {:.2} → refined by sampling: {est:.4} ± {se:.4}",
+            chain_engine.config().bounds_tolerance
+        ),
+        _ => println!("bracket within tolerance: no sampling spent"),
+    }
+    assert!(
+        bounds.lower <= p_chain + 0.05 && p_chain - 0.05 <= bounds.upper,
+        "MC estimate strayed far outside the guaranteed bracket"
+    );
 }

@@ -5,7 +5,7 @@
 //! estimate — while a non-hierarchical query must be classified unsafe
 //! and routed to sampling with the decomposition recorded in the report.
 
-use mrsl_repro::probdb::world::enumerate_worlds;
+use mrsl_repro::probdb::testutil::{oracle, oracle_probability};
 use mrsl_repro::probdb::{
     Alternative, Block, Catalog, CatalogEngine, EvalPath, PlanClass, Predicate, ProbDb, Query,
     QueryAnswer, QueryEngineConfig, SafePlan, Statistic,
@@ -94,23 +94,9 @@ fn hierarchical_join_is_liftable_and_exact_within_3_sigma_of_mc() {
         Some(SafePlan::KeyPartition { .. })
     ));
 
-    // The exact answer is the ground truth: verify against brute-force
-    // world enumeration of both relations.
-    let lpred = Predicate::eq(AttrId(1), ValueId(1));
-    let mut brute = 0.0;
-    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
-        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
-            let hit = a.tuples.iter().filter(|t| lpred.eval(t)).any(|s| {
-                b.tuples
-                    .iter()
-                    .filter(|t| lpred.eval(t))
-                    .any(|r| r.value(AttrId(0)) == s.value(AttrId(0)))
-            });
-            if hit {
-                brute += a.prob * b.prob;
-            }
-        }
-    }
+    // The exact answer is the ground truth: verify against the shared
+    // brute-force joint-world oracle.
+    let brute = oracle_probability(&catalog, &query).unwrap();
     assert!((p - brute).abs() < 1e-12, "exact {p} vs brute {brute}");
 
     // The multi-relation Monte-Carlo estimate agrees within 3σ.
@@ -178,25 +164,8 @@ fn non_hierarchical_query_is_unsafe_and_sampled_with_recorded_decomposition() {
     };
     assert!(reason.contains("non-hierarchical"), "{reason}");
 
-    // The sampled answer still matches brute-force enumeration.
-    let mut brute = 0.0;
-    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
-        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
-            for c in enumerate_worlds(catalog.get("levels").unwrap(), 1000) {
-                let hit = a.tuples.iter().any(|s| {
-                    b.tuples.iter().any(|r| {
-                        r.value(AttrId(0)) == s.value(AttrId(0))
-                            && c.tuples
-                                .iter()
-                                .any(|l| l.value(AttrId(0)) == r.value(AttrId(1)))
-                    })
-                });
-                if hit {
-                    brute += a.prob * b.prob * c.prob;
-                }
-            }
-        }
-    }
+    // The sampled answer still matches the brute-force oracle.
+    let brute = oracle_probability(&catalog, &query).unwrap();
     assert!((p - brute).abs() < 0.02, "MC {p} vs brute {brute}");
 }
 
@@ -209,25 +178,20 @@ fn joined_expected_count_is_exact_for_every_shape() {
     let query = hierarchical_query();
     let (count, report) = engine.expected_count(&query).unwrap();
     assert_eq!(report.path, EvalPath::ExactColumnar);
-    let lpred = Predicate::eq(AttrId(1), ValueId(1));
-    let mut brute = 0.0;
-    for a in enumerate_worlds(catalog.get("sensors").unwrap(), 1000) {
-        for b in enumerate_worlds(catalog.get("readings").unwrap(), 1000) {
-            let mut pairs = 0.0;
-            for s in a.tuples.iter().filter(|t| lpred.eval(t)) {
-                for r in b.tuples.iter().filter(|t| lpred.eval(t)) {
-                    if r.value(AttrId(0)) == s.value(AttrId(0)) {
-                        pairs += 1.0;
-                    }
-                }
-            }
-            brute += a.prob * b.prob * pairs;
-        }
-    }
+    let brute = oracle(&catalog, &query, 1_000_000).unwrap();
     assert!(
-        (count - brute).abs() < 1e-12,
-        "exact {count} vs brute {brute}"
+        (count - brute.expected_count).abs() < 1e-12,
+        "exact {count} vs brute {}",
+        brute.expected_count
     );
+    // The oracle's count distribution is consistent with its own moments.
+    let mean: f64 = brute
+        .count_distribution
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| k as f64 * p)
+        .sum();
+    assert!((mean - brute.expected_count).abs() < 1e-12);
 }
 
 #[test]

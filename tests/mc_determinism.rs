@@ -1,0 +1,160 @@
+//! Determinism of the Monte-Carlo joint-world sampler and the
+//! bracket-gated bounds refinement: with a fixed seed, answers are
+//! bit-identical across repeated runs and across rayon thread-pool sizes
+//! (the sampler is deliberately sequential in its RNG consumption, so the
+//! ambient parallelism level must not leak into the draws).
+
+use mrsl_repro::probdb::{
+    Alternative, Block, Catalog, CatalogEngine, EvalPath, Predicate, ProbDb, Query, QueryAnswer,
+    QueryEngineConfig, Statistic,
+};
+use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, ValueId};
+
+fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+    Alternative {
+        tuple: CompleteTuple::from_values(values),
+        prob,
+    }
+}
+
+/// A chain catalog whose query shape exercises both the plain MC route
+/// and the hybrid bounds refinement.
+fn fixture() -> (Catalog, Query) {
+    let one = |n: &str| {
+        Schema::builder()
+            .attribute(n, ["v0", "v1", "v2"])
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .unwrap()
+    };
+    let two = Schema::builder()
+        .attribute("x", ["v0", "v1", "v2"])
+        .attribute("y", ["v0", "v1", "v2"])
+        .attribute("ok", ["no", "yes"])
+        .build()
+        .unwrap();
+    let pair = |k: u16, p: f64| vec![alt(vec![k, 0], 1.0 - p), alt(vec![k, 1], p)];
+    let mut r = ProbDb::new(one("x"));
+    for (i, (k, p)) in [(0u16, 0.6), (1, 0.4), (2, 0.7)].into_iter().enumerate() {
+        r.push_block(Block::new(i, pair(k, p)).unwrap()).unwrap();
+    }
+    let mut s = ProbDb::new(two);
+    for (i, (x, y, p)) in [(0u16, 1u16, 0.5), (1, 2, 0.8), (2, 0, 0.3)]
+        .into_iter()
+        .enumerate()
+    {
+        s.push_block(
+            Block::new(i, vec![alt(vec![x, y, 0], 1.0 - p), alt(vec![x, y, 1], p)]).unwrap(),
+        )
+        .unwrap();
+    }
+    let mut t = ProbDb::new(one("y"));
+    for (i, (k, p)) in [(0u16, 0.2), (1, 0.9), (2, 0.5)].into_iter().enumerate() {
+        t.push_block(Block::new(i, pair(k, p)).unwrap()).unwrap();
+    }
+    let mut catalog = Catalog::new();
+    catalog.add("r", r).unwrap();
+    catalog.add("s", s).unwrap();
+    catalog.add("t", t).unwrap();
+    let ok2 = Predicate::eq(AttrId(1), ValueId(1));
+    let ok3 = Predicate::eq(AttrId(2), ValueId(1));
+    let query = Query::scan("r")
+        .filter(ok2.clone())
+        .join_on(Query::scan("s").filter(ok3), [(AttrId(0), AttrId(0))])
+        .join_on_rel("s", Query::scan("t").filter(ok2), [(AttrId(1), AttrId(0))]);
+    (catalog, query)
+}
+
+/// `(probability-estimate bits, std-error bits)` of one MC evaluation.
+fn mc_bits(catalog: &Catalog, query: &Query, seed: u64) -> (u64, u64) {
+    let engine = CatalogEngine::with_config(
+        catalog,
+        QueryEngineConfig {
+            mc_samples: 4_000,
+            mc_seed: seed,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (answer, report) = engine.evaluate(query, Statistic::Probability).unwrap();
+    assert_eq!(report.path, EvalPath::MonteCarlo);
+    let QueryAnswer::Probability { p, std_error } = answer else {
+        panic!("probability expected");
+    };
+    (p.to_bits(), std_error.unwrap().to_bits())
+}
+
+/// Bit-patterns of a refined bounds evaluation (lower, upper, estimate).
+fn bounds_bits(catalog: &Catalog, query: &Query, seed: u64) -> (u64, u64, u64) {
+    let engine = CatalogEngine::with_config(
+        catalog,
+        QueryEngineConfig {
+            mc_samples: 4_000,
+            mc_seed: seed,
+            bounds_tolerance: 0.0, // always refine
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (bounds, report) = engine.probability_bounds(query).unwrap();
+    assert_eq!(report.path, EvalPath::Hybrid);
+    (
+        bounds.lower.to_bits(),
+        bounds.upper.to_bits(),
+        bounds.estimate.unwrap().to_bits(),
+    )
+}
+
+#[test]
+fn fixed_seed_is_bit_identical_across_runs() {
+    let (catalog, query) = fixture();
+    let first = mc_bits(&catalog, &query, 0xD15EA5E);
+    for _ in 0..3 {
+        assert_eq!(mc_bits(&catalog, &query, 0xD15EA5E), first);
+    }
+    let bounds = bounds_bits(&catalog, &query, 0xD15EA5E);
+    for _ in 0..3 {
+        assert_eq!(bounds_bits(&catalog, &query, 0xD15EA5E), bounds);
+    }
+    // Different seeds genuinely change the draws.
+    assert_ne!(mc_bits(&catalog, &query, 0xBEEF), first);
+}
+
+#[test]
+fn answers_are_bit_identical_across_thread_counts() {
+    let (catalog, query) = fixture();
+    let baseline_mc = mc_bits(&catalog, &query, 42);
+    let baseline_bounds = bounds_bits(&catalog, &query, 42);
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (mc, bounds) = pool.install(|| {
+            (
+                mc_bits(&catalog, &query, 42),
+                bounds_bits(&catalog, &query, 42),
+            )
+        });
+        assert_eq!(mc, baseline_mc, "{threads} threads");
+        assert_eq!(bounds, baseline_bounds, "{threads} threads");
+    }
+}
+
+#[test]
+fn deterministic_bounds_ignore_the_seed_entirely() {
+    let (catalog, query) = fixture();
+    let engine = |seed| {
+        CatalogEngine::with_config(
+            &catalog,
+            QueryEngineConfig {
+                mc_seed: seed,
+                bounds_tolerance: 1.0, // never refine
+                ..QueryEngineConfig::default()
+            },
+        )
+    };
+    let a = engine(1).probability_bounds(&query).unwrap().0;
+    let b = engine(2).probability_bounds(&query).unwrap().0;
+    assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+    assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+    assert!(a.estimate.is_none() && b.estimate.is_none());
+}

@@ -1,0 +1,292 @@
+//! Self-join regression suite.
+//!
+//! PR 3 rejected every query that scanned one relation twice. Aliased
+//! scans ([`Query::scan_as`]) now resolve and classify; because the two
+//! scans share their block choices, the planner treats them as a
+//! dissociation — `Statistic::Probability` samples a *shared* world per
+//! relation, `Statistic::ProbabilityBounds` brackets the answer
+//! deterministically — and the oracle adjudicates both. The old
+//! rejection error still fires for trees that reuse a scan name.
+
+use mrsl_repro::probdb::testutil::{oracle, oracle_probability};
+use mrsl_repro::probdb::{
+    Alternative, Block, Catalog, CatalogEngine, EvalPath, PlanClass, Predicate, ProbDb,
+    ProbDbError, Query, QueryAnswer, QueryEngineConfig, Statistic,
+};
+use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, ValueId};
+use proptest::prelude::*;
+
+fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+    Alternative {
+        tuple: CompleteTuple::from_values(values),
+        prob,
+    }
+}
+
+/// `r(k, ok)`: every block sits at one key, present when `ok = yes`.
+fn keyed_relation(blocks: &[(u16, f64)], certain: &[u16]) -> ProbDb {
+    let schema = Schema::builder()
+        .attribute("k", ["k0", "k1", "k2"])
+        .attribute("ok", ["no", "yes"])
+        .build()
+        .unwrap();
+    let mut db = ProbDb::new(schema);
+    for &k in certain {
+        db.push_certain(CompleteTuple::from_values(vec![k, 1]))
+            .unwrap();
+    }
+    for (i, &(k, p)) in blocks.iter().enumerate() {
+        db.push_block(Block::new(i, vec![alt(vec![k, 0], 1.0 - p), alt(vec![k, 1], p)]).unwrap())
+            .unwrap();
+    }
+    db
+}
+
+fn ok() -> Predicate {
+    Predicate::eq(AttrId(1), ValueId(1))
+}
+
+/// `σ[ok] r1 ⋈ σ[ok] r2` on the key — the aliased self-join PR 3 refused.
+fn self_join() -> Query {
+    Query::scan_as("r", "r1").filter(ok()).join_on(
+        Query::scan_as("r", "r2").filter(ok()),
+        [(AttrId(0), AttrId(0))],
+    )
+}
+
+fn catalog(blocks: &[(u16, f64)], certain: &[u16]) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.add("r", keyed_relation(blocks, certain)).unwrap();
+    catalog
+}
+
+#[test]
+fn aliased_self_join_resolves_classifies_and_brackets_the_oracle() {
+    let catalog = catalog(&[(0, 0.6), (1, 0.4), (2, 0.8)], &[]);
+    let query = self_join();
+    let engine = CatalogEngine::with_config(
+        &catalog,
+        QueryEngineConfig {
+            mc_samples: 30_000,
+            bounds_tolerance: 1.0,
+            ..QueryEngineConfig::default()
+        },
+    );
+
+    // Classification: dissociable, never the independent-product plan.
+    let (path, plan) = engine.plan(&query, Statistic::Probability).unwrap();
+    assert_eq!(path, EvalPath::MonteCarlo);
+    assert_eq!(plan, PlanClass::Dissociable);
+
+    let brute = oracle_probability(&catalog, &query).unwrap();
+    // For this query the self-join collapses logically to the scan, so
+    // the oracle must agree with P(∃ live row).
+    let (scan_p, _) = engine.probability(&Query::scan("r").filter(ok())).unwrap();
+    assert!((brute - scan_p).abs() < 1e-12, "{brute} vs {scan_p}");
+
+    // The sampled probability agrees with the oracle.
+    let (answer, report) = engine.evaluate(&query, Statistic::Probability).unwrap();
+    assert_eq!(report.plan, PlanClass::Dissociable);
+    let QueryAnswer::Probability { p, std_error } = answer else {
+        panic!("probability expected");
+    };
+    let se = std_error.expect("MC std error").max(1e-9);
+    assert!((p - brute).abs() < 4.0 * se + 0.01, "{p} vs {brute}");
+
+    // The deterministic bracket contains the oracle value; the upper
+    // bound is tight here (the dissociated conjunction reproduces the
+    // scan probability).
+    let (bounds, report) = engine.probability_bounds(&query).unwrap();
+    assert_eq!(report.path, EvalPath::ExactColumnar);
+    assert_eq!(report.plan, PlanClass::Dissociable);
+    assert_eq!(report.mc_samples, 0);
+    assert!(
+        bounds.lower - 1e-12 <= brute && brute <= bounds.upper + 1e-12,
+        "bracket [{}, {}] misses {brute}",
+        bounds.lower,
+        bounds.upper
+    );
+    assert!((bounds.upper - brute).abs() < 1e-9, "upper bound not tight");
+    assert!(
+        report.dissociated.iter().any(|d| d.contains("r1")),
+        "aliases not named: {:?}",
+        report.dissociated
+    );
+
+    // Expected counts cannot use the independent mass-table join either:
+    // they sample, and agree with the oracle.
+    let (answer, report) = engine.evaluate(&query, Statistic::ExpectedCount).unwrap();
+    assert_eq!(report.path, EvalPath::MonteCarlo);
+    assert_eq!(report.plan, PlanClass::Dissociable);
+    let QueryAnswer::Count { mean, std_error } = answer else {
+        panic!("count expected");
+    };
+    let brute_e = oracle(&catalog, &query, 100_000).unwrap().expected_count;
+    let se = std_error.expect("MC std error").max(1e-9);
+    assert!(
+        (mean - brute_e).abs() < 4.0 * se + 0.02,
+        "{mean} vs {brute_e}"
+    );
+}
+
+#[test]
+fn certain_rows_survive_aliasing() {
+    // A certain tuple joins with itself: probability 1, exactly.
+    let catalog = catalog(&[(1, 0.2)], &[0]);
+    let engine = CatalogEngine::new(&catalog);
+    let brute = oracle_probability(&catalog, &self_join()).unwrap();
+    assert!((brute - 1.0).abs() < 1e-12);
+    let (bounds, _) = engine.probability_bounds(&self_join()).unwrap();
+    assert!((bounds.lower - 1.0).abs() < 1e-12);
+    assert!((bounds.upper - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn chain_through_two_aliases_brackets_the_oracle() {
+    // R(x), S(x,y), R(y): a self-join *and* a non-hierarchical shape —
+    // both dissociation mechanisms compose.
+    let mut cat = catalog(&[(0, 0.6), (1, 0.4), (2, 0.8)], &[]);
+    let s_schema = Schema::builder()
+        .attribute("k1", ["k0", "k1", "k2"])
+        .attribute("k2", ["k0", "k1", "k2"])
+        .attribute("ok", ["no", "yes"])
+        .build()
+        .unwrap();
+    let mut s = ProbDb::new(s_schema);
+    for (i, &(a, b, p)) in [(0u16, 1u16, 0.7), (1, 2, 0.5), (2, 0, 0.3)]
+        .iter()
+        .enumerate()
+    {
+        s.push_block(
+            Block::new(i, vec![alt(vec![a, b, 0], 1.0 - p), alt(vec![a, b, 1], p)]).unwrap(),
+        )
+        .unwrap();
+    }
+    cat.add("s", s).unwrap();
+    let sok = Predicate::eq(AttrId(2), ValueId(1));
+    let query = Query::scan_as("r", "r1")
+        .filter(ok())
+        .join_on(Query::scan("s").filter(sok), [(AttrId(0), AttrId(0))])
+        .join_on_rel(
+            "s",
+            Query::scan_as("r", "r2").filter(ok()),
+            [(AttrId(1), AttrId(0))],
+        );
+    let engine = CatalogEngine::with_config(
+        &cat,
+        QueryEngineConfig {
+            bounds_tolerance: 1.0,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (_, plan) = engine.plan(&query, Statistic::ProbabilityBounds).unwrap();
+    assert_eq!(plan, PlanClass::Dissociable);
+    let (bounds, report) = engine.probability_bounds(&query).unwrap();
+    assert_eq!(report.mc_samples, 0);
+    let brute = oracle_probability(&cat, &query).unwrap();
+    assert!(
+        bounds.lower - 1e-12 <= brute && brute <= bounds.upper + 1e-12,
+        "bracket [{}, {}] misses {brute} ({:?})",
+        bounds.lower,
+        bounds.upper,
+        report.dissociated
+    );
+}
+
+#[test]
+fn aliases_with_different_selections_fall_back_to_sampling() {
+    // σ[k=0](r1) ⋈ σ[ok](r2): different live sets per alias — the shared
+    // blocks cannot dissociate, so bounds degrade to the sampled trivial
+    // bracket, which still agrees with the oracle.
+    let catalog = catalog(&[(0, 0.6), (1, 0.4)], &[]);
+    let query = Query::scan_as("r", "r1")
+        .filter(Predicate::eq(AttrId(0), ValueId(0)))
+        .join_on(
+            Query::scan_as("r", "r2").filter(ok()),
+            [(AttrId(0), AttrId(0))],
+        );
+    let engine = CatalogEngine::with_config(
+        &catalog,
+        QueryEngineConfig {
+            mc_samples: 30_000,
+            ..QueryEngineConfig::default()
+        },
+    );
+    let (path, _) = engine.plan(&query, Statistic::ProbabilityBounds).unwrap();
+    assert_eq!(path, EvalPath::MonteCarlo);
+    let (bounds, report) = engine.probability_bounds(&query).unwrap();
+    assert_eq!((bounds.lower, bounds.upper), (0.0, 1.0));
+    let reason = match report.decomposition {
+        Some(mrsl_repro::probdb::SafePlan::Unsafe { ref reason }) => reason.clone(),
+        other => panic!("expected unsafe decomposition, got {other:?}"),
+    };
+    assert!(reason.contains("alias"), "{reason}");
+    let est = bounds.estimate.expect("sampled estimate");
+    let brute = oracle_probability(&catalog, &query).unwrap();
+    assert!((est - brute).abs() < 0.02, "{est} vs {brute}");
+}
+
+#[test]
+fn unaliased_self_joins_still_raise_the_old_error() {
+    let catalog = catalog(&[(0, 0.5)], &[]);
+    let engine = CatalogEngine::new(&catalog);
+    // The original rejection: the same relation scanned twice by name.
+    let dup = Query::scan("r").join_on("r", [(AttrId(0), AttrId(0))]);
+    for stat in [
+        Statistic::Probability,
+        Statistic::ProbabilityBounds,
+        Statistic::ExpectedCount,
+    ] {
+        let e = engine.evaluate(&dup, stat);
+        assert!(
+            matches!(e, Err(ProbDbError::SelfJoin(ref n)) if n == "r"),
+            "{stat:?}: {e:?}"
+        );
+    }
+    // Two scans under one alias are just as unresolvable.
+    let dup_alias =
+        Query::scan_as("r", "x").join_on(Query::scan_as("r", "x"), [(AttrId(0), AttrId(0))]);
+    let e = engine.probability(&dup_alias);
+    assert!(matches!(e, Err(ProbDbError::SelfJoin(ref n)) if n == "x"));
+    // The oracle raises the identical error, so error paths share it too.
+    let e = oracle_probability(&catalog, &dup);
+    assert!(matches!(e, Err(ProbDbError::SelfJoin(ref n)) if n == "r"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random keyed relations: the aliased self-join's bracket always
+    /// contains the oracle probability, and sampling agrees with it.
+    #[test]
+    fn random_self_joins_bracket_and_sample_to_the_oracle(
+        (blocks, certain, seed) in (
+            prop::collection::vec((0u16..3, 5u32..95), 1..5),
+            prop::collection::vec(0u16..3, 0..2),
+            0u64..1_000,
+        )
+    ) {
+        let blocks: Vec<(u16, f64)> =
+            blocks.into_iter().map(|(k, w)| (k, w as f64 / 100.0)).collect();
+        let catalog = catalog(&blocks, &certain);
+        let query = self_join();
+        let brute = oracle_probability(&catalog, &query).expect("oracle");
+        let engine = CatalogEngine::with_config(
+            &catalog,
+            QueryEngineConfig {
+                mc_samples: 4_000,
+                mc_seed: seed,
+                bounds_tolerance: 1.0,
+                ..QueryEngineConfig::default()
+            },
+        );
+        let (bounds, _) = engine.probability_bounds(&query).expect("bounds");
+        prop_assert!(
+            bounds.lower - 1e-12 <= brute && brute <= bounds.upper + 1e-12,
+            "bracket [{}, {}] misses {}", bounds.lower, bounds.upper, brute
+        );
+        let (p, report) = engine.probability(&query).expect("mc");
+        prop_assert_eq!(report.path, EvalPath::MonteCarlo);
+        prop_assert!((p - brute).abs() < 0.07, "{} vs {}", p, brute);
+    }
+}
