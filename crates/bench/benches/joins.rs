@@ -18,8 +18,28 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrsl_bench::{synthetic_chain_catalog, synthetic_join_catalog};
-use mrsl_probdb::{CatalogEngine, Predicate, Query, QueryEngineConfig, Statistic};
+use mrsl_probdb::{Catalog, CatalogEngine, Predicate, Query, QueryEngineConfig, Statistic};
 use mrsl_relation::{AttrId, ValueId};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Interpreter reference configuration: compiled plans off.
+fn interp_config() -> QueryEngineConfig {
+    QueryEngineConfig {
+        compile_plans: false,
+        bounds_tolerance: 1.0,
+        ..QueryEngineConfig::default()
+    }
+}
+
+/// VM configuration: compiled plans on (the default), brackets never
+/// refined so the bounds rows measure the pure deterministic path.
+fn vm_config() -> QueryEngineConfig {
+    QueryEngineConfig {
+        bounds_tolerance: 1.0,
+        ..QueryEngineConfig::default()
+    }
+}
 
 /// σ[kind ∈ {0,1}](sensors) ⨝ σ[level ≥ 2](readings) on the station.
 fn join_query() -> Query {
@@ -38,12 +58,22 @@ fn bench_joins(c: &mut Criterion) {
         let catalog = synthetic_join_catalog(stations, certain, blocks, 3, 42);
         let query = join_query();
         let size = certain + blocks;
+        // `exact_probability` reuses one engine: the first iteration
+        // compiles and caches, the rest are warm VM hits.
         group.bench_with_input(
             BenchmarkId::new("exact_probability", size),
             &catalog,
             |b, catalog| {
                 let engine = CatalogEngine::new(catalog);
                 b.iter(|| std::hint::black_box(engine.probability(&query).expect("exact")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interp_probability", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::with_config(catalog, interp_config());
+                b.iter(|| std::hint::black_box(engine.probability(&query).expect("interp")))
             },
         );
         group.bench_with_input(
@@ -99,14 +129,17 @@ fn bench_dissociation(c: &mut Criterion) {
             &catalog,
             |b, catalog| {
                 // Tolerance 1.0: the bracket is never refined, so this
-                // row measures the pure exact-path dissociation cost.
-                let engine = CatalogEngine::with_config(
-                    catalog,
-                    QueryEngineConfig {
-                        bounds_tolerance: 1.0,
-                        ..QueryEngineConfig::default()
-                    },
-                );
+                // row measures the pure exact-path dissociation cost
+                // (warm compiled plans after the first iteration).
+                let engine = CatalogEngine::with_config(catalog, vm_config());
+                b.iter(|| std::hint::black_box(engine.probability_bounds(&query).expect("bounds")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interp_bounds_probability", size),
+            &catalog,
+            |b, catalog| {
+                let engine = CatalogEngine::with_config(catalog, interp_config());
                 b.iter(|| std::hint::black_box(engine.probability_bounds(&query).expect("bounds")))
             },
         );
@@ -132,5 +165,127 @@ fn bench_dissociation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_dissociation);
+/// Mean wall-clock nanoseconds per call of `f` over `iters` timed
+/// iterations (after one untimed warm-up call).
+fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// One interpreter-vs-VM comparison row for the JSON report.
+struct PlanRow {
+    name: &'static str,
+    interp_ns: f64,
+    vm_ns: f64,
+}
+
+fn plan_rows(catalog: &Catalog, query: &Query, stat: Statistic, iters: u32) -> PlanRow {
+    let name = match stat {
+        Statistic::Probability => "probability",
+        Statistic::ExpectedCount => "expected_count",
+        Statistic::ProbabilityBounds => "bounds_probability",
+        _ => "other",
+    };
+    let interp = CatalogEngine::with_config(catalog, interp_config());
+    let interp_ns = time_ns(iters, || {
+        std::hint::black_box(interp.evaluate(query, stat).expect("interp"));
+    });
+    let vm = CatalogEngine::with_config(catalog, vm_config());
+    let vm_ns = time_ns(iters, || {
+        std::hint::black_box(vm.evaluate(query, stat).expect("vm"));
+    });
+    PlanRow {
+        name,
+        interp_ns,
+        vm_ns,
+    }
+}
+
+fn write_rows(out: &mut String, fixture: &str, rows: &[PlanRow], cold_ns: f64, warm_ns: f64) {
+    let _ = writeln!(out, "  \"{fixture}\": {{");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"interpreter_ns\": {:.0}, \"vm_ns\": {:.0}, \"speedup\": {:.2}}},",
+            row.name,
+            row.interp_ns,
+            row.vm_ns,
+            row.interp_ns / row.vm_ns
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    \"plan_ns\": {{\"cold\": {cold_ns:.0}, \"warm\": {warm_ns:.0}}}"
+    );
+    let _ = writeln!(out, "  }},");
+}
+
+/// Self-timed interpreter-vs-VM report, written to `BENCH_plan.json` at
+/// the repo root. The vendored criterion shim has no programmatic timing
+/// hooks, so this measures with [`Instant`] directly: per-statistic
+/// interpreter vs warm-VM nanoseconds, the cold-vs-warm planning gap
+/// (fresh engine per call vs shared [`PlanCache`] hits), and the cache
+/// hit/miss counters from the warm engine.
+fn emit_plan_report(_c: &mut Criterion) {
+    let mut out = String::from("{\n");
+
+    // Join fixture at ≥2k uncertain blocks: hierarchical, exact path.
+    let join_catalog = synthetic_join_catalog(256, 10_000, 5_000, 3, 42);
+    let join = join_query();
+    let rows = [
+        plan_rows(&join_catalog, &join, Statistic::Probability, 12),
+        plan_rows(&join_catalog, &join, Statistic::ExpectedCount, 12),
+    ];
+    let warm_engine = CatalogEngine::new(&join_catalog);
+    let warm_ns = time_ns(12, || {
+        std::hint::black_box(warm_engine.probability(&join).expect("warm"));
+    });
+    let cold_ns = time_ns(12, || {
+        let engine = CatalogEngine::new(&join_catalog);
+        std::hint::black_box(engine.probability(&join).expect("cold"));
+    });
+    write_rows(&mut out, "join_2k_blocks", &rows, cold_ns, warm_ns);
+    let stats = warm_engine.plan_cache().stats();
+
+    // Dissociable chain: both bounds are compiled programs.
+    let chain_catalog = synthetic_chain_catalog(64, 2_500, 42);
+    let chain = chain_query();
+    let rows = [plan_rows(
+        &chain_catalog,
+        &chain,
+        Statistic::ProbabilityBounds,
+        12,
+    )];
+    let warm_engine = CatalogEngine::with_config(&chain_catalog, vm_config());
+    let warm_ns = time_ns(12, || {
+        std::hint::black_box(warm_engine.probability_bounds(&chain).expect("warm"));
+    });
+    let cold_ns = time_ns(12, || {
+        let engine = CatalogEngine::with_config(&chain_catalog, vm_config());
+        std::hint::black_box(engine.probability_bounds(&chain).expect("cold"));
+    });
+    write_rows(&mut out, "chain_2500_blocks", &rows, cold_ns, warm_ns);
+    let chain_stats = warm_engine.plan_cache().stats();
+
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}}}\n}}",
+        stats.hits + chain_stats.hits,
+        stats.misses + chain_stats.misses
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    if let Err(err) = std::fs::write(path, &out) {
+        eprintln!("BENCH_plan.json not written: {err}");
+    } else {
+        println!("wrote {path}");
+        print!("{out}");
+    }
+}
+
+criterion_group!(benches, bench_joins, bench_dissociation, emit_plan_report);
 criterion_main!(benches);

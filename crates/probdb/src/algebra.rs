@@ -386,6 +386,33 @@ pub struct ScanRequirement {
     pub join_attrs: AttrMask,
 }
 
+impl Flattened {
+    /// 64-bit fingerprint of the query *shape*: per-term scan names,
+    /// relations and (raw, unsimplified) predicates, plus the resolved
+    /// join pairs in flattening order. The projection is excluded — it
+    /// never affects statistic evaluation. Used as the plan-cache probe
+    /// key; because 64 bits can collide, cache entries keep the full
+    /// flattened shape and verify structural equality on every hit.
+    pub(crate) fn shape_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = mrsl_util::FxHasher::default();
+        self.terms.len().hash(&mut h);
+        for t in &self.terms {
+            t.name.hash(&mut h);
+            t.relation.hash(&mut h);
+            t.pred.hash(&mut h);
+        }
+        self.joins.len().hash(&mut h);
+        for j in &self.joins {
+            j.left_term.hash(&mut h);
+            j.left_attr.0.hash(&mut h);
+            j.right_term.hash(&mut h);
+            j.right_attr.0.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
 /// The conjunctive form of a query tree (internal planner currency).
 #[derive(Debug, Clone)]
 pub(crate) struct Flattened {

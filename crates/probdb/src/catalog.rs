@@ -88,6 +88,18 @@ impl Catalog {
         self.by_name.get(name).map(|&i| &self.relations[i].1)
     }
 
+    /// Mutable access to the relation named `name`, for incremental data
+    /// maintenance (pushing tuples or blocks into an already-registered
+    /// relation). The name map is untouched; mutation bumps the
+    /// relation's [`ProbDb::version`] stamp, which is how live plan
+    /// caches notice the data changed.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut ProbDb> {
+        self.by_name
+            .get(name)
+            .copied()
+            .map(|i| &mut self.relations[i].1)
+    }
+
     /// Like [`Catalog::get`] but with a typed error naming the miss.
     pub fn resolve(&self, name: &str) -> Result<&ProbDb, ProbDbError> {
         self.get(name)

@@ -5,7 +5,15 @@ use crate::column::ColumnStore;
 use mrsl_relation::{CompleteTuple, RelationError, Schema};
 use serde::value::Value;
 use serde::{DeError, Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide monotonic data-stamp source backing [`ProbDb::version`].
+static DATA_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    DATA_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A block-independent-disjoint probabilistic database: certain tuples
 /// (probability 1) plus independent blocks of mutually exclusive
@@ -21,6 +29,8 @@ pub struct ProbDb {
     blocks: Vec<Block>,
     #[serde(skip)]
     columns: ColumnStore,
+    #[serde(skip)]
+    version: u64,
 }
 
 impl ProbDb {
@@ -32,12 +42,23 @@ impl ProbDb {
             certain: Vec::new(),
             blocks: Vec::new(),
             columns: ColumnStore::new(arity),
+            version: next_stamp(),
         }
     }
 
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The database's data-version stamp, drawn from a process-wide
+    /// monotonic counter on construction and on every mutation. Two
+    /// databases report the same stamp only when one is an unmodified
+    /// clone of the other — i.e. equal stamps imply identical contents —
+    /// which is what lets the plan cache skip its data-dependent guard
+    /// re-checks when nothing changed.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Adds a certain tuple.
@@ -50,6 +71,7 @@ impl ProbDb {
         }
         self.columns.push_certain(t.raw());
         self.certain.push(t);
+        self.version = next_stamp();
         Ok(())
     }
 
@@ -69,6 +91,7 @@ impl ProbDb {
         }
         self.columns.push_block(&b);
         self.blocks.push(b);
+        self.version = next_stamp();
         Ok(())
     }
 

@@ -56,8 +56,8 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSet, ColumnStore};
 pub use database::ProbDb;
 pub use plan::{
-    CatalogEngine, EvalPath, EvalReport, PlanClass, ProbabilityBounds, QueryAnswer,
-    QueryEngineConfig, RelationStats, SafePlan,
+    CatalogEngine, EvalPath, EvalReport, PlanCache, PlanCacheStats, PlanClass, PlanRoute,
+    ProbabilityBounds, QueryAnswer, QueryEngineConfig, RelationStats, SafePlan,
 };
 #[allow(deprecated)]
 pub use plan::{QueryEngine, QuerySpec};

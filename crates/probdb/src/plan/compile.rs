@@ -1,0 +1,746 @@
+//! Lowering safe plans to bytecode, and the shape-keyed plan cache.
+//!
+//! The compile pipeline turns one planning verdict into a reusable
+//! artifact:
+//!
+//! 1. **Shape key** — [`crate::algebra::Flattened::shape_hash`]
+//!    fingerprints the query shape (scan names, relations, raw
+//!    predicates, join pairs; the projection is excluded). The statistic
+//!    tag joins it in the cache key, and every hit re-verifies full
+//!    structural equality ([`CachedPlan::matches`]) so fingerprint
+//!    collisions cannot reuse a wrong plan.
+//! 2. **Lowering** — [`compile_boolean`] / [`compile_bound`] walk the
+//!    same component/covering-root recursion as the interpreter
+//!    (`exact::component_probability`, `dissociate::component_bound`)
+//!    but emit flat [`vm::Op`]s instead of recursing over row maps;
+//!    [`compile_count`] captures the deterministic mass-join schedule.
+//! 3. **Peephole** — [`peephole`] fuses all-leaf partition bodies into
+//!    inline leaf lists; the lowering itself already hoists
+//!    loop-invariant (copied-only) subtrees and records per-term sort
+//!    paths so partition keys are sorted once at bind time instead of
+//!    hashed per recursion level.
+//! 4. **Cache** — [`PlanCache`] stores the owned shape, the compiled
+//!    program, the schemas, data-version stamps and the data-dependent
+//!    guard verdicts. A warm hit skips flatten-resolve-classify-
+//!    dissociate entirely: it re-binds the owned shape against current
+//!    column data and executes the cached program.
+//!
+//! **Invalidation.** Classification is partly data-dependent (the
+//! key-straddle and alias-live-set guards), so a cached verdict is only
+//! reused when it is provably still right: if every relation's
+//! [`crate::ProbDb::version`] stamp is unchanged the guards cannot have
+//! moved and are skipped outright; if any stamp moved, the two guards are
+//! recomputed (cheap linear scans — still no classification) and compared
+//! against the recorded verdicts. A flipped guard or a swapped schema
+//! invalidates the entry and falls back to a cold replan.
+
+use super::classify::{
+    alias_live_mismatch, components, key_straddle, Class, CompiledTerm, Resolved, Term,
+};
+use super::dissociate::{
+    alias_multiplicities, covering_root, describe_bounds, extended_class_terms,
+    intersect_candidates, DissociatedBounds, Dissociation, Mode,
+};
+use super::exact;
+use super::report::{EvalPath, PlanClass, SafePlan};
+use super::vm::{self, BodyStep, BoundsProgram, CountProgram, Op, Program, Transform};
+use crate::algebra::{Flattened, ResolvedPair, Statistic};
+use crate::database::ProbDb;
+use crate::predicate::Predicate;
+use mrsl_relation::{AttrId, Schema};
+use std::sync::{Arc, Mutex};
+
+/// Cache tag of a statistic, for statistics whose planning verdict and
+/// program are pure functions of the query shape (plus the guarded data
+/// properties). Other statistics always plan fresh.
+pub(crate) fn cache_tag(stat: Statistic) -> Option<u8> {
+    match stat {
+        Statistic::Probability => Some(1),
+        Statistic::ProbabilityBounds => Some(2),
+        Statistic::ExpectedCount => Some(3),
+        _ => None,
+    }
+}
+
+/// Lowers a liftable (hierarchical) shape to a boolean-probability
+/// program, mirroring `exact::component_probability`'s recursion order
+/// exactly.
+pub(crate) fn compile_boolean(resolved: &Resolved) -> Program {
+    let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
+    let all: Vec<usize> = (0..resolved.terms.len()).collect();
+    let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    let mut ops = Vec::new();
+    let mut paths = vec![Vec::new(); resolved.terms.len()];
+    let roots = components(&class_terms, &all, &active)
+        .into_iter()
+        .map(|comp| lower_exact(resolved, &class_terms, &comp, &active, &mut paths, &mut ops))
+        .collect();
+    peephole(Program { ops, roots, paths })
+}
+
+fn lower_exact(
+    resolved: &Resolved,
+    class_terms: &[Vec<usize>],
+    comp: &[usize],
+    active: &[usize],
+    paths: &mut [Vec<usize>],
+    ops: &mut Vec<Op>,
+) -> u32 {
+    if comp.len() == 1 {
+        ops.push(Op::Leaf {
+            term: comp[0] as u32,
+            transform: Transform::Identity,
+        });
+        return (ops.len() - 1) as u32;
+    }
+    let root = *active
+        .iter()
+        .find(|&&c| {
+            let terms = resolved.classes[c].terms();
+            comp.iter().all(|t| terms.contains(t))
+        })
+        .expect("hierarchical connected component has a covering class");
+    let binding: Vec<(u32, u32)> = comp
+        .iter()
+        .map(|&t| {
+            paths[t].push(root);
+            (t as u32, (paths[t].len() - 1) as u32)
+        })
+        .collect();
+    let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
+    let body: Vec<BodyStep> = components(class_terms, comp, &remaining)
+        .iter()
+        .map(|sub| {
+            BodyStep::Eval(lower_exact(
+                resolved,
+                class_terms,
+                sub,
+                &remaining,
+                paths,
+                ops,
+            ))
+        })
+        .collect();
+    ops.push(Op::Partition {
+        binding,
+        copied: Vec::new(),
+        body,
+        fused: None,
+    });
+    (ops.len() - 1) as u32
+}
+
+/// Lowers one dissociation candidate to a single-bound program, mirroring
+/// `dissociate::component_bound`: terms binding the root partition as
+/// usual, dissociated copies replicated with their replication registers
+/// accumulating the branch count, and the mode's mass transform at the
+/// leaves.
+pub(crate) fn compile_bound(resolved: &Resolved, ext: &[(usize, usize)], mode: Mode) -> Program {
+    let class_terms = extended_class_terms(resolved, ext);
+    let alias_k = alias_multiplicities(resolved);
+    let all: Vec<usize> = (0..resolved.terms.len()).collect();
+    let active: Vec<usize> = (0..resolved.classes.len()).collect();
+    let mut ops = Vec::new();
+    let mut paths = vec![Vec::new(); resolved.terms.len()];
+    let roots = components(&class_terms, &all, &active)
+        .into_iter()
+        .map(|comp| {
+            lower_bound(
+                resolved,
+                &class_terms,
+                &alias_k,
+                mode,
+                &comp,
+                &active,
+                &mut paths,
+                &mut ops,
+            )
+        })
+        .collect();
+    peephole(Program { ops, roots, paths })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_bound(
+    resolved: &Resolved,
+    class_terms: &[Vec<usize>],
+    alias_k: &[f64],
+    mode: Mode,
+    comp: &[usize],
+    active: &[usize],
+    paths: &mut [Vec<usize>],
+    ops: &mut Vec<Op>,
+) -> u32 {
+    if comp.len() == 1 {
+        let t = comp[0];
+        let transform = match mode {
+            Mode::Upper => {
+                if alias_k[t] > 1.0 {
+                    Transform::ConjRoot { k: alias_k[t] }
+                } else {
+                    Transform::Identity
+                }
+            }
+            Mode::Lower => Transform::DisjRoot,
+        };
+        ops.push(Op::Leaf {
+            term: t as u32,
+            transform,
+        });
+        return (ops.len() - 1) as u32;
+    }
+    let root = covering_root(resolved, class_terms, comp, active)
+        .expect("admissible dissociations decompose");
+    let root_terms = resolved.classes[root].terms();
+    let binding: Vec<(u32, u32)> = comp
+        .iter()
+        .filter(|t| root_terms.contains(t))
+        .map(|&t| {
+            paths[t].push(root);
+            (t as u32, (paths[t].len() - 1) as u32)
+        })
+        .collect();
+    let copied: Vec<usize> = comp
+        .iter()
+        .copied()
+        .filter(|t| !root_terms.contains(t))
+        .collect();
+    let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
+    let body: Vec<BodyStep> = components(class_terms, comp, &remaining)
+        .iter()
+        .map(|sub| {
+            let op = lower_bound(
+                resolved,
+                class_terms,
+                alias_k,
+                mode,
+                sub,
+                &remaining,
+                paths,
+                ops,
+            );
+            // Copied-only subtrees see the same windows and replication
+            // registers in every branch — loop-invariant, hoist.
+            if sub.iter().all(|t| copied.contains(t)) {
+                BodyStep::Hoisted(op)
+            } else {
+                BodyStep::Eval(op)
+            }
+        })
+        .collect();
+    ops.push(Op::Partition {
+        binding,
+        copied: copied.iter().map(|&t| t as u32).collect(),
+        body,
+        fused: None,
+    });
+    (ops.len() - 1) as u32
+}
+
+/// Lowers the expected-count statistic: the single-relation closed form
+/// when there are no join classes, the mass-join schedule otherwise.
+pub(crate) fn compile_count(resolved: &Resolved) -> CountProgram {
+    if resolved.classes.is_empty() && resolved.terms.len() == 1 {
+        CountProgram {
+            steps: None,
+            classes: 0,
+        }
+    } else {
+        CountProgram {
+            steps: Some(exact::count_steps(resolved)),
+            classes: resolved.classes.len(),
+        }
+    }
+}
+
+/// The peephole pass: partitions whose body is entirely un-hoisted leaves
+/// get the fused inline leaf list (no op dispatch per branch). Selection
+/// fusion happens upstream of lowering — flattening conjoins adjacent
+/// `Filter`s into one per-term predicate, compiled into a single live-row
+/// bitmap — and leaf-mass hoisting plus the one-time key pre-sort are
+/// encoded by the lowering itself ([`BodyStep::Hoisted`],
+/// [`Program::paths`]).
+fn peephole(mut prog: Program) -> Program {
+    for i in 0..prog.ops.len() {
+        let fused = match &prog.ops[i] {
+            Op::Partition {
+                binding,
+                body,
+                fused: None,
+                ..
+            } => body
+                .iter()
+                .map(|step| match step {
+                    BodyStep::Eval(op) => match &prog.ops[*op as usize] {
+                        // Memoizable iff this partition is the term's
+                        // first binding level (outer window = the full
+                        // register for the whole fold).
+                        Op::Leaf { term, transform } => Some((
+                            *term,
+                            *transform,
+                            binding.iter().any(|&(t, lvl)| t == *term && lvl == 0),
+                        )),
+                        _ => None,
+                    },
+                    BodyStep::Hoisted(_) => None,
+                })
+                .collect::<Option<Vec<_>>>(),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            if let Op::Partition { fused: slot, .. } = &mut prog.ops[i] {
+                *slot = Some(f);
+            }
+        }
+    }
+    prog
+}
+
+/// Compiles every bounds candidate into its upper/lower program pair.
+pub(crate) fn compile_bounds(
+    resolved: &Resolved,
+    candidates: &[Dissociation],
+) -> Vec<BoundsProgram> {
+    candidates
+        .iter()
+        .map(|cand| BoundsProgram {
+            upper: compile_bound(resolved, &cand.extensions, Mode::Upper),
+            lower: compile_bound(resolved, &cand.extensions, Mode::Lower),
+        })
+        .collect()
+}
+
+/// Binds registers for every bounds candidate: candidate-major, upper
+/// program first then lower (their sort paths differ, so each program
+/// gets its own register set).
+pub(crate) fn bind_bounds(
+    programs: &[BoundsProgram],
+    compiled: &[CompiledTerm],
+) -> Vec<Vec<vm::TermRegs>> {
+    programs
+        .iter()
+        .flat_map(|bp| {
+            [
+                vm::bind_program(&bp.upper, compiled),
+                vm::bind_program(&bp.lower, compiled),
+            ]
+        })
+        .collect()
+}
+
+/// Executes compiled bounds candidates and intersects the brackets — the
+/// VM counterpart of `dissociate::evaluate_bounds`, sharing its selection
+/// and report-rendering logic so both paths pick identical winners.
+pub(crate) fn run_bounds(
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    candidates: &[Dissociation],
+    programs: &[BoundsProgram],
+) -> DissociatedBounds {
+    let regs = bind_bounds(programs, compiled);
+    run_bounds_prebound(resolved, candidates, programs, &regs)
+}
+
+/// [`run_bounds`] over registers bound earlier (the layout produced by
+/// [`bind_bounds`]).
+pub(crate) fn run_bounds_prebound(
+    resolved: &Resolved,
+    candidates: &[Dissociation],
+    programs: &[BoundsProgram],
+    regs: &[Vec<vm::TermRegs>],
+) -> DissociatedBounds {
+    let evals: Vec<(f64, f64)> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, bp)| {
+            (
+                vm::run_prebound(&bp.upper, &regs[2 * i]).clamp(0.0, 1.0),
+                vm::run_prebound(&bp.lower, &regs[2 * i + 1]).clamp(0.0, 1.0),
+            )
+        })
+        .collect();
+    let choice = intersect_candidates(&evals);
+    let (plan, dissociated) = describe_bounds(resolved, candidates, &choice);
+    DissociatedBounds {
+        lower: choice.lower,
+        upper: choice.upper,
+        plan,
+        dissociated,
+    }
+}
+
+/// The executable part of a cached plan.
+#[derive(Debug)]
+pub(crate) enum CompiledProgram {
+    /// Exact boolean probability (also the collapsed-bracket case of
+    /// `ProbabilityBounds` on safe shapes).
+    Boolean(Program),
+    /// Dissociation ensemble: per-candidate upper/lower program pairs.
+    Bounds {
+        candidates: Vec<Dissociation>,
+        programs: Vec<BoundsProgram>,
+    },
+    /// Expected count.
+    Count(CountProgram),
+    /// The verdict was Monte Carlo — no bytecode, but caching it still
+    /// skips replanning. For `ProbabilityBounds` the planner's sampling
+    /// reason is kept for the report's `Unsafe` node.
+    Sampled { bounds_reason: Option<String> },
+}
+
+/// Bound registers memoized inside a cache entry: the gathered, pre-
+/// sorted columns of every deterministic program, valid exactly while
+/// every relation's data version matches `versions`. A warm hit whose
+/// stamps match skips predicate compilation and register binding and goes
+/// straight to the fold; any mutation makes the stamps differ and the
+/// next evaluation rebinds (and overwrites) the registers.
+#[derive(Debug)]
+pub(crate) struct BoundRegs {
+    /// Data versions the registers were gathered under, term order.
+    pub versions: Vec<u64>,
+    /// Register sets per program: `[regs]` for a boolean program, the
+    /// [`bind_bounds`] layout for a bounds ensemble.
+    pub per_program: Vec<Vec<vm::TermRegs>>,
+    /// The scan statistics the report would recompute from the compiled
+    /// terms.
+    pub stats: Vec<crate::plan::RelationStats>,
+}
+
+/// One term of the owned query shape stored in the cache.
+#[derive(Debug)]
+struct OwnedTerm {
+    name: String,
+    relation: String,
+    /// The raw flattened predicate, compared verbatim against incoming
+    /// queries on every hit.
+    raw_pred: Predicate,
+    /// The simplified predicate, re-bound into [`Term`]s on warm hits.
+    pred: Predicate,
+    class_attrs: Vec<(usize, AttrId)>,
+}
+
+/// A fully planned, compiled, shape-verified cache entry: everything a
+/// warm hit needs to execute against current column data without
+/// resolving or classifying anything.
+#[derive(Debug)]
+pub(crate) struct CachedPlan {
+    terms: Vec<OwnedTerm>,
+    classes: Vec<(Vec<(usize, AttrId)>, String)>,
+    joins: Vec<ResolvedPair>,
+    schemas: Vec<Arc<Schema>>,
+    /// Recorded verdict of the key-straddle guard at plan time.
+    pub straddle: bool,
+    /// Recorded verdict of the alias-live-mismatch guard at plan time.
+    pub alias_mismatch: bool,
+    /// The planned evaluation path (pre any hybrid upgrade, which is an
+    /// evaluation-time decision re-made per answer).
+    pub path: EvalPath,
+    pub plan_class: PlanClass,
+    /// The classifier's decomposition (bounds answers re-derive their
+    /// winning candidate's decomposition at evaluation time).
+    pub decomposition: Option<SafePlan>,
+    pub program: CompiledProgram,
+    /// Version-guarded register memo (see [`BoundRegs`]); `None` until
+    /// the first warm execution binds it.
+    pub regs: Mutex<Option<BoundRegs>>,
+}
+
+impl CachedPlan {
+    /// Builds the owned entry from a cold plan, recording the guard
+    /// verdicts uniformly and stamping the relations' data versions.
+    pub(crate) fn capture(
+        flat: &Flattened,
+        resolved: &Resolved,
+        compiled: &[CompiledTerm],
+        path: EvalPath,
+        plan_class: PlanClass,
+        decomposition: Option<SafePlan>,
+        program: CompiledProgram,
+    ) -> (Self, Vec<u64>) {
+        let versions = resolved.terms.iter().map(|t| t.db.version()).collect();
+        let plan = CachedPlan {
+            terms: flat
+                .terms
+                .iter()
+                .zip(&resolved.terms)
+                .map(|(ft, rt)| OwnedTerm {
+                    name: rt.name.clone(),
+                    relation: rt.relation.clone(),
+                    raw_pred: ft.pred.clone(),
+                    pred: rt.pred.clone(),
+                    class_attrs: rt.class_attrs.clone(),
+                })
+                .collect(),
+            classes: resolved
+                .classes
+                .iter()
+                .map(|c| (c.members.clone(), c.label.clone()))
+                .collect(),
+            joins: flat.joins.clone(),
+            schemas: resolved
+                .terms
+                .iter()
+                .map(|t| t.db.schema().clone())
+                .collect(),
+            straddle: key_straddle(resolved, compiled).is_some(),
+            alias_mismatch: alias_live_mismatch(resolved, compiled).is_some(),
+            path,
+            plan_class,
+            decomposition,
+            program,
+            regs: Mutex::new(None),
+        };
+        (plan, versions)
+    }
+
+    /// Full structural shape verification on a fingerprint match.
+    pub(crate) fn matches(&self, flat: &Flattened) -> bool {
+        self.terms.len() == flat.terms.len()
+            && self.joins == flat.joins
+            && self
+                .terms
+                .iter()
+                .zip(&flat.terms)
+                .all(|(a, b)| a.name == b.name && a.relation == b.relation && a.raw_pred == b.pred)
+    }
+
+    /// Re-binds the owned shape against current catalog data: cheap
+    /// per-term lookups plus `O(shape)` clones, no resolution or
+    /// classification. Returns `None` (stale — cold replan) when a
+    /// relation disappeared or its schema changed.
+    pub(crate) fn bind<'a, F>(&self, lookup: &F) -> Option<(Resolved<'a>, Vec<u64>)>
+    where
+        F: Fn(&str) -> Option<&'a ProbDb>,
+    {
+        let mut terms = Vec::with_capacity(self.terms.len());
+        let mut versions = Vec::with_capacity(self.terms.len());
+        for (i, t) in self.terms.iter().enumerate() {
+            let db = lookup(&t.relation)?;
+            let schema = db.schema();
+            if !Arc::ptr_eq(schema, &self.schemas[i]) && **schema != *self.schemas[i] {
+                return None;
+            }
+            versions.push(db.version());
+            terms.push(Term {
+                name: t.name.clone(),
+                relation: t.relation.clone(),
+                db,
+                pred: t.pred.clone(),
+                class_attrs: t.class_attrs.clone(),
+            });
+        }
+        let classes = self
+            .classes
+            .iter()
+            .map(|(members, label)| Class {
+                members: members.clone(),
+                label: label.clone(),
+            })
+            .collect();
+        Some((Resolved { terms, classes }, versions))
+    }
+}
+
+/// Cumulative cache counters plus the current size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Warm hits: answers produced from a cached program.
+    pub hits: u64,
+    /// Cold misses (including fingerprint collisions that failed shape
+    /// verification).
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because their guarded data properties or schemas
+    /// changed out from under them.
+    pub invalidations: u64,
+    /// Current number of cached plans.
+    pub len: usize,
+    /// Maximum number of cached plans.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    tag: u8,
+    hash: u64,
+    plan: Arc<CachedPlan>,
+    versions: Vec<u64>,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A shape-keyed cache of compiled plans, shared across engines.
+///
+/// Keys are `(statistic tag, 64-bit shape fingerprint)`; hits re-verify
+/// full structural equality before reuse, so collisions degrade to
+/// misses, never to wrong answers.
+///
+/// **Eviction policy: least-recently-used.** Every lookup and insert
+/// stamps the entry with a monotonically increasing tick; when an insert
+/// would exceed the capacity (default 128 plans; see
+/// [`PlanCache::with_capacity`]) the entry with the smallest tick is
+/// dropped and counted in [`PlanCacheStats::evictions`]. Entries whose
+/// guarded data properties change are removed eagerly and counted in
+/// [`PlanCacheStats::invalidations`].
+///
+/// Interior mutability (a mutex) makes the cache shareable behind an
+/// [`Arc`] across engine instances — and across catalog mutations, which
+/// is the point: rebuild the borrowing engine, keep the warmth.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache with the default capacity of 128 plans.
+    pub fn new() -> Self {
+        Self::with_capacity(128)
+    }
+
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                invalidations: 0,
+            }),
+        }
+    }
+
+    /// Snapshot of the cumulative counters and current size.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            len: inner.entries.len(),
+            capacity: inner.capacity,
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().entries.is_empty()
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.lock().entries.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("plan cache lock")
+    }
+
+    /// The entry under `(tag, hash)`, LRU-bumped, with its recorded data
+    /// versions. Callers verify the shape and count the hit or miss.
+    pub(crate) fn probe(&self, tag: u8, hash: u64) -> Option<(Arc<CachedPlan>, Vec<u64>)> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.tag == tag && e.hash == hash)?;
+        entry.last_used = tick;
+        Some((entry.plan.clone(), entry.versions.clone()))
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.lock().hits += 1;
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.lock().misses += 1;
+    }
+
+    /// Removes a stale entry (guards or schema changed).
+    pub(crate) fn invalidate(&self, tag: u8, hash: u64) {
+        let mut inner = self.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|e| !(e.tag == tag && e.hash == hash));
+        if inner.entries.len() < before {
+            inner.invalidations += 1;
+        }
+    }
+
+    /// Updates the recorded data versions after the guards re-validated,
+    /// so the next unchanged-data hit skips them again.
+    pub(crate) fn refresh_versions(&self, tag: u8, hash: u64, versions: &[u64]) {
+        let mut inner = self.lock();
+        if let Some(e) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.tag == tag && e.hash == hash)
+        {
+            e.versions.clear();
+            e.versions.extend_from_slice(versions);
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used
+    /// one when full.
+    pub(crate) fn insert(&self, tag: u8, hash: u64, plan: Arc<CachedPlan>, versions: Vec<u64>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.tag == tag && e.hash == hash)
+        {
+            e.plan = plan;
+            e.versions = versions;
+            e.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= inner.capacity {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                inner.entries.swap_remove(oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.entries.push(Entry {
+            tag,
+            hash,
+            plan,
+            versions,
+            last_used: tick,
+        });
+    }
+}

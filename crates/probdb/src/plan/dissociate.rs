@@ -167,19 +167,52 @@ pub(crate) struct DissociatedBounds {
 }
 
 /// Evaluates every candidate dissociation on both bound modes and
-/// intersects the brackets.
+/// intersects the brackets (reference interpreter; the bytecode VM runs
+/// compiled candidate programs through the same [`intersect_candidates`] /
+/// [`describe_bounds`] pair, so the two paths pick identical winners).
 pub(crate) fn evaluate_bounds(
     resolved: &Resolved,
     compiled: &[CompiledTerm],
     candidates: &[Dissociation],
 ) -> DissociatedBounds {
-    debug_assert!(!candidates.is_empty());
+    let evals: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|cand| {
+            (
+                bound_probability(resolved, compiled, &cand.extensions, Mode::Upper),
+                bound_probability(resolved, compiled, &cand.extensions, Mode::Lower),
+            )
+        })
+        .collect();
+    let choice = intersect_candidates(&evals);
+    let (plan, dissociated) = describe_bounds(resolved, candidates, &choice);
+    DissociatedBounds {
+        lower: choice.lower,
+        upper: choice.upper,
+        plan,
+        dissociated,
+    }
+}
+
+/// The intersected bracket and which candidate won each side.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BracketChoice {
+    pub lower: f64,
+    pub upper: f64,
+    pub upper_at: usize,
+    pub lower_at: usize,
+}
+
+/// Intersects per-candidate `(upper, lower)` brackets: the tightest of
+/// each side wins (strict comparisons, first winner kept), with a midpoint
+/// collapse when floating point crosses an (in exact arithmetic) ordered
+/// pair.
+pub(crate) fn intersect_candidates(evals: &[(f64, f64)]) -> BracketChoice {
+    debug_assert!(!evals.is_empty());
     let mut best_upper = f64::INFINITY;
     let mut best_lower = f64::NEG_INFINITY;
     let (mut upper_at, mut lower_at) = (0usize, 0usize);
-    for (i, cand) in candidates.iter().enumerate() {
-        let upper = bound_probability(resolved, compiled, &cand.extensions, Mode::Upper);
-        let lower = bound_probability(resolved, compiled, &cand.extensions, Mode::Lower);
+    for (i, &(upper, lower)) in evals.iter().enumerate() {
         if upper < best_upper {
             best_upper = upper;
             upper_at = i;
@@ -189,14 +222,28 @@ pub(crate) fn evaluate_bounds(
             lower_at = i;
         }
     }
-    // Floating point could cross an (in exact arithmetic) ordered pair;
-    // keep the bracket well-formed.
     if best_lower > best_upper {
         let mid = 0.5 * (best_lower + best_upper);
         best_lower = mid;
         best_upper = mid;
     }
-    let plan = decompose(resolved, &candidates[upper_at].extensions)
+    BracketChoice {
+        lower: best_lower,
+        upper: best_upper,
+        upper_at,
+        lower_at,
+    }
+}
+
+/// Renders the report artifacts of an intersected bracket: the winning
+/// upper candidate's decomposition and the dissociated-variable entries of
+/// both winners.
+pub(crate) fn describe_bounds(
+    resolved: &Resolved,
+    candidates: &[Dissociation],
+    choice: &BracketChoice,
+) -> (SafePlan, Vec<String>) {
+    let plan = decompose(resolved, &candidates[choice.upper_at].extensions)
         .expect("candidate admissibility includes decomposability");
     let mut dissociated = Vec::new();
     for group in alias_groups(resolved) {
@@ -210,7 +257,7 @@ pub(crate) fn evaluate_bounds(
             resolved.terms[group[0]].relation
         ));
     }
-    for &i in &[upper_at, lower_at] {
+    for &i in &[choice.upper_at, choice.lower_at] {
         for &(c, t) in &candidates[i].extensions {
             let entry = format!(
                 "`{}` ⇢ [{}]",
@@ -221,24 +268,19 @@ pub(crate) fn evaluate_bounds(
             }
         }
     }
-    DissociatedBounds {
-        lower: best_lower,
-        upper: best_upper,
-        plan,
-        dissociated,
-    }
+    (plan, dissociated)
 }
 
 /// Which side of the bracket a recursion computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
+pub(crate) enum Mode {
     Upper,
     Lower,
 }
 
 /// Extended per-class term sets: resolved memberships plus dissociated
 /// copies.
-fn extended_class_terms(resolved: &Resolved, ext: &[(usize, usize)]) -> Vec<Vec<usize>> {
+pub(crate) fn extended_class_terms(resolved: &Resolved, ext: &[(usize, usize)]) -> Vec<Vec<usize>> {
     resolved
         .classes
         .iter()
@@ -256,7 +298,7 @@ fn extended_class_terms(resolved: &Resolved, ext: &[(usize, usize)]) -> Vec<Vec<
 /// The root class of a dissociated component: covers every term under the
 /// extended memberships and still *binds* at least one of them (a key
 /// column to partition on must exist somewhere).
-fn covering_root(
+pub(crate) fn covering_root(
     resolved: &Resolved,
     class_terms: &[Vec<usize>],
     comp: &[usize],
@@ -280,22 +322,12 @@ fn bound_probability(
     mode: Mode,
 ) -> f64 {
     let class_terms = extended_class_terms(resolved, ext);
-    // Alias multiplicity: how many scans share each term's relation.
-    let alias_k: Vec<f64> = resolved
-        .terms
-        .iter()
-        .map(|t| {
-            resolved
-                .terms
-                .iter()
-                .filter(|o| o.relation == t.relation)
-                .count() as f64
-        })
-        .collect();
+    let alias_k = alias_multiplicities(resolved);
     let all: Vec<usize> = (0..compiled.len()).collect();
     let active: Vec<usize> = (0..resolved.classes.len()).collect();
-    let rows = Rows::live(compiled);
-    let repl = vec![1.0f64; compiled.len()];
+    let live = Rows::live(compiled);
+    let rows: Vec<&Rows> = live.iter().collect();
+    let mut repl = vec![1.0f64; compiled.len()];
     let cx = BoundCx {
         resolved,
         compiled,
@@ -305,9 +337,24 @@ fn bound_probability(
     };
     let mut p = 1.0;
     for comp in components(&class_terms, &all, &active) {
-        p *= component_bound(&cx, &comp, &active, &rows, &repl);
+        p *= component_bound(&cx, &comp, &active, &rows, &mut repl);
     }
     p.clamp(0.0, 1.0)
+}
+
+/// Alias multiplicity per term: how many scans share its relation.
+pub(crate) fn alias_multiplicities(resolved: &Resolved) -> Vec<f64> {
+    resolved
+        .terms
+        .iter()
+        .map(|t| {
+            resolved
+                .terms
+                .iter()
+                .filter(|o| o.relation == t.relation)
+                .count() as f64
+        })
+        .collect()
 }
 
 struct BoundCx<'a, 'b> {
@@ -322,12 +369,12 @@ fn component_bound(
     cx: &BoundCx,
     comp: &[usize],
     active: &[usize],
-    rows: &[Rows],
-    repl: &[f64],
+    rows: &[&Rows],
+    repl: &mut [f64],
 ) -> f64 {
     if comp.len() == 1 {
         let t = comp[0];
-        return leaf_bound(cx, t, &rows[t], repl[t]);
+        return leaf_bound(cx, t, rows[t], repl[t]);
     }
     let root = covering_root(cx.resolved, cx.class_terms, comp, active)
         .expect("admissible dissociations decompose");
@@ -368,23 +415,26 @@ fn component_bound(
     let d = values.len() as f64;
     let remaining: Vec<usize> = active.iter().copied().filter(|&c| c != root).collect();
     let subcomps = components(cx.class_terms, comp, &remaining);
+    // The replication multiplier is identical in every branch (the branch
+    // count `d`), so it is applied once before the value loop and undone
+    // after — no per-branch `repl` clone. Likewise the branch views start
+    // as the outer rows (copied terms replicate unchanged) and only the
+    // binding entries are retargeted per key value.
+    let saved_repl: Vec<f64> = copied.iter().map(|&t| repl[t]).collect();
+    for &t in &copied {
+        repl[t] *= d;
+    }
+    let mut branch_rows: Vec<&Rows> = rows.to_vec();
     let mut none = 1.0; // P(no key value produces a result)
     for v in values {
-        let mut branch_rows: Vec<Rows> = vec![Rows::default(); cx.compiled.len()];
-        let mut branch_repl = repl.to_vec();
         for (pi, &t) in binding.iter().enumerate() {
             branch_rows[t] = parts[pi]
                 .get(&v)
-                .cloned()
                 .expect("value present in every binding term");
-        }
-        for &t in &copied {
-            branch_rows[t] = rows[t].clone();
-            branch_repl[t] *= d;
         }
         let mut p_v = 1.0;
         for sub in &subcomps {
-            p_v *= component_bound(cx, sub, &remaining, &branch_rows, &branch_repl);
+            p_v *= component_bound(cx, sub, &remaining, &branch_rows, repl);
             if p_v == 0.0 {
                 break;
             }
@@ -393,6 +443,9 @@ fn component_bound(
         if none == 0.0 {
             break;
         }
+    }
+    for (i, &t) in copied.iter().enumerate() {
+        repl[t] = saved_repl[i];
     }
     1.0 - none
 }

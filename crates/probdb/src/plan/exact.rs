@@ -48,7 +48,8 @@ pub(crate) fn boolean_probability(resolved: &Resolved, compiled: &[CompiledTerm]
     let all: Vec<usize> = (0..compiled.len()).collect();
     let active: Vec<usize> = (0..resolved.classes.len()).collect();
     let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
-    let rows = Rows::live(compiled);
+    let live = Rows::live(compiled);
+    let rows: Vec<&Rows> = live.iter().collect();
     let mut p = 1.0;
     for comp in components(&class_terms, &all, &active) {
         p *= component_probability(resolved, compiled, &comp, &active, &rows);
@@ -61,10 +62,10 @@ fn component_probability(
     compiled: &[CompiledTerm],
     comp: &[usize],
     active: &[usize],
-    rows: &[Rows],
+    rows: &[&Rows],
 ) -> f64 {
     if comp.len() == 1 {
-        return leaf_probability(&compiled[comp[0]], &rows[comp[0]]);
+        return leaf_probability(&compiled[comp[0]], rows[comp[0]]);
     }
     // Root class: covers every term of a connected hierarchical component
     // (guaranteed by classification).
@@ -107,16 +108,16 @@ fn component_probability(
     let class_terms: Vec<Vec<usize>> = resolved.classes.iter().map(Class::terms).collect();
     let subcomps = components(&class_terms, comp, &remaining);
     let mut none = 1.0; // P(no key value produces a result)
+                        // One scratch view per recursion level, retargeted per key value —
+                        // no per-branch `Rows` clones. Entries outside `comp` are never read
+                        // by the subcomponent recursion.
+    let mut branch_rows: Vec<&Rows> = rows.to_vec();
     for v in values {
         // Rows of this branch: the v-partitions. Branches over different
         // values touch disjoint blocks (no block straddles keys), so they
         // are independent.
-        let mut branch_rows: Vec<Rows> = vec![Rows::default(); compiled.len()];
         for (pi, &t) in comp.iter().enumerate() {
-            branch_rows[t] = parts[pi]
-                .get(&v)
-                .cloned()
-                .expect("value present everywhere");
+            branch_rows[t] = parts[pi].get(&v).expect("value present everywhere");
         }
         let mut p_v = 1.0;
         for sub in &subcomps {
@@ -170,48 +171,140 @@ pub(crate) fn leaf_probability_with(
 /// `E[|result|]` of any conjunctive query shape, by joining per-relation
 /// expected-mass tables over the join-class assignments.
 pub(crate) fn expected_join_count(resolved: &Resolved, compiled: &[CompiledTerm]) -> f64 {
-    let classes = resolved.classes.len();
-    // Seed: the empty assignment (one per class, u16::MAX = unbound).
-    let mut acc: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
-    acc.insert(vec![u16::MAX; classes], 1.0);
-    for ct in compiled {
-        let mass = term_mass(ct);
-        let mut next: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
-        for (assign, m) in &acc {
-            'keys: for (key, w) in &mass {
-                let mut merged = assign.clone();
-                for (&(ci, _, _), &v) in ct.keys.iter().zip(key) {
-                    if merged[ci] == u16::MAX {
-                        merged[ci] = v;
-                    } else if merged[ci] != v {
-                        continue 'keys;
-                    }
-                }
-                *next.entry(merged).or_insert(0.0) += m * w;
-            }
-        }
-        acc = next;
-        if acc.is_empty() {
-            return 0.0;
-        }
-    }
-    acc.values().sum()
+    run_mass_join(&count_steps(resolved), compiled, resolved.classes.len())
 }
 
-/// Expected mass of one term, grouped by its join-key values (in
-/// `ct.keys` order): certain rows weigh 1, alternatives their probability.
-fn term_mass(ct: &CompiledTerm) -> FxHashMap<Vec<u16>, f64> {
-    let mut mass: FxHashMap<Vec<u16>, f64> = FxHashMap::default();
+/// One fold step of the expected-count mass join ([`run_mass_join`]):
+/// which key positions of `term` probe classes already bound by earlier
+/// steps, and which bind fresh classes for the steps after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MassStep {
+    /// Index into the compiled terms.
+    pub(crate) term: usize,
+    /// `(key position, class)` pairs bound by earlier steps — the probe.
+    pub(crate) bound: Vec<(usize, usize)>,
+    /// `(key position, class)` pairs this step binds.
+    pub(crate) fresh: Vec<(usize, usize)>,
+}
+
+/// The fold schedule for [`run_mass_join`], derived purely from the
+/// resolved shape (term order and per-term class keys) — it contains no
+/// data, so the plan cache can store it.
+pub(crate) fn count_steps(resolved: &Resolved) -> Vec<MassStep> {
+    let mut bound_classes = vec![false; resolved.classes.len()];
+    resolved
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(t, term)| {
+            let mut bound = Vec::new();
+            let mut fresh = Vec::new();
+            for (pos, &(ci, _)) in term.class_attrs.iter().enumerate() {
+                if bound_classes[ci] {
+                    bound.push((pos, ci));
+                } else {
+                    fresh.push((pos, ci));
+                    bound_classes[ci] = true;
+                }
+            }
+            MassStep {
+                term: t,
+                bound,
+                fresh,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic expected-count fold: each step joins the accumulated
+/// class assignments against its term's grouped mass table, probing only
+/// the keys compatible with the already-bound classes (binary search on
+/// the bound-key prefix) instead of the old `assign × key` cross product.
+/// Assignments and mass tables are kept sorted with equal keys merge-
+/// summed, so the result is independent of hash iteration order; the
+/// interpreter and the bytecode VM both call this kernel, which makes
+/// their expected counts bit-identical by construction.
+pub(crate) fn run_mass_join(steps: &[MassStep], compiled: &[CompiledTerm], classes: usize) -> f64 {
+    // Seed: the empty assignment (one per class, u16::MAX = unbound).
+    let mut acc: Vec<(Vec<u16>, f64)> = vec![(vec![u16::MAX; classes], 1.0)];
+    for step in steps {
+        let grouped = grouped_term_mass(&compiled[step.term], step);
+        let nb = step.bound.len();
+        let mut next: Vec<(Vec<u16>, f64)> = Vec::new();
+        let mut probe = vec![0u16; nb];
+        for (assign, w) in &acc {
+            for (i, &(_, ci)) in step.bound.iter().enumerate() {
+                probe[i] = assign[ci];
+            }
+            let lo = grouped.partition_point(|(k, _)| k[..nb] < probe[..]);
+            let hi = lo + grouped[lo..].partition_point(|(k, _)| k[..nb] == probe[..]);
+            for (key, m) in &grouped[lo..hi] {
+                let mut merged = assign.clone();
+                for (i, &(_, ci)) in step.fresh.iter().enumerate() {
+                    merged[ci] = key[nb + i];
+                }
+                next.push((merged, w * m));
+            }
+        }
+        if next.is_empty() {
+            return 0.0;
+        }
+        next.sort_by(|a, b| a.0.cmp(&b.0));
+        acc = merge_runs(next);
+    }
+    acc.iter().map(|&(_, w)| w).sum()
+}
+
+/// Expected mass of one step's term keyed by `bound ++ fresh` positions
+/// (certain rows weigh 1, alternatives their probability), sorted
+/// lexicographically with equal keys merge-summed in row order — so the
+/// probe side is a binary search on the bound prefix.
+fn grouped_term_mass(ct: &CompiledTerm, step: &MassStep) -> Vec<(Vec<u16>, f64)> {
     let probs = ct.db.columns().alt_probs();
+    let nk = step.bound.len() + step.fresh.len();
+    let mut rows: Vec<(Vec<u16>, f64)> = Vec::new();
     for r in ct.live_certain.iter_ones() {
-        let key: Vec<u16> = ct.keys.iter().map(|&(_, ckey, _)| ckey[r]).collect();
-        *mass.entry(key).or_insert(0.0) += 1.0;
+        let mut key = Vec::with_capacity(nk);
+        for &(pos, _) in step.bound.iter().chain(&step.fresh) {
+            key.push(ct.keys[pos].1[r]);
+        }
+        rows.push((key, 1.0));
     }
     for r in ct.live_alts.iter_ones() {
-        let key: Vec<u16> = ct.keys.iter().map(|&(_, _, akey)| akey[r]).collect();
-        *mass.entry(key).or_insert(0.0) += probs[r];
+        let mut key = Vec::with_capacity(nk);
+        for &(pos, _) in step.bound.iter().chain(&step.fresh) {
+            key.push(ct.keys[pos].2[r]);
+        }
+        rows.push((key, probs[r]));
     }
-    mass
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    merge_runs(rows)
+}
+
+/// Sums runs of equal keys in an already-sorted `(key, weight)` list,
+/// preserving first-occurrence order of the weights within each run.
+fn merge_runs(mut rows: Vec<(Vec<u16>, f64)>) -> Vec<(Vec<u16>, f64)> {
+    let mut out: Vec<(Vec<u16>, f64)> = Vec::with_capacity(rows.len());
+    for (key, w) in rows.drain(..) {
+        match out.last_mut() {
+            Some((k, acc)) if *k == key => *acc += w,
+            _ => out.push((key, w)),
+        }
+    }
+    out
+}
+
+/// `E[|result|]` of a single relation with no join classes: certain rows
+/// count 1, blocks contribute their selection-restricted mass. Shared by
+/// the interpreter path and the VM's count program so both are
+/// bit-identical.
+pub(crate) fn single_expected_count(ct: &CompiledTerm) -> f64 {
+    ct.live_certain.count_ones() as f64
+        + ct.db
+            .columns()
+            .block_probs(&ct.live_alts)
+            .iter()
+            .sum::<f64>()
 }
 
 /// Selection-weighted marginal distribution of `attr` over one relation:

@@ -37,14 +37,19 @@
 //! deprecated shim that lowers into the query tree.
 
 pub(crate) mod classify;
+mod compile;
 mod dissociate;
 mod exact;
 mod mc;
 mod report;
+mod vm;
 
-pub use report::{EvalPath, EvalReport, PlanClass, ProbabilityBounds, RelationStats, SafePlan};
+pub use compile::{PlanCache, PlanCacheStats};
+pub use report::{
+    EvalPath, EvalReport, PlanClass, PlanRoute, ProbabilityBounds, RelationStats, SafePlan,
+};
 
-use crate::algebra::{Query, Statistic};
+use crate::algebra::{Flattened, Query, Statistic};
 use crate::catalog::Catalog;
 use crate::database::ProbDb;
 use crate::montecarlo::{
@@ -52,9 +57,13 @@ use crate::montecarlo::{
 };
 use crate::query::{self, Predicate, RankedTuple};
 use crate::ProbDbError;
-use classify::{alias_groups, classify, resolve, CompiledTerm, Resolved};
+use classify::{
+    alias_groups, alias_live_mismatch, classify, key_straddle, resolve, CompiledTerm, Resolved,
+};
+use compile::{cache_tag, CachedPlan, CompiledProgram};
 use dissociate::BoundsPlan;
 use mrsl_relation::AttrId;
+use std::sync::Arc;
 
 /// Tunables of the query engines.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +85,17 @@ pub struct QueryEngineConfig {
     /// ([`EvalPath::Hybrid`]); set it to `1.0` to never sample, `0.0` to
     /// always refine non-collapsed brackets.
     pub bounds_tolerance: f64,
+    /// Compile [`Statistic::Probability`], [`Statistic::ProbabilityBounds`]
+    /// and [`Statistic::ExpectedCount`] plans to bytecode executed by the
+    /// vectorized VM, and reuse them through the shape-keyed [`PlanCache`]
+    /// ([`PlanRoute::Compiled`] / [`PlanRoute::CacheHit`]). Off, every
+    /// answer comes from the reference interpreter
+    /// ([`PlanRoute::Interpreted`]).
+    pub compile_plans: bool,
+    /// Capacity (in plans) of the [`PlanCache`] new engines construct;
+    /// ignored by [`CatalogEngine::with_plan_cache`], which brings its
+    /// own.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for QueryEngineConfig {
@@ -86,6 +106,8 @@ impl Default for QueryEngineConfig {
             max_exact_dp_blocks: 4_096,
             force_monte_carlo: false,
             bounds_tolerance: 0.05,
+            compile_plans: true,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -145,6 +167,7 @@ pub enum QueryAnswer {
 pub struct CatalogEngine<'a> {
     catalog: &'a Catalog,
     config: QueryEngineConfig,
+    cache: Arc<PlanCache>,
 }
 
 impl<'a> CatalogEngine<'a> {
@@ -153,9 +176,30 @@ impl<'a> CatalogEngine<'a> {
         Self::with_config(catalog, QueryEngineConfig::default())
     }
 
-    /// An engine with explicit configuration.
+    /// An engine with explicit configuration and a fresh plan cache of
+    /// [`QueryEngineConfig::plan_cache_capacity`] plans.
     pub fn with_config(catalog: &'a Catalog, config: QueryEngineConfig) -> Self {
-        Self { catalog, config }
+        let cache = Arc::new(PlanCache::with_capacity(config.plan_cache_capacity));
+        Self::with_plan_cache(catalog, config, cache)
+    }
+
+    /// An engine sharing an existing plan cache.
+    ///
+    /// The engine borrows the catalog, so mutating relations means
+    /// rebuilding the engine — handing the old engine's
+    /// [`CatalogEngine::plan_cache`] to the new one keeps the compiled
+    /// plans warm across the mutation (stale entries invalidate
+    /// themselves through the data-version guards).
+    pub fn with_plan_cache(
+        catalog: &'a Catalog,
+        config: QueryEngineConfig,
+        cache: Arc<PlanCache>,
+    ) -> Self {
+        Self {
+            catalog,
+            config,
+            cache,
+        }
     }
 
     /// The configuration in effect.
@@ -168,6 +212,12 @@ impl<'a> CatalogEngine<'a> {
         self.catalog
     }
 
+    /// The shape-keyed compiled-plan cache (shareable across engines via
+    /// [`CatalogEngine::with_plan_cache`]).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
     /// Classifies a query for a statistic: which physical path, and why.
     ///
     /// [`Statistic::ProbabilityBounds`] on a dissociable query plans as
@@ -176,7 +226,8 @@ impl<'a> CatalogEngine<'a> {
     /// [`QueryEngineConfig::bounds_tolerance`] (the width is only known
     /// after the bounds run).
     pub fn plan(&self, q: &Query, stat: Statistic) -> Result<(EvalPath, PlanClass), ProbDbError> {
-        let prepared = prepare(|name| self.catalog.get(name), q, stat, &self.config)?;
+        let flat = q.flatten()?;
+        let prepared = prepare(|name| self.catalog.get(name), &flat, stat, &self.config)?;
         Ok((prepared.path, prepared.plan))
     }
 
@@ -190,7 +241,13 @@ impl<'a> CatalogEngine<'a> {
         q: &Query,
         stat: Statistic,
     ) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
-        evaluate_with(|name| self.catalog.get(name), q, stat, &self.config)
+        evaluate_with(
+            |name| self.catalog.get(name),
+            q,
+            stat,
+            &self.config,
+            &self.cache,
+        )
     }
 
     /// Convenience: `P(result non-empty)` with its report.
@@ -286,12 +343,11 @@ struct Prepared<'a> {
 
 fn prepare<'a>(
     lookup: impl Fn(&str) -> Option<&'a ProbDb>,
-    q: &Query,
+    flat: &Flattened,
     stat: Statistic,
     config: &QueryEngineConfig,
 ) -> Result<Prepared<'a>, ProbDbError> {
-    let flat = q.flatten()?;
-    let resolved = resolve(&flat, lookup)?;
+    let resolved = resolve(flat, lookup)?;
     let single = resolved.terms.len() == 1;
     if !single
         && matches!(
@@ -399,8 +455,204 @@ fn evaluate_with<'a>(
     q: &Query,
     stat: Statistic,
     config: &QueryEngineConfig,
+    cache: &PlanCache,
 ) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
-    let prepared = prepare(lookup, q, stat, config)?;
+    let flat = q.flatten()?;
+    // Forced Monte Carlo overrides every planning verdict, so its answers
+    // are neither produced from nor stored into the cache.
+    let slot = (config.compile_plans && !config.force_monte_carlo)
+        .then(|| cache_tag(stat))
+        .flatten()
+        .map(|tag| (tag, flat.shape_hash()));
+    if let Some((tag, hash)) = slot {
+        if let Some((plan, versions)) = cache.probe(tag, hash) {
+            if plan.matches(&flat) {
+                match execute_cached(&lookup, &plan, &versions, tag, hash, stat, config, cache)? {
+                    Some(result) => {
+                        cache.record_hit();
+                        return Ok(result);
+                    }
+                    // Stale: schema or guarded data property changed.
+                    None => cache.invalidate(tag, hash),
+                }
+            }
+        }
+        cache.record_miss();
+    }
+    evaluate_cold(&lookup, &flat, stat, config, slot, cache)
+}
+
+/// Executes a shape-verified cache entry against current column data, or
+/// reports it stale (`Ok(None)`) for invalidation and a cold replan.
+///
+/// Classification is skipped entirely. Its only data-dependent inputs are
+/// the key-straddle and alias-live-mismatch guards: when any relation's
+/// data version moved, both are recomputed (linear scans) and compared to
+/// the recorded verdicts — unchanged verdicts revalidate the entry,
+/// flipped ones condemn it.
+#[allow(clippy::too_many_arguments)]
+fn execute_cached<'a, F>(
+    lookup: &F,
+    plan: &CachedPlan,
+    recorded_versions: &[u64],
+    tag: u8,
+    hash: u64,
+    stat: Statistic,
+    config: &QueryEngineConfig,
+    cache: &PlanCache,
+) -> Result<Option<(QueryAnswer, EvalReport)>, ProbDbError>
+where
+    F: Fn(&str) -> Option<&'a ProbDb>,
+{
+    let Some((resolved, versions)) = plan.bind(lookup) else {
+        return Ok(None);
+    };
+    // Register fast path: with every data stamp unchanged the guards
+    // still hold and the memoized registers are still the data — skip
+    // predicate compilation and register binding, run the fold alone.
+    if versions.as_slice() == recorded_versions {
+        if let Some(result) = run_prebound_fast(plan, &resolved, &versions, stat, config) {
+            return Ok(Some(result));
+        }
+    }
+    let compiled: Vec<CompiledTerm> = resolved
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| CompiledTerm::compile(i, t, &resolved.classes))
+        .collect();
+    if versions.as_slice() != recorded_versions {
+        let straddle = key_straddle(&resolved, &compiled).is_some();
+        let mismatch = alias_live_mismatch(&resolved, &compiled).is_some();
+        if straddle != plan.straddle || mismatch != plan.alias_mismatch {
+            return Ok(None);
+        }
+        cache.refresh_versions(tag, hash, &versions);
+    }
+    let samples = config.mc_samples;
+    let mut path = plan.path;
+    if path == EvalPath::MonteCarlo && samples == 0 {
+        return Err(ProbDbError::NoSamples);
+    }
+    let classes = resolved.classes.len();
+    let mut decomposition = plan.decomposition.clone();
+    let mut dissociated: Vec<String> = Vec::new();
+    let answer = match (&plan.program, stat) {
+        (CompiledProgram::Boolean(prog), Statistic::Probability) => {
+            let regs = vm::bind_program(prog, &compiled);
+            let p = vm::run_prebound(prog, &regs);
+            memoize_regs(plan, &versions, vec![regs], &compiled);
+            QueryAnswer::Probability { p, std_error: None }
+        }
+        // Safe shapes collapse the bracket to the exact probability.
+        (CompiledProgram::Boolean(prog), Statistic::ProbabilityBounds) => {
+            let regs = vm::bind_program(prog, &compiled);
+            let p = vm::run_prebound(prog, &regs);
+            memoize_regs(plan, &versions, vec![regs], &compiled);
+            QueryAnswer::Bounds(ProbabilityBounds::exact(p))
+        }
+        (
+            CompiledProgram::Bounds {
+                candidates,
+                programs,
+            },
+            Statistic::ProbabilityBounds,
+        ) => {
+            let regs = compile::bind_bounds(programs, &compiled);
+            let eval = compile::run_bounds_prebound(&resolved, candidates, programs, &regs);
+            memoize_regs(plan, &versions, regs, &compiled);
+            decomposition = Some(eval.plan);
+            dissociated = eval.dissociated;
+            let mut bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
+            // The hybrid upgrade is re-decided per answer with the
+            // current config, never cached.
+            if bounds.width() > config.bounds_tolerance && samples > 0 {
+                let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                let (p, se) = mc::probability_estimate(&counts);
+                bounds.estimate = Some(p.clamp(bounds.lower, bounds.upper));
+                bounds.std_error = Some(se);
+                path = EvalPath::Hybrid;
+            }
+            QueryAnswer::Bounds(bounds)
+        }
+        (CompiledProgram::Count(prog), Statistic::ExpectedCount) => QueryAnswer::Count {
+            mean: vm::run_count(prog, &compiled),
+            std_error: None,
+        },
+        (CompiledProgram::Sampled { bounds_reason }, _) => match stat {
+            Statistic::Probability => {
+                let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                let (p, se) = mc::probability_estimate(&counts);
+                QueryAnswer::Probability {
+                    p,
+                    std_error: Some(se),
+                }
+            }
+            Statistic::ProbabilityBounds => {
+                if let Some(reason) = bounds_reason {
+                    decomposition = Some(SafePlan::Unsafe {
+                        reason: reason.clone(),
+                    });
+                }
+                let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                let (p, se) = mc::probability_estimate(&counts);
+                QueryAnswer::Bounds(ProbabilityBounds {
+                    lower: 0.0,
+                    upper: 1.0,
+                    estimate: Some(p),
+                    std_error: Some(se),
+                })
+            }
+            Statistic::ExpectedCount => {
+                let (mean, se) = if classes == 0 && compiled.len() == 1 {
+                    let ct = &compiled[0];
+                    let sel = CompiledSelection {
+                        certain_count: ct.live_certain.count_ones(),
+                        alt_matches: ct.live_alts.clone(),
+                    };
+                    mc_expected_count_compiled(ct.db, &sel, samples, config.mc_seed)
+                } else {
+                    let counts =
+                        mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
+                    mc::count_estimate(&counts)
+                };
+                QueryAnswer::Count {
+                    mean,
+                    std_error: Some(se),
+                }
+            }
+            _ => return Ok(None),
+        },
+        // Program/statistic mismatch cannot happen (the statistic tag is
+        // part of the cache key); replan defensively instead of asserting.
+        _ => return Ok(None),
+    };
+    let relations = relation_stats(&compiled);
+    let mc_samples = match path {
+        EvalPath::ExactColumnar => 0,
+        EvalPath::MonteCarlo | EvalPath::Hybrid => samples,
+    };
+    let report = EvalReport::new(
+        path,
+        PlanRoute::CacheHit,
+        plan.plan_class,
+        relations,
+        mc_samples,
+        decomposition,
+        dissociated,
+    );
+    Ok(Some((answer, report)))
+}
+
+fn evaluate_cold<'a>(
+    lookup: &impl Fn(&str) -> Option<&'a ProbDb>,
+    flat: &Flattened,
+    stat: Statistic,
+    config: &QueryEngineConfig,
+    slot: Option<(u8, u64)>,
+    cache: &PlanCache,
+) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
+    let prepared = prepare(lookup, flat, stat, config)?;
     let Prepared {
         resolved,
         compiled,
@@ -409,6 +661,14 @@ fn evaluate_with<'a>(
         mut decomposition,
         bounds_plan,
     } = prepared;
+    // The cache stores the planning-time verdicts: the pre-hybrid path and
+    // the classifier's decomposition (bounds answers re-derive the winning
+    // candidate's decomposition at evaluation time).
+    let planned_path = path;
+    let stored_decomposition = decomposition.clone();
+    let use_vm = slot.is_some();
+    let mut route = PlanRoute::Interpreted;
+    let mut built: Option<CompiledProgram> = None;
     let mut dissociated: Vec<String> = Vec::new();
     let classes = resolved.classes.len();
     let samples = config.mc_samples;
@@ -420,11 +680,22 @@ fn evaluate_with<'a>(
         alt_matches: ct.live_alts.clone(),
     };
     let answer = match (stat, path) {
-        (Statistic::Probability, EvalPath::ExactColumnar) => QueryAnswer::Probability {
-            p: exact::boolean_probability(&resolved, &compiled),
-            std_error: None,
-        },
+        (Statistic::Probability, EvalPath::ExactColumnar) => {
+            let p = if use_vm {
+                let prog = compile::compile_boolean(&resolved);
+                let p = vm::run(&prog, &compiled);
+                built = Some(CompiledProgram::Boolean(prog));
+                route = PlanRoute::Compiled;
+                p
+            } else {
+                exact::boolean_probability(&resolved, &compiled)
+            };
+            QueryAnswer::Probability { p, std_error: None }
+        }
         (Statistic::Probability, EvalPath::MonteCarlo) => {
+            built = use_vm.then_some(CompiledProgram::Sampled {
+                bounds_reason: None,
+            });
             let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
             let (p, se) = mc::probability_estimate(&counts);
             QueryAnswer::Probability {
@@ -435,7 +706,18 @@ fn evaluate_with<'a>(
         (Statistic::ProbabilityBounds, EvalPath::ExactColumnar) => {
             let bounds = match &bounds_plan {
                 Some(BoundsPlan::Dissociate(candidates)) => {
-                    let eval = dissociate::evaluate_bounds(&resolved, &compiled, candidates);
+                    let eval = if use_vm {
+                        let programs = compile::compile_bounds(&resolved, candidates);
+                        let eval = compile::run_bounds(&resolved, &compiled, candidates, &programs);
+                        built = Some(CompiledProgram::Bounds {
+                            candidates: candidates.clone(),
+                            programs,
+                        });
+                        route = PlanRoute::Compiled;
+                        eval
+                    } else {
+                        dissociate::evaluate_bounds(&resolved, &compiled, candidates)
+                    };
                     decomposition = Some(eval.plan);
                     dissociated = eval.dissociated;
                     let mut bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
@@ -453,7 +735,18 @@ fn evaluate_with<'a>(
                 }
                 // Safe queries (or single scans): the bracket collapses
                 // to the exact probability.
-                _ => ProbabilityBounds::exact(exact::boolean_probability(&resolved, &compiled)),
+                _ => {
+                    let p = if use_vm {
+                        let prog = compile::compile_boolean(&resolved);
+                        let p = vm::run(&prog, &compiled);
+                        built = Some(CompiledProgram::Boolean(prog));
+                        route = PlanRoute::Compiled;
+                        p
+                    } else {
+                        exact::boolean_probability(&resolved, &compiled)
+                    };
+                    ProbabilityBounds::exact(p)
+                }
             };
             QueryAnswer::Bounds(bounds)
         }
@@ -461,11 +754,16 @@ fn evaluate_with<'a>(
             // No sound dissociation (or sampling was forced): the only
             // guaranteed bracket is the trivial one, refined by the
             // estimate. The report records why dissociation refused.
-            if let Some(BoundsPlan::Sample(reason)) = &bounds_plan {
-                decomposition = Some(SafePlan::Unsafe {
-                    reason: reason.clone(),
-                });
+            let reason = match &bounds_plan {
+                Some(BoundsPlan::Sample(reason)) => Some(reason.clone()),
+                _ => None,
+            };
+            if let Some(r) = &reason {
+                decomposition = Some(SafePlan::Unsafe { reason: r.clone() });
             }
+            built = use_vm.then_some(CompiledProgram::Sampled {
+                bounds_reason: reason,
+            });
             let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
             let (p, se) = mc::probability_estimate(&counts);
             QueryAnswer::Bounds(ProbabilityBounds {
@@ -476,16 +774,17 @@ fn evaluate_with<'a>(
             })
         }
         (Statistic::ExpectedCount, EvalPath::ExactColumnar) => {
-            // Single relations keep the legacy arithmetic (certain matches
-            // plus per-block marginals) so shim answers stay bit-identical.
-            let mean = if classes == 0 && compiled.len() == 1 {
-                let ct = &compiled[0];
-                ct.live_certain.count_ones() as f64
-                    + ct.db
-                        .columns()
-                        .block_probs(&ct.live_alts)
-                        .iter()
-                        .sum::<f64>()
+            let mean = if use_vm {
+                let prog = compile::compile_count(&resolved);
+                let mean = vm::run_count(&prog, &compiled);
+                built = Some(CompiledProgram::Count(prog));
+                route = PlanRoute::Compiled;
+                mean
+            } else if classes == 0 && compiled.len() == 1 {
+                // Single relations keep the legacy arithmetic (certain
+                // matches plus per-block marginals) so shim answers stay
+                // bit-identical.
+                exact::single_expected_count(&compiled[0])
             } else {
                 exact::expected_join_count(&resolved, &compiled)
             };
@@ -495,6 +794,9 @@ fn evaluate_with<'a>(
             }
         }
         (Statistic::ExpectedCount, EvalPath::MonteCarlo) => {
+            built = use_vm.then_some(CompiledProgram::Sampled {
+                bounds_reason: None,
+            });
             let (mean, se) = if classes == 0 && compiled.len() == 1 {
                 let ct = &compiled[0];
                 mc_expected_count_compiled(ct.db, &single_selection(ct), samples, config.mc_seed)
@@ -552,7 +854,112 @@ fn evaluate_with<'a>(
             unreachable!("the hybrid path is only assigned during bounds evaluation")
         }
     };
-    let relations = compiled
+    if let (Some((tag, hash)), Some(program)) = (slot, built) {
+        let (entry, versions) = CachedPlan::capture(
+            flat,
+            &resolved,
+            &compiled,
+            planned_path,
+            plan,
+            stored_decomposition,
+            program,
+        );
+        cache.insert(tag, hash, Arc::new(entry), versions);
+    }
+    let relations = relation_stats(&compiled);
+    let mc_samples = match path {
+        EvalPath::ExactColumnar => 0,
+        EvalPath::MonteCarlo | EvalPath::Hybrid => samples,
+    };
+    let report = EvalReport::new(
+        path,
+        route,
+        plan,
+        relations,
+        mc_samples,
+        decomposition,
+        dissociated,
+    );
+    Ok((answer, report))
+}
+
+/// Stores the registers a warm execution just bound into the cache
+/// entry's version-guarded memo, together with the scan statistics the
+/// next report would otherwise recompute.
+fn memoize_regs(
+    plan: &CachedPlan,
+    versions: &[u64],
+    per_program: Vec<Vec<vm::TermRegs>>,
+    compiled: &[CompiledTerm],
+) {
+    *plan.regs.lock().expect("register memo lock") = Some(compile::BoundRegs {
+        versions: versions.to_vec(),
+        per_program,
+        stats: relation_stats(compiled),
+    });
+}
+
+/// The unchanged-data fast path of a warm hit: run the memoized registers
+/// without compiling terms or binding anything. `None` falls through to
+/// the full warm path — no memo yet, a memo bound under other versions, a
+/// program that needs compiled terms (counts, samplers), or a bracket
+/// wide enough to need a Monte-Carlo refinement.
+fn run_prebound_fast(
+    plan: &CachedPlan,
+    resolved: &Resolved,
+    versions: &[u64],
+    stat: Statistic,
+    config: &QueryEngineConfig,
+) -> Option<(QueryAnswer, EvalReport)> {
+    let memo = plan.regs.lock().expect("register memo lock");
+    let memo = memo.as_ref()?;
+    if memo.versions != versions {
+        return None;
+    }
+    let mut decomposition = plan.decomposition.clone();
+    let mut dissociated: Vec<String> = Vec::new();
+    let answer = match (&plan.program, stat) {
+        (CompiledProgram::Boolean(prog), Statistic::Probability) => QueryAnswer::Probability {
+            p: vm::run_prebound(prog, &memo.per_program[0]),
+            std_error: None,
+        },
+        (CompiledProgram::Boolean(prog), Statistic::ProbabilityBounds) => QueryAnswer::Bounds(
+            ProbabilityBounds::exact(vm::run_prebound(prog, &memo.per_program[0])),
+        ),
+        (
+            CompiledProgram::Bounds {
+                candidates,
+                programs,
+            },
+            Statistic::ProbabilityBounds,
+        ) => {
+            let eval =
+                compile::run_bounds_prebound(resolved, candidates, programs, &memo.per_program);
+            let bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
+            if bounds.width() > config.bounds_tolerance && config.mc_samples > 0 {
+                // The hybrid refinement samples worlds — full warm path.
+                return None;
+            }
+            decomposition = Some(eval.plan);
+            dissociated = eval.dissociated;
+            QueryAnswer::Bounds(bounds)
+        }
+        _ => return None,
+    };
+    let report = EvalReport::new(
+        plan.path,
+        PlanRoute::CacheHit,
+        plan.plan_class,
+        memo.stats.clone(),
+        0,
+        decomposition,
+        dissociated,
+    );
+    Some((answer, report))
+}
+
+fn relation_stats(compiled: &[CompiledTerm]) -> Vec<RelationStats> {
+    compiled
         .iter()
         .map(|ct| {
             let cols = ct.db.columns();
@@ -566,20 +973,7 @@ fn evaluate_with<'a>(
                 alt_rows: cols.alternatives().rows(),
             }
         })
-        .collect();
-    let mc_samples = match path {
-        EvalPath::ExactColumnar => 0,
-        EvalPath::MonteCarlo | EvalPath::Hybrid => samples,
-    };
-    let report = EvalReport::new(
-        path,
-        plan,
-        relations,
-        mc_samples,
-        decomposition,
-        dissociated,
-    );
-    Ok((answer, report))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -645,6 +1039,7 @@ impl QuerySpec {
 pub struct QueryEngine<'a> {
     db: &'a ProbDb,
     config: QueryEngineConfig,
+    cache: Arc<PlanCache>,
 }
 
 #[allow(deprecated)]
@@ -656,7 +1051,8 @@ impl<'a> QueryEngine<'a> {
 
     /// An engine with explicit configuration.
     pub fn with_config(db: &'a ProbDb, config: QueryEngineConfig) -> Self {
-        Self { db, config }
+        let cache = Arc::new(PlanCache::with_capacity(config.plan_cache_capacity));
+        Self { db, config, cache }
     }
 
     /// The configuration in effect.
@@ -690,7 +1086,13 @@ impl<'a> QueryEngine<'a> {
     /// Plans and evaluates `spec` by lowering it into the query tree.
     pub fn evaluate(&self, spec: &QuerySpec) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
         let (q, stat) = spec.lower(SHIM_RELATION);
-        evaluate_with(|name| self.lookup(name), &q, stat, &self.config)
+        evaluate_with(
+            |name| self.lookup(name),
+            &q,
+            stat,
+            &self.config,
+            &self.cache,
+        )
     }
 
     /// Convenience: expected count with its report.

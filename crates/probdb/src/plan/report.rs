@@ -21,6 +21,26 @@ pub enum EvalPath {
     Hybrid,
 }
 
+/// Which machinery produced the answer: the reference interpreter, a
+/// freshly compiled bytecode program, or a cached one.
+///
+/// Orthogonal to [`EvalPath`]: the path says *what* ran (exact columnar
+/// arithmetic, sampling, hybrid), the route says *how it was planned and
+/// driven* — and in particular whether planning was skipped entirely
+/// because the [`crate::PlanCache`] already knew this query shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanRoute {
+    /// The recursive reference interpreter (compilation disabled, or a
+    /// statistic outside the compiler's scope).
+    Interpreted,
+    /// Cold: the shape was planned, compiled to bytecode, executed by the
+    /// VM and inserted into the plan cache.
+    Compiled,
+    /// Warm: a [`crate::PlanCache`] hit — resolve/classify/dissociate
+    /// were skipped and the cached program ran against current data.
+    CacheHit,
+}
+
 /// Why the planner chose the path it chose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanClass {
@@ -226,6 +246,9 @@ pub struct RelationStats {
 pub struct EvalReport {
     /// Physical path taken.
     pub path: EvalPath,
+    /// How the answer was planned and driven: interpreter, fresh
+    /// compile, or plan-cache hit.
+    pub route: PlanRoute,
     /// Planner classification behind the choice.
     pub plan: PlanClass,
     /// Total blocks across all scanned relations.
@@ -256,6 +279,7 @@ pub struct EvalReport {
 impl EvalReport {
     pub(crate) fn new(
         path: EvalPath,
+        route: PlanRoute,
         plan: PlanClass,
         relations: Vec<RelationStats>,
         mc_samples: usize,
@@ -265,6 +289,7 @@ impl EvalReport {
         let sum = |f: fn(&RelationStats) -> usize| relations.iter().map(f).sum();
         Self {
             path,
+            route,
             plan,
             blocks_total: sum(|r| r.blocks_total),
             blocks_pruned: sum(|r| r.blocks_pruned),
@@ -295,6 +320,7 @@ mod tests {
         };
         let report = EvalReport::new(
             EvalPath::ExactColumnar,
+            PlanRoute::Interpreted,
             PlanClass::Liftable,
             vec![rel("a", 5, 2), rel("b", 3, 0)],
             0,

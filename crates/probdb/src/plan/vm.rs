@@ -1,0 +1,524 @@
+//! The safe-plan bytecode VM: flat programs over columnar registers.
+//!
+//! [`super::compile`] lowers a classified safe plan (including
+//! dissociation `Copy` nodes and the transformed-mass leaves of both
+//! oblivious bounds) into a [`Program`] — a flat `Vec` of ops — that this
+//! module executes directly against the current column data. The op set:
+//!
+//! * [`Op::Leaf`] — the per-block complement product
+//!   `1 - ∏_blocks (1 - t(mass))` over one term's current register
+//!   window, where `t` is the leaf's [`Transform`]: identity for exact
+//!   plans, `m^(1/k)` ([`Transform::ConjRoot`]) for the conjunctive
+//!   alias upper bound, `1 - (1-m)^(1/d)` ([`Transform::DisjRoot`], `d`
+//!   read from the term's runtime replication register) for the
+//!   disjunctive lower bound.
+//! * [`Op::Partition`] — the key-partition fold
+//!   `1 - ∏_values (1 - ∏_subcomponents p)`: a k-way sorted-run merge
+//!   over the binding terms' pre-sorted key registers that narrows each
+//!   binding term's window to its value run and runs the embedded
+//!   subcomponent product (the body) per common key value. Dissociated
+//!   `Copy` terms keep their full windows and accumulate the branch
+//!   count into their replication registers. The body embeds two
+//!   peephole results: loop-invariant steps ([`BodyStep::Hoisted`],
+//!   subcomponents containing only copied terms) are evaluated once per
+//!   fold instead of per branch, and an all-leaf body is fused into an
+//!   inline `(term, transform)` list with no op dispatch per branch.
+//! * The expected-count mass join ([`CountProgram`]) — set-at-a-time
+//!   already; it executes through the same deterministic
+//!   [`exact::run_mass_join`] kernel as the interpreter, which is what
+//!   makes the two paths bit-identical by construction.
+//!
+//! **Registers.** [`bind_program`] is the per-data half of compilation:
+//! it gathers each term's live rows into columnar registers — key
+//! columns for every partition level on the term's path, plus per-block
+//! probability masses — sorted once, lexicographically by the term's
+//! root-to-leaf key path with original row order breaking ties, then
+//! collapsed to block granularity (every live row of a block shares its
+//! path keys, so blocks are contiguous after the sort). That single
+//! pre-sort replaces the interpreter's per-recursion-level hash
+//! partitioning: every partition branch becomes a contiguous window
+//! `[c0, c1) × [a0, a1)` and the recursion only moves window bounds.
+//! Because ties keep original row order, block masses accumulate in the
+//! interpreter's exact addition sequence, and the interpreter iterates
+//! key values in ascending order, the VM performs *exactly* the
+//! interpreter's floating-point operations and reproduces its results
+//! bit for bit. Registers are owned and data-addressed, so the plan
+//! cache memoizes them next to version stamps — an unchanged-data warm
+//! hit skips the gather entirely.
+
+use super::classify::CompiledTerm;
+use super::exact::{self, MassStep};
+use mrsl_util::FxHashMap;
+
+/// Per-block mass transform applied by [`Op::Leaf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Transform {
+    /// The exact mass (safe plans, and the un-transformed side of each
+    /// bound).
+    Identity,
+    /// `m^(1/k)` — the conjunctive upper bound for `k > 1` aliased
+    /// copies; `k` is a compile-time constant of the shape.
+    ConjRoot {
+        /// Alias multiplicity of the term's relation.
+        k: f64,
+    },
+    /// `1 - (1-m)^(1/d)` — the disjunctive lower bound for branch
+    /// replicas; `d` is the term's runtime replication register (the
+    /// transform is the identity while it stays at 1).
+    DisjRoot,
+}
+
+/// One factor of a partition body, in subcomponent order. The order is
+/// load-bearing: the interpreter multiplies subcomponents left to right
+/// with a zero early-exit, and the VM must reproduce that exact sequence
+/// of floating-point multiplications.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum BodyStep {
+    /// Evaluate the op per branch.
+    Eval(u32),
+    /// Loop-invariant op (only copied terms below it): evaluated once per
+    /// fold, multiplied in place per branch.
+    Hoisted(u32),
+}
+
+/// One bytecode op. See the module docs for semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// `1 - ∏_blocks (1 - transform(mass))` over the term's window.
+    Leaf {
+        /// Term register set the leaf reads.
+        term: u32,
+        /// Per-block mass transform.
+        transform: Transform,
+    },
+    /// Key-partition fold over the binding terms' sorted key registers.
+    Partition {
+        /// `(term, level)` pairs: which terms bind the key, and at which
+        /// position of their sort path this class sits.
+        binding: Vec<(u32, u32)>,
+        /// Terms replicated unchanged into every branch; their
+        /// replication registers accumulate the branch count.
+        copied: Vec<u32>,
+        /// Per-branch factors in subcomponent order.
+        body: Vec<BodyStep>,
+        /// Peephole: when every body step is an un-hoisted leaf, the
+        /// inlined `(term, transform, memoizable)` list evaluated without
+        /// dispatch. A leaf is memoizable when this partition is the
+        /// term's *first* binding level: its outer window is then the
+        /// full register for the whole fold, so the leaf value depends
+        /// only on the key value (and the term's current replication
+        /// register) and can be reused across enclosing branches.
+        fused: Option<Vec<(u32, Transform, bool)>>,
+    },
+}
+
+/// A compiled boolean-probability (or single-bound) program.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Program {
+    /// Flat op pool; ops reference each other by index.
+    pub ops: Vec<Op>,
+    /// Top-level connected components, multiplied without early exit
+    /// (matching the interpreter's top loop).
+    pub roots: Vec<u32>,
+    /// Per-term sort path: the partition classes that narrow this term,
+    /// root to leaf. Drives the bind-time pre-sort.
+    pub paths: Vec<Vec<usize>>,
+}
+
+/// Upper/lower program pair of one dissociation candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BoundsProgram {
+    pub upper: Program,
+    pub lower: Program,
+}
+
+/// The expected-count program: either the single-relation closed form or
+/// the deterministic mass-join schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CountProgram {
+    /// `None`: one relation, no join classes — the closed form
+    /// [`exact::single_expected_count`] applies.
+    pub steps: Option<Vec<MassStep>>,
+    /// Number of join classes (the mass-join assignment width).
+    pub classes: usize,
+}
+
+/// One term's columnar registers, gathered and pre-sorted by
+/// [`bind_program`]. Registers are owned columns, so callers may keep
+/// them across executions (the plan cache stores them next to the data
+/// version stamps they were gathered under).
+#[derive(Debug)]
+pub(crate) struct TermRegs {
+    /// Key column per sort-path level, certain rows, sorted order.
+    ckeys: Vec<Vec<u16>>,
+    /// Key column per sort-path level, one entry per *block*, sorted
+    /// order. Alternatives are collapsed to block granularity at bind
+    /// time: every live row of a block shares its path keys, so blocks
+    /// are contiguous after the sort and windows never split them.
+    akeys: Vec<Vec<u16>>,
+    /// Per-block probability mass, accumulated over the block's live
+    /// alternatives in sorted-row order — the exact addition sequence the
+    /// interpreter's leaf would perform, so downstream arithmetic stays
+    /// bit-identical.
+    amass: Vec<f64>,
+    /// Number of live certain rows.
+    clen: u32,
+    /// Number of blocks with live alternatives.
+    alen: u32,
+}
+
+/// Gathers and pre-sorts every term's live rows into columnar registers
+/// (the per-execution half of compilation — the program itself is
+/// data-free and cacheable).
+fn bind_term(path: &[usize], ct: &CompiledTerm) -> TermRegs {
+    let mut cert: Vec<u32> = ct.live_certain.iter_ones().map(|i| i as u32).collect();
+    let mut alts: Vec<u32> = ct.live_alts.iter_ones().map(|i| i as u32).collect();
+    let ccols: Vec<&[u16]> = path
+        .iter()
+        .map(|&c| ct.class_key(c).expect("sort path classes key the term").0)
+        .collect();
+    let acols: Vec<&[u16]> = path
+        .iter()
+        .map(|&c| ct.class_key(c).expect("sort path classes key the term").1)
+        .collect();
+    // LSD radix over the path levels: each pass is a stable counting sort,
+    // so the final order is lexicographic by root-to-leaf key with the
+    // initial ascending row order breaking ties. That tie-break is what
+    // keeps blocks contiguous inside the deepest windows and the row
+    // visit order identical to the interpreter's partition iteration.
+    sort_by_path(&mut cert, &ccols);
+    sort_by_path(&mut alts, &acols);
+    let probs = ct.db.columns().alt_probs();
+    // Collapse alternative rows to block runs: one key tuple and one
+    // accumulated mass per block, visited in sorted-row order (identical
+    // to the grouping the leaf op would otherwise do per execution).
+    let mut heads: Vec<u32> = Vec::new();
+    let mut amass: Vec<f64> = Vec::new();
+    let mut i = 0;
+    while i < alts.len() {
+        let block = ct.alt_block[alts[i] as usize];
+        heads.push(alts[i]);
+        let mut mass = 0.0;
+        while i < alts.len() && ct.alt_block[alts[i] as usize] == block {
+            mass += probs[alts[i] as usize];
+            i += 1;
+        }
+        amass.push(mass);
+    }
+    TermRegs {
+        ckeys: ccols
+            .iter()
+            .map(|col| cert.iter().map(|&r| col[r as usize]).collect())
+            .collect(),
+        akeys: acols
+            .iter()
+            .map(|col| heads.iter().map(|&r| col[r as usize]).collect())
+            .collect(),
+        alen: amass.len() as u32,
+        amass,
+        clen: cert.len() as u32,
+    }
+}
+
+/// Stable LSD counting sort of `rows` by the key columns, last level
+/// first. Dictionary-encoded keys are dense small `u16`s, so counting
+/// beats a comparator sort's per-comparison column indirection; per-pass
+/// stability makes earlier levels dominate and keeps ties in the
+/// incoming order.
+fn sort_by_path(rows: &mut Vec<u32>, cols: &[&[u16]]) {
+    let mut scratch = vec![0u32; rows.len()];
+    for col in cols.iter().rev() {
+        let max = rows.iter().map(|&r| col[r as usize]).max().unwrap_or(0) as usize;
+        let mut starts = vec![0u32; max + 2];
+        for &r in rows.iter() {
+            starts[col[r as usize] as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        for &r in rows.iter() {
+            let k = col[r as usize] as usize;
+            scratch[starts[k] as usize] = r;
+            starts[k] += 1;
+        }
+        std::mem::swap(rows, &mut scratch);
+    }
+}
+
+/// Gathers and pre-sorts every term's registers for one program — the
+/// per-data half of compilation, reusable across executions while the
+/// underlying data versions are unchanged.
+pub(crate) fn bind_program(program: &Program, compiled: &[CompiledTerm]) -> Vec<TermRegs> {
+    program
+        .paths
+        .iter()
+        .zip(compiled)
+        .map(|(path, ct)| bind_term(path, ct))
+        .collect()
+}
+
+/// Runs a boolean program against the current column data. The result is
+/// the raw product over root components — callers clamp for bound modes,
+/// exactly like the interpreter.
+pub(crate) fn run(program: &Program, compiled: &[CompiledTerm]) -> f64 {
+    run_prebound(program, &bind_program(program, compiled))
+}
+
+/// Runs a boolean program against registers bound earlier (and still
+/// valid for the current data).
+pub(crate) fn run_prebound(program: &Program, regs: &[TermRegs]) -> f64 {
+    let mut ex = Exec {
+        prog: program,
+        win: regs.iter().map(|r| [0, r.clen, 0, r.alen]).collect(),
+        repl: vec![1.0; regs.len()],
+        memo: vec![FxHashMap::default(); program.ops.len()],
+        regs,
+    };
+    let mut p = 1.0;
+    for &root in &program.roots {
+        p *= ex.eval(root);
+    }
+    p
+}
+
+/// Runs an expected-count program through the shared deterministic
+/// kernels.
+pub(crate) fn run_count(program: &CountProgram, compiled: &[CompiledTerm]) -> f64 {
+    match &program.steps {
+        None => exact::single_expected_count(&compiled[0]),
+        Some(steps) => exact::run_mass_join(steps, compiled, program.classes),
+    }
+}
+
+/// First position in `[cur, end)` whose key is `>= v` (keys are sorted).
+/// Binary search instead of stepping: partition merges over a copied
+/// term re-walk its full window once per branch, and galloping turns
+/// that from `O(rows)` into `O(log rows)` per branch.
+fn skip_to(keys: &[u16], cur: u32, end: u32, v: u16) -> u32 {
+    cur + keys[cur as usize..end as usize].partition_point(|&k| k < v) as u32
+}
+
+/// First position in `[cur, end)` past the run of keys `== v`.
+fn past_run(keys: &[u16], cur: u32, end: u32, v: u16) -> u32 {
+    cur + keys[cur as usize..end as usize].partition_point(|&k| k <= v) as u32
+}
+
+/// Execution state: windows and replication registers per term.
+struct Exec<'p> {
+    prog: &'p Program,
+    regs: &'p [TermRegs],
+    /// `[c0, c1, a0, a1)` — current certain/alternative window per term.
+    win: Vec<[u32; 4]>,
+    /// Replication multiplicity per term (the lower bound's runtime `d`).
+    repl: Vec<f64>,
+    /// Per-partition-op memo of fused invariant-window leaf values,
+    /// keyed by `(term, key value, replication register bits)`. Reuses
+    /// the exact `f64` computed on the first visit, so the downstream
+    /// multiplication sequence is unchanged bit for bit.
+    memo: Vec<FxHashMap<(u32, u16, u64), f64>>,
+}
+
+impl Exec<'_> {
+    fn eval(&mut self, op: u32) -> f64 {
+        let prog = self.prog;
+        match &prog.ops[op as usize] {
+            Op::Leaf { term, transform } => self.leaf(*term, *transform),
+            Op::Partition {
+                binding,
+                copied,
+                body,
+                fused,
+            } => self.partition(op, binding, copied, body, fused.as_deref()),
+        }
+    }
+
+    /// `1 - ∏_blocks (1 - t(mass))` over the term's current window; a
+    /// certain row in the window decides it.
+    fn leaf(&self, t: u32, tr: Transform) -> f64 {
+        let r = &self.regs[t as usize];
+        let [c0, c1, a0, a1] = self.win[t as usize];
+        if c1 > c0 {
+            return 1.0;
+        }
+        let repl = self.repl[t as usize];
+        let mut none = 1.0;
+        for &mass in &r.amass[a0 as usize..a1 as usize] {
+            let m = mass.min(1.0);
+            let tm = match tr {
+                Transform::Identity => m,
+                Transform::ConjRoot { k } => m.powf(1.0 / k),
+                Transform::DisjRoot => {
+                    if repl > 1.0 {
+                        1.0 - (1.0 - m).powf(1.0 / repl)
+                    } else {
+                        m
+                    }
+                }
+            };
+            none *= (1.0 - tm).max(0.0);
+        }
+        1.0 - none
+    }
+
+    fn partition(
+        &mut self,
+        op: u32,
+        binding: &[(u32, u32)],
+        copied: &[u32],
+        body: &[BodyStep],
+        fused: Option<&[(u32, Transform, bool)]>,
+    ) -> f64 {
+        // Outer windows of the binding terms (restored on exit; the value
+        // loop overwrites them with per-value runs).
+        let outer: Vec<[u32; 4]> = binding.iter().map(|&(t, _)| self.win[t as usize]).collect();
+        let mut cur: Vec<[u32; 2]> = outer.iter().map(|w| [w[0], w[2]]).collect();
+
+        let saved_repl: Vec<f64> = copied.iter().map(|&t| self.repl[t as usize]).collect();
+        if !copied.is_empty() {
+            // The branch count d multiplies every copied term's
+            // replication register, identically in all branches — so it
+            // is applied once, before the value loop.
+            let mut count = cur.clone();
+            let mut d = 0.0;
+            while let Some(v) = self.next_value(binding, &outer, &mut count) {
+                d += 1.0;
+                for (i, &(t, lvl)) in binding.iter().enumerate() {
+                    let (ce, ae) = self.run_end(t, lvl, &outer[i], &count[i], v);
+                    count[i] = [ce, ae];
+                }
+            }
+            for &t in copied {
+                self.repl[t as usize] *= d;
+            }
+        }
+
+        let mut hoist_vals: Vec<f64> = Vec::new();
+        let mut first = true;
+        let mut none = 1.0;
+        while let Some(v) = self.next_value(binding, &outer, &mut cur) {
+            for (i, &(t, lvl)) in binding.iter().enumerate() {
+                let (ce, ae) = self.run_end(t, lvl, &outer[i], &cur[i], v);
+                self.win[t as usize] = [cur[i][0], ce, cur[i][1], ae];
+                cur[i] = [ce, ae];
+            }
+            if first {
+                // Loop-invariant factors: copied-only subtrees see the
+                // same (un-narrowed) windows in every branch.
+                for step in body {
+                    if let BodyStep::Hoisted(op) = step {
+                        hoist_vals.push(self.eval(*op));
+                    }
+                }
+                first = false;
+            }
+            let mut p_v = 1.0;
+            if let Some(leaves) = fused {
+                for &(t, tr, memoizable) in leaves {
+                    let p = if memoizable {
+                        let key = (t, v, self.repl[t as usize].to_bits());
+                        match self.memo[op as usize].get(&key) {
+                            Some(&p) => p,
+                            None => {
+                                let p = self.leaf(t, tr);
+                                self.memo[op as usize].insert(key, p);
+                                p
+                            }
+                        }
+                    } else {
+                        self.leaf(t, tr)
+                    };
+                    p_v *= p;
+                    if p_v == 0.0 {
+                        break;
+                    }
+                }
+            } else {
+                let mut hi = 0;
+                for step in body {
+                    p_v *= match step {
+                        BodyStep::Eval(op) => self.eval(*op),
+                        BodyStep::Hoisted(_) => {
+                            let x = hoist_vals[hi];
+                            hi += 1;
+                            x
+                        }
+                    };
+                    if p_v == 0.0 {
+                        break;
+                    }
+                }
+            }
+            none *= 1.0 - p_v;
+            if none == 0.0 {
+                break;
+            }
+        }
+
+        for (i, &(t, _)) in binding.iter().enumerate() {
+            self.win[t as usize] = outer[i];
+        }
+        for (i, &t) in copied.iter().enumerate() {
+            self.repl[t as usize] = saved_repl[i];
+        }
+        1.0 - none
+    }
+
+    /// Advances the merge to the next key value present in *every*
+    /// binding term (certain or alternative side), or `None` when any
+    /// term is exhausted. Cursors are left at the start of each term's
+    /// value run. Equivalent to the interpreter's sorted intersection of
+    /// the per-term partition key sets.
+    fn next_value(
+        &self,
+        binding: &[(u32, u32)],
+        outer: &[[u32; 4]],
+        cur: &mut [[u32; 2]],
+    ) -> Option<u16> {
+        let head = |cur: &[[u32; 2]], i: usize| -> Option<u16> {
+            let (t, lvl) = binding[i];
+            let r = &self.regs[t as usize];
+            let c = (cur[i][0] < outer[i][1]).then(|| r.ckeys[lvl as usize][cur[i][0] as usize]);
+            let a = (cur[i][1] < outer[i][3]).then(|| r.akeys[lvl as usize][cur[i][1] as usize]);
+            match (c, a) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        };
+        let mut v = head(cur, 0)?;
+        for i in 1..binding.len() {
+            v = v.max(head(cur, i)?);
+        }
+        loop {
+            let mut stable = true;
+            for i in 0..binding.len() {
+                let (t, lvl) = binding[i];
+                let r = &self.regs[t as usize];
+                let ck = &r.ckeys[lvl as usize];
+                let ak = &r.akeys[lvl as usize];
+                cur[i][0] = skip_to(ck, cur[i][0], outer[i][1], v);
+                cur[i][1] = skip_to(ak, cur[i][1], outer[i][3], v);
+                let h = head(cur, i)?;
+                if h > v {
+                    v = h;
+                    stable = false;
+                }
+            }
+            if stable {
+                return Some(v);
+            }
+        }
+    }
+
+    /// End of the `v` run starting at `cur` in term `t`'s level-`lvl` key
+    /// registers, bounded by the outer window.
+    fn run_end(&self, t: u32, lvl: u32, outer: &[u32; 4], cur: &[u32; 2], v: u16) -> (u32, u32) {
+        let r = &self.regs[t as usize];
+        let ck = &r.ckeys[lvl as usize];
+        let ak = &r.akeys[lvl as usize];
+        (
+            past_run(ck, cur[0], outer[1], v),
+            past_run(ak, cur[1], outer[3], v),
+        )
+    }
+}

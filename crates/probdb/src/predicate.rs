@@ -24,7 +24,7 @@ use serde::{DeError, Deserialize, Serialize};
 /// [`Predicate::is_in`], [`Predicate::range`], [`Predicate::and`],
 /// [`Predicate::or`], [`Predicate::negate`]); the enum is public so
 /// planners can pattern-match on the shape.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub enum Predicate {
     /// The always-true predicate.
     #[default]
