@@ -240,6 +240,14 @@ fn emit_plan_report(_c: &mut Criterion) {
         plan_rows(&join_catalog, &join, Statistic::Probability, 12),
         plan_rows(&join_catalog, &join, Statistic::ExpectedCount, 12),
     ];
+    // The warm VM reuses memoized mass tables; falling behind the
+    // interpreter here is a regression, not noise.
+    assert!(
+        rows[1].vm_ns < rows[1].interp_ns,
+        "expected_count VM regressed vs interpreter: {:.0}ns vs {:.0}ns",
+        rows[1].vm_ns,
+        rows[1].interp_ns
+    );
     let warm_engine = CatalogEngine::new(&join_catalog);
     let warm_ns = time_ns(12, || {
         std::hint::black_box(warm_engine.probability(&join).expect("warm"));

@@ -15,6 +15,55 @@ use crate::block::Block;
 use mrsl_relation::AttrId;
 use std::ops::Range;
 
+/// Number of value-range shards every relation's shard index partitions
+/// its leading attribute's dictionary into. Fixed (rather than derived
+/// from the thread count) so shard membership — and therefore the
+/// per-shard version stamps of [`crate::ProbDb`] — never depends on the
+/// execution environment.
+pub const SHARD_COUNT: usize = 16;
+
+/// A fixed partition of a dictionary-encoded key domain into
+/// [`SHARD_COUNT`] contiguous value ranges.
+///
+/// The map is pure arithmetic over the dictionary cardinality: shard `s`
+/// covers the values `v` with `s·card ≤ v·SHARD_COUNT < (s+1)·card`, so
+/// [`ShardMap::shard_of`] and [`ShardMap::value_range`] are exact
+/// inverses and need no stored boundaries. Small domains simply leave
+/// trailing shards empty. [`crate::ProbDb`] keeps one version stamp per
+/// shard of its leading attribute (`AttrId(0)`), bumped by every push
+/// that lands a row in the shard — the incremental-maintenance index
+/// behind the plan cache's register patching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    card: u32,
+}
+
+impl ShardMap {
+    /// A map over a dictionary of `card` values (clamped to at least 1).
+    pub fn new(card: usize) -> Self {
+        Self {
+            card: (card.max(1) as u32).min(u16::MAX as u32 + 1),
+        }
+    }
+
+    /// The shard holding dictionary value `v`.
+    #[inline]
+    pub fn shard_of(&self, v: u16) -> usize {
+        ((v as usize * SHARD_COUNT) / self.card as usize).min(SHARD_COUNT - 1)
+    }
+
+    /// The half-open dictionary value range `[lo, hi)` shard `s` covers
+    /// (`u32` bounds: `hi` may be one past the largest `u16`).
+    #[inline]
+    pub fn value_range(&self, s: usize) -> Range<u32> {
+        debug_assert!(s < SHARD_COUNT);
+        let card = self.card as usize;
+        let lo = (s * card).div_ceil(SHARD_COUNT) as u32;
+        let hi = ((s + 1) * card).div_ceil(SHARD_COUNT) as u32;
+        lo..hi
+    }
+}
+
 /// A dense bitset with one bit per row of a [`ColumnSet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
@@ -409,6 +458,33 @@ mod tests {
         assert!(!sparse.any_in(64..130));
         assert!(!sparse.any_in(131..300));
         assert_eq!(sparse.count_ones_in(0..300), 1);
+    }
+
+    #[test]
+    fn shard_map_ranges_and_membership_agree() {
+        for card in [1usize, 2, 5, 16, 17, 100, 65_536] {
+            let map = ShardMap::new(card);
+            // Ranges tile the domain exactly, in order.
+            let mut next = 0u32;
+            for s in 0..SHARD_COUNT {
+                let r = map.value_range(s);
+                assert_eq!(r.start, next, "card {card} shard {s}");
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next as usize, card, "card {card}");
+            // Membership is the inverse of the ranges.
+            let probe = (0..card.min(4096))
+                .chain(card.saturating_sub(8)..card)
+                .map(|v| v as u16);
+            for v in probe {
+                let s = map.shard_of(v);
+                assert!(
+                    map.value_range(s).contains(&(v as u32)),
+                    "card {card} value {v} shard {s}"
+                );
+            }
+        }
     }
 
     #[test]

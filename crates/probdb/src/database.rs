@@ -1,7 +1,7 @@
 //! The probabilistic database container.
 
 use crate::block::{Block, BlockError};
-use crate::column::ColumnStore;
+use crate::column::{ColumnStore, ShardMap, SHARD_COUNT};
 use mrsl_relation::{CompleteTuple, RelationError, Schema};
 use serde::value::Value;
 use serde::{DeError, Deserialize, Serialize};
@@ -31,18 +31,29 @@ pub struct ProbDb {
     columns: ColumnStore,
     #[serde(skip)]
     version: u64,
+    /// Per-shard version stamps over the leading attribute's value ranges
+    /// (see [`ShardMap`]); `shard_versions[s]` is the stamp of the last
+    /// push that landed a row in shard `s`. Stamps are process-unique, so
+    /// equal stamps for a shard imply the identical push sequence — and
+    /// therefore identical shard contents — which is what lets the plan
+    /// cache patch only the touched value ranges of its memoized
+    /// registers.
+    #[serde(skip)]
+    shard_versions: Vec<u64>,
 }
 
 impl ProbDb {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
         let arity = schema.attr_count();
+        let version = next_stamp();
         Self {
             schema,
             certain: Vec::new(),
             blocks: Vec::new(),
             columns: ColumnStore::new(arity),
-            version: next_stamp(),
+            version,
+            shard_versions: vec![version; SHARD_COUNT],
         }
     }
 
@@ -61,6 +72,28 @@ impl ProbDb {
         self.version
     }
 
+    /// The shard map partitioning the leading attribute's dictionary (the
+    /// key column the plan cache's register patching shards on).
+    pub fn shard_map(&self) -> ShardMap {
+        let card = if self.schema.attr_count() > 0 {
+            self.schema.cardinality(mrsl_relation::AttrId(0))
+        } else {
+            1
+        };
+        ShardMap::new(card)
+    }
+
+    /// Per-shard version stamps (see the field docs): equal stamps imply
+    /// identical shard contents, across clones and snapshots.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.shard_versions
+    }
+
+    /// Stamps shard `s` with the database's current version.
+    fn touch_shard(&mut self, s: usize) {
+        self.shard_versions[s] = self.version;
+    }
+
     /// Adds a certain tuple.
     pub fn push_certain(&mut self, t: CompleteTuple) -> Result<(), RelationError> {
         if t.arity() != self.schema.attr_count() {
@@ -69,9 +102,13 @@ impl ProbDb {
                 got: t.arity(),
             });
         }
+        let shard = self
+            .shard_map()
+            .shard_of(t.raw().first().copied().unwrap_or(0));
         self.columns.push_certain(t.raw());
         self.certain.push(t);
         self.version = next_stamp();
+        self.touch_shard(shard);
         Ok(())
     }
 
@@ -89,9 +126,19 @@ impl ProbDb {
                 got: a.tuple.arity(),
             });
         }
+        let map = self.shard_map();
+        let mut touched = [false; SHARD_COUNT];
+        for a in b.alternatives() {
+            touched[map.shard_of(a.tuple.raw().first().copied().unwrap_or(0))] = true;
+        }
         self.columns.push_block(&b);
         self.blocks.push(b);
         self.version = next_stamp();
+        for (s, hit) in touched.into_iter().enumerate() {
+            if hit {
+                self.touch_shard(s);
+            }
+        }
         Ok(())
     }
 
@@ -246,6 +293,38 @@ mod tests {
         }
         // Probabilities flattened in the same order.
         assert!((cols.alt_probs()[3] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pushes_stamp_only_the_touched_shards() {
+        let mut db = two_block_db();
+        let map = db.shard_map();
+        let before = db.shard_versions().to_vec();
+        let v0 = db.version();
+        // Keys 0 and 1 land in fixed shards of the 2-value dictionary.
+        db.push_block(Block::new(2, vec![alt(vec![1, 0, 0, 0], 1.0)]).unwrap())
+            .unwrap();
+        assert!(db.version() > v0);
+        let touched = map.shard_of(1);
+        for (s, (&old, &new)) in before.iter().zip(db.shard_versions()).enumerate() {
+            if s == touched {
+                assert_eq!(new, db.version(), "touched shard restamped");
+            } else {
+                assert_eq!(new, old, "untouched shard {s} kept its stamp");
+            }
+        }
+        // A clone shares stamps until it diverges.
+        let mut clone = db.clone();
+        assert_eq!(clone.shard_versions(), db.shard_versions());
+        clone
+            .push_certain(CompleteTuple::from_values(vec![0, 0, 0, 0]))
+            .unwrap();
+        let s0 = map.shard_of(0);
+        assert_ne!(clone.shard_versions()[s0], db.shard_versions()[s0]);
+        assert_eq!(
+            clone.shard_versions()[touched],
+            db.shard_versions()[touched]
+        );
     }
 
     #[test]

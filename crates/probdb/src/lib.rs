@@ -53,11 +53,12 @@ pub mod world;
 pub use algebra::{Query, QueryNode, ScanRequirement, Statistic};
 pub use block::{Alternative, Block, BlockError};
 pub use catalog::Catalog;
-pub use column::{Bitmap, ColumnSet, ColumnStore};
+pub use column::{Bitmap, ColumnSet, ColumnStore, ShardMap, SHARD_COUNT};
 pub use database::ProbDb;
 pub use plan::{
-    CatalogEngine, EvalPath, EvalReport, PlanCache, PlanCacheStats, PlanClass, PlanRoute,
-    ProbabilityBounds, QueryAnswer, QueryEngineConfig, RelationStats, SafePlan,
+    dissociation_search_count, CatalogEngine, EvalPath, EvalReport, PlanCache, PlanCacheStats,
+    PlanClass, PlanRoute, ProbabilityBounds, QueryAnswer, QueryEngineConfig, RelationStats,
+    SafePlan,
 };
 #[allow(deprecated)]
 pub use plan::{QueryEngine, QuerySpec};

@@ -45,9 +45,11 @@ use super::exact;
 use super::report::{EvalPath, PlanClass, SafePlan};
 use super::vm::{self, BodyStep, BoundsProgram, CountProgram, Op, Program, Transform};
 use crate::algebra::{Flattened, ResolvedPair, Statistic};
+use crate::column::SHARD_COUNT;
 use crate::database::ProbDb;
 use crate::predicate::Predicate;
 use mrsl_relation::{AttrId, Schema};
+use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
 /// Cache tag of a statistic, for statistics whose planning verdict and
@@ -336,31 +338,70 @@ pub(crate) fn run_bounds(
     compiled: &[CompiledTerm],
     candidates: &[Dissociation],
     programs: &[BoundsProgram],
+    shards: usize,
 ) -> DissociatedBounds {
     let regs = bind_bounds(programs, compiled);
-    run_bounds_prebound(resolved, candidates, programs, &regs)
+    run_bounds_prebound(resolved, candidates, programs, &regs, shards, None)
 }
+
+/// Memo of the bounds report rendering, keyed by the winning
+/// `(upper_at, lower_at)` candidate pair. `describe_bounds` re-derives
+/// the winner's dissociated decomposition — pure shape work, identical
+/// for every evaluation that picks the same winner — so warm hits reuse
+/// it instead of re-walking the component recursion.
+pub(crate) type DescribeMemo = Mutex<Option<((usize, usize), (SafePlan, Vec<String>))>>;
 
 /// [`run_bounds`] over registers bound earlier (the layout produced by
 /// [`bind_bounds`]).
+///
+/// The candidate brackets are independent of each other, so on a
+/// multi-threaded rayon pool they evaluate concurrently — the shim
+/// collects in candidate order and each bracket's fold is itself
+/// deterministic ([`vm::run_prebound_sharded`]), so the evals vector,
+/// the intersection, and the winning candidate are bit-identical to the
+/// sequential loop at every thread count.
 pub(crate) fn run_bounds_prebound(
     resolved: &Resolved,
     candidates: &[Dissociation],
     programs: &[BoundsProgram],
     regs: &[Vec<vm::TermRegs>],
+    shards: usize,
+    describe: Option<&DescribeMemo>,
 ) -> DissociatedBounds {
-    let evals: Vec<(f64, f64)> = programs
-        .iter()
-        .enumerate()
-        .map(|(i, bp)| {
-            (
-                vm::run_prebound(&bp.upper, &regs[2 * i]).clamp(0.0, 1.0),
-                vm::run_prebound(&bp.lower, &regs[2 * i + 1]).clamp(0.0, 1.0),
-            )
-        })
-        .collect();
+    let eval_one = |(i, bp): (usize, &BoundsProgram)| {
+        (
+            vm::run_prebound_sharded(&bp.upper, &regs[2 * i], shards).clamp(0.0, 1.0),
+            vm::run_prebound_sharded(&bp.lower, &regs[2 * i + 1], shards).clamp(0.0, 1.0),
+        )
+    };
+    let evals: Vec<(f64, f64)> = if rayon::current_num_threads() > 1 && programs.len() > 1 {
+        use rayon::prelude::*;
+        programs
+            .iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(eval_one)
+            .collect()
+    } else {
+        programs.iter().enumerate().map(eval_one).collect()
+    };
     let choice = intersect_candidates(&evals);
-    let (plan, dissociated) = describe_bounds(resolved, candidates, &choice);
+    let key = (choice.upper_at, choice.lower_at);
+    let (plan, dissociated) = match describe {
+        Some(memo) => {
+            let mut slot = memo.lock().expect("describe memo lock");
+            match &*slot {
+                Some((k, v)) if *k == key => v.clone(),
+                _ => {
+                    let v = describe_bounds(resolved, candidates, &choice);
+                    *slot = Some((key, v.clone()));
+                    v
+                }
+            }
+        }
+        None => describe_bounds(resolved, candidates, &choice),
+    };
     DissociatedBounds {
         lower: choice.lower,
         upper: choice.upper,
@@ -398,9 +439,18 @@ pub(crate) enum CompiledProgram {
 pub(crate) struct BoundRegs {
     /// Data versions the registers were gathered under, term order.
     pub versions: Vec<u64>,
+    /// Per-term shard stamps ([`ProbDb::shard_versions`]) at gather
+    /// time. When only some shards moved, [`rebind_or_patch`] re-gathers
+    /// just those leading-key ranges ([`vm::patch_term`]) and splices
+    /// the untouched runs over from the memo.
+    pub shard_versions: Vec<Vec<u64>>,
     /// Register sets per program: `[regs]` for a boolean program, the
-    /// [`bind_bounds`] layout for a bounds ensemble.
+    /// [`bind_bounds`] layout for a bounds ensemble, empty for a count
+    /// program (whose memo is [`BoundRegs::count`]).
     pub per_program: Vec<Vec<vm::TermRegs>>,
+    /// Memoized grouped mass tables of an expected-count program, step
+    /// order; reused per step while that step's term data is unchanged.
+    pub count: Option<Vec<exact::MassTable>>,
     /// The scan statistics the report would recompute from the compiled
     /// terms.
     pub stats: Vec<crate::plan::RelationStats>,
@@ -443,6 +493,8 @@ pub(crate) struct CachedPlan {
     /// Version-guarded register memo (see [`BoundRegs`]); `None` until
     /// the first warm execution binds it.
     pub regs: Mutex<Option<BoundRegs>>,
+    /// Bounds report-rendering memo (see [`DescribeMemo`]).
+    pub describe: DescribeMemo,
 }
 
 impl CachedPlan {
@@ -489,6 +541,7 @@ impl CachedPlan {
             decomposition,
             program,
             regs: Mutex::new(None),
+            describe: Mutex::new(None),
         };
         (plan, versions)
     }
@@ -541,6 +594,197 @@ impl CachedPlan {
     }
 }
 
+/// Per-term register delta between a memo's shard stamps and the
+/// current data, decided by [`term_deltas`].
+enum TermDelta {
+    /// Every shard stamp unchanged: the memoized registers are still the
+    /// data and move over untouched.
+    Clean,
+    /// Only these leading-key value ranges changed (ascending,
+    /// disjoint): patch candidates.
+    Dirty(Vec<Range<u32>>),
+    /// Everything changed (or the memo predates this database): full
+    /// re-gather.
+    Rebind,
+}
+
+/// Classifies every term by comparing the memo's shard stamps against
+/// the current per-shard stamps, merging adjacent dirty shards into one
+/// splice range.
+fn term_deltas(resolved: &Resolved, old: &[Vec<u64>]) -> Vec<TermDelta> {
+    resolved
+        .terms
+        .iter()
+        .zip(old)
+        .map(|(term, old_stamps)| {
+            let new = term.db.shard_versions();
+            if old_stamps.as_slice() == new {
+                return TermDelta::Clean;
+            }
+            let map = term.db.shard_map();
+            let mut ranges: Vec<Range<u32>> = Vec::new();
+            for s in 0..SHARD_COUNT {
+                if old_stamps[s] == new[s] {
+                    continue;
+                }
+                let r = map.value_range(s);
+                if r.is_empty() {
+                    continue;
+                }
+                match ranges.last_mut() {
+                    Some(last) if last.end == r.start => last.end = r.end,
+                    _ => ranges.push(r),
+                }
+            }
+            let card = map.value_range(SHARD_COUNT - 1).end;
+            if ranges.is_empty() || (ranges.len() == 1 && ranges[0] == (0..card)) {
+                TermDelta::Rebind
+            } else {
+                TermDelta::Dirty(ranges)
+            }
+        })
+        .collect()
+}
+
+/// Can term `t`'s registers for this sort path be range-patched? The
+/// splice operates on the level-0 sort key, while the shard stamps cover
+/// the *leading attribute's* value ranges — so patching is sound exactly
+/// when the program's root partition keys this term on attribute 0.
+fn patchable(resolved: &Resolved, path: &[usize], t: usize) -> bool {
+    path.first().is_some_and(|&c| {
+        resolved.terms[t]
+            .class_attrs
+            .iter()
+            .any(|&(ci, a)| ci == c && a == AttrId(0))
+    })
+}
+
+/// Result of [`rebind_or_patch`]: the refreshed register sets in the
+/// memo layout, plus how they were obtained (for the cache counters).
+pub(crate) struct RegsMaintenance {
+    /// Register sets per program, [`BoundRegs::per_program`] layout.
+    pub per_program: Vec<Vec<vm::TermRegs>>,
+    /// Refreshed mass tables of a count program.
+    pub count: Option<Vec<exact::MassTable>>,
+    /// Term register sets refreshed by range patching.
+    pub patched: u64,
+    /// Term register sets (or mass tables) rebuilt from scratch.
+    pub rebound: u64,
+}
+
+/// Refreshes a cached plan's register memo against current column data,
+/// consuming the old memo: terms whose shard stamps are all unchanged
+/// move over untouched, terms whose data moved in only some shards are
+/// range-patched ([`vm::patch_term`]), and everything else is re-bound.
+/// Count programs refresh per-step mass tables the same way (reuse per
+/// unchanged term, rebuild otherwise). With no usable memo, every
+/// program binds fresh — fanned out over the rayon pool when it has
+/// more than one thread (per-program binds are independent and collect
+/// in program order, so the result is identical either way).
+pub(crate) fn rebind_or_patch(
+    plan: &CachedPlan,
+    resolved: &Resolved,
+    compiled: &[CompiledTerm],
+    versions: &[u64],
+) -> RegsMaintenance {
+    let programs: Vec<&Program> = match &plan.program {
+        CompiledProgram::Boolean(p) => vec![p],
+        CompiledProgram::Bounds { programs, .. } => programs
+            .iter()
+            .flat_map(|bp| [&bp.upper, &bp.lower])
+            .collect(),
+        _ => Vec::new(),
+    };
+    let steps = match &plan.program {
+        CompiledProgram::Count(cp) => cp.steps.as_deref(),
+        _ => None,
+    };
+    let old = plan.regs.lock().expect("register memo lock").take();
+    let mut patched = 0u64;
+    let mut rebound = 0u64;
+    if let Some(memo) = old {
+        if memo.per_program.len() == programs.len()
+            && memo.shard_versions.len() == resolved.terms.len()
+        {
+            let deltas = term_deltas(resolved, &memo.shard_versions);
+            let per_program: Vec<Vec<vm::TermRegs>> = programs
+                .iter()
+                .zip(memo.per_program)
+                .map(|(prog, old_regs)| {
+                    old_regs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(t, old_t)| match &deltas[t] {
+                            TermDelta::Clean => old_t,
+                            TermDelta::Dirty(ranges) if patchable(resolved, &prog.paths[t], t) => {
+                                patched += 1;
+                                vm::patch_term(&old_t, &prog.paths[t], &compiled[t], ranges)
+                            }
+                            _ => {
+                                rebound += 1;
+                                vm::bind_term(&prog.paths[t], &compiled[t])
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let count = steps.map(|st| {
+                let reusable = memo.count.filter(|tables| {
+                    tables.len() == st.len() && memo.versions.len() == versions.len()
+                });
+                match reusable {
+                    Some(tables) => st
+                        .iter()
+                        .zip(tables)
+                        .map(|(step, table)| {
+                            if memo.versions[step.term] == versions[step.term] {
+                                table
+                            } else {
+                                rebound += 1;
+                                exact::grouped_term_mass(&compiled[step.term], step)
+                            }
+                        })
+                        .collect(),
+                    None => {
+                        rebound += st.len() as u64;
+                        exact::mass_tables(st, compiled, rayon::current_num_threads() > 1)
+                    }
+                }
+            });
+            return RegsMaintenance {
+                per_program,
+                count,
+                patched,
+                rebound,
+            };
+        }
+    }
+    let parallel = rayon::current_num_threads() > 1;
+    rebound += (programs.len() * resolved.terms.len()) as u64;
+    let per_program: Vec<Vec<vm::TermRegs>> = if parallel && programs.len() > 1 {
+        use rayon::prelude::*;
+        programs
+            .into_par_iter()
+            .map(|prog| vm::bind_program(prog, compiled))
+            .collect()
+    } else {
+        programs
+            .iter()
+            .map(|prog| vm::bind_program(prog, compiled))
+            .collect()
+    };
+    let count = steps.map(|st| {
+        rebound += st.len() as u64;
+        exact::mass_tables(st, compiled, parallel)
+    });
+    RegsMaintenance {
+        per_program,
+        count,
+        patched,
+        rebound,
+    }
+}
+
 /// Cumulative cache counters plus the current size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
@@ -554,6 +798,13 @@ pub struct PlanCacheStats {
     /// Entries dropped because their guarded data properties or schemas
     /// changed out from under them.
     pub invalidations: u64,
+    /// Memoized term register sets refreshed by *range patching* after a
+    /// mutation touched only some shards: just the dirty leading-key
+    /// ranges were re-gathered, the rest spliced over from the memo.
+    pub reg_patches: u64,
+    /// Memoized term register sets (or count mass tables) rebuilt from
+    /// scratch because the mutation was not range-patchable.
+    pub reg_rebinds: u64,
     /// Current number of cached plans.
     pub len: usize,
     /// Maximum number of cached plans.
@@ -578,6 +829,8 @@ struct CacheInner {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    reg_patches: u64,
+    reg_rebinds: u64,
 }
 
 /// A shape-keyed cache of compiled plans, shared across engines.
@@ -625,6 +878,8 @@ impl PlanCache {
                 misses: 0,
                 evictions: 0,
                 invalidations: 0,
+                reg_patches: 0,
+                reg_rebinds: 0,
             }),
         }
     }
@@ -637,6 +892,8 @@ impl PlanCache {
             misses: inner.misses,
             evictions: inner.evictions,
             invalidations: inner.invalidations,
+            reg_patches: inner.reg_patches,
+            reg_rebinds: inner.reg_rebinds,
             len: inner.entries.len(),
             capacity: inner.capacity,
         }
@@ -681,6 +938,17 @@ impl PlanCache {
 
     pub(crate) fn record_miss(&self) {
         self.lock().misses += 1;
+    }
+
+    /// Accounts one warm execution's register maintenance (see
+    /// [`PlanCacheStats::reg_patches`] / [`PlanCacheStats::reg_rebinds`]).
+    pub(crate) fn record_reg_maintenance(&self, patched: u64, rebound: u64) {
+        if patched == 0 && rebound == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.reg_patches += patched;
+        inner.reg_rebinds += rebound;
     }
 
     /// Removes a stale entry (guards or schema changed).

@@ -107,11 +107,26 @@ pub(crate) fn plan_bounds(
     }
 }
 
+/// Process-wide count of [`minimal_dissociations`] invocations — the
+/// breadth-first candidate search is the expensive cold half of bounds
+/// planning, and warm plan-cache hits must skip it entirely. Exposed (as
+/// [`dissociation_search_count`]) so tests and benches can assert the
+/// skip instead of inferring it from timings.
+static DISSOCIATION_SEARCHES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times the candidate dissociation search has run in this
+/// process. Warm bounds queries (plan-cache hits) leave it unchanged:
+/// cached plans carry their candidates and compiled bracket programs.
+pub fn dissociation_search_count() -> u64 {
+    DISSOCIATION_SEARCHES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// All minimal-size extension sets that make the shape hierarchical and
 /// admit a dissociated decomposition. Searches breadth-first by extension
 /// count (size 1, then 2); beyond that it falls back to the always-valid
 /// full dissociation (every term in every class).
 fn minimal_dissociations(resolved: &Resolved) -> Vec<Dissociation> {
+    DISSOCIATION_SEARCHES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let pairs: Vec<(usize, usize)> = (0..resolved.classes.len())
         .flat_map(|c| {
             let members = resolved.classes[c].terms();

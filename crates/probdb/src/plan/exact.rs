@@ -216,6 +216,35 @@ pub(crate) fn count_steps(resolved: &Resolved) -> Vec<MassStep> {
         .collect()
 }
 
+/// One step's grouped expected-mass table: `(key, mass)` sorted
+/// lexicographically by key (see [`grouped_term_mass`]). Tables depend
+/// only on the step shape and the term's live rows, so the plan cache
+/// memoizes them next to the boolean registers.
+pub(crate) type MassTable = Vec<(Vec<u16>, f64)>;
+
+/// Builds every step's grouped mass table, fanning the per-step group
+/// sorts out over the rayon pool when `parallel` (tables are
+/// independent; the shim collects in step order, so the output is
+/// identical either way).
+pub(crate) fn mass_tables(
+    steps: &[MassStep],
+    compiled: &[CompiledTerm],
+    parallel: bool,
+) -> Vec<MassTable> {
+    if parallel && steps.len() > 1 {
+        use rayon::prelude::*;
+        steps
+            .par_iter()
+            .map(|step| grouped_term_mass(&compiled[step.term], step))
+            .collect()
+    } else {
+        steps
+            .iter()
+            .map(|step| grouped_term_mass(&compiled[step.term], step))
+            .collect()
+    }
+}
+
 /// Deterministic expected-count fold: each step joins the accumulated
 /// class assignments against its term's grouped mass table, probing only
 /// the keys compatible with the already-bound classes (binary search on
@@ -225,27 +254,41 @@ pub(crate) fn count_steps(resolved: &Resolved) -> Vec<MassStep> {
 /// interpreter and the bytecode VM both call this kernel, which makes
 /// their expected counts bit-identical by construction.
 pub(crate) fn run_mass_join(steps: &[MassStep], compiled: &[CompiledTerm], classes: usize) -> f64 {
+    run_mass_join_tables(steps, &mass_tables(steps, compiled, false), classes, 1)
+}
+
+/// [`run_mass_join`] over prebuilt (possibly memoized) mass tables, with
+/// the probe loop sharded across the rayon pool when `shards > 1`.
+///
+/// Sharding is bit-identical to the sequential fold: the accumulator is
+/// split into contiguous chunks, each chunk probes the (shared,
+/// read-only) table independently, and the chunk outputs are
+/// concatenated in chunk order — exactly the sequential push sequence.
+/// The stable sort and run merge that follow therefore see the identical
+/// input, and every weight flows through the identical additions and
+/// multiplications.
+pub(crate) fn run_mass_join_tables(
+    steps: &[MassStep],
+    tables: &[MassTable],
+    classes: usize,
+    shards: usize,
+) -> f64 {
     // Seed: the empty assignment (one per class, u16::MAX = unbound).
     let mut acc: Vec<(Vec<u16>, f64)> = vec![(vec![u16::MAX; classes], 1.0)];
-    for step in steps {
-        let grouped = grouped_term_mass(&compiled[step.term], step);
-        let nb = step.bound.len();
-        let mut next: Vec<(Vec<u16>, f64)> = Vec::new();
-        let mut probe = vec![0u16; nb];
-        for (assign, w) in &acc {
-            for (i, &(_, ci)) in step.bound.iter().enumerate() {
-                probe[i] = assign[ci];
-            }
-            let lo = grouped.partition_point(|(k, _)| k[..nb] < probe[..]);
-            let hi = lo + grouped[lo..].partition_point(|(k, _)| k[..nb] == probe[..]);
-            for (key, m) in &grouped[lo..hi] {
-                let mut merged = assign.clone();
-                for (i, &(_, ci)) in step.fresh.iter().enumerate() {
-                    merged[ci] = key[nb + i];
-                }
-                next.push((merged, w * m));
-            }
-        }
+    for (step, grouped) in steps.iter().zip(tables) {
+        let mut next = if shards > 1 && acc.len() >= shards.max(2) {
+            use rayon::prelude::*;
+            let size = acc.len().div_ceil(shards);
+            let parts: Vec<Vec<(Vec<u16>, f64)>> = acc
+                .chunks(size)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|chunk| probe_step(step, grouped, chunk))
+                .collect();
+            parts.into_iter().flatten().collect()
+        } else {
+            probe_step(step, grouped, &acc)
+        };
         if next.is_empty() {
             return 0.0;
         }
@@ -255,11 +298,39 @@ pub(crate) fn run_mass_join(steps: &[MassStep], compiled: &[CompiledTerm], class
     acc.iter().map(|&(_, w)| w).sum()
 }
 
+/// Probes one step's grouped table with a slice of accumulated
+/// assignments, in order — the sequential fold's inner loop, factored
+/// out so the sharded fold can run it per chunk.
+fn probe_step(
+    step: &MassStep,
+    grouped: &MassTable,
+    acc: &[(Vec<u16>, f64)],
+) -> Vec<(Vec<u16>, f64)> {
+    let nb = step.bound.len();
+    let mut next: Vec<(Vec<u16>, f64)> = Vec::new();
+    let mut probe = vec![0u16; nb];
+    for (assign, w) in acc {
+        for (i, &(_, ci)) in step.bound.iter().enumerate() {
+            probe[i] = assign[ci];
+        }
+        let lo = grouped.partition_point(|(k, _)| k[..nb] < probe[..]);
+        let hi = lo + grouped[lo..].partition_point(|(k, _)| k[..nb] == probe[..]);
+        for (key, m) in &grouped[lo..hi] {
+            let mut merged = assign.clone();
+            for (i, &(_, ci)) in step.fresh.iter().enumerate() {
+                merged[ci] = key[nb + i];
+            }
+            next.push((merged, w * m));
+        }
+    }
+    next
+}
+
 /// Expected mass of one step's term keyed by `bound ++ fresh` positions
 /// (certain rows weigh 1, alternatives their probability), sorted
 /// lexicographically with equal keys merge-summed in row order — so the
 /// probe side is a binary search on the bound prefix.
-fn grouped_term_mass(ct: &CompiledTerm, step: &MassStep) -> Vec<(Vec<u16>, f64)> {
+pub(crate) fn grouped_term_mass(ct: &CompiledTerm, step: &MassStep) -> Vec<(Vec<u16>, f64)> {
     let probs = ct.db.columns().alt_probs();
     let nk = step.bound.len() + step.fresh.len();
     let mut rows: Vec<(Vec<u16>, f64)> = Vec::new();

@@ -45,6 +45,7 @@ mod report;
 mod vm;
 
 pub use compile::{PlanCache, PlanCacheStats};
+pub use dissociate::dissociation_search_count;
 pub use report::{
     EvalPath, EvalReport, PlanClass, PlanRoute, ProbabilityBounds, RelationStats, SafePlan,
 };
@@ -96,6 +97,14 @@ pub struct QueryEngineConfig {
     /// ignored by [`CatalogEngine::with_plan_cache`], which brings its
     /// own.
     pub plan_cache_capacity: usize,
+    /// Key-range shard count for parallel plan execution. `0` (the
+    /// default) auto-configures: large partition folds shard 16 ways
+    /// when the ambient rayon pool has more than one thread, and stay
+    /// sequential otherwise. Any nonzero value forces that many shards
+    /// even on one thread (useful for tests and overhead measurements).
+    /// Answers are **bit-identical at every setting** — sharding fixes
+    /// the multiplication order to the sequential fold's.
+    pub shards: usize,
 }
 
 impl Default for QueryEngineConfig {
@@ -108,6 +117,7 @@ impl Default for QueryEngineConfig {
             bounds_tolerance: 0.05,
             compile_plans: true,
             plan_cache_capacity: 128,
+            shards: 0,
         }
     }
 }
@@ -537,18 +547,35 @@ where
     let classes = resolved.classes.len();
     let mut decomposition = plan.decomposition.clone();
     let mut dissociated: Vec<String> = Vec::new();
+    let shards = vm::resolve_shards(config.shards);
     let answer = match (&plan.program, stat) {
         (CompiledProgram::Boolean(prog), Statistic::Probability) => {
-            let regs = vm::bind_program(prog, &compiled);
-            let p = vm::run_prebound(prog, &regs);
-            memoize_regs(plan, &versions, vec![regs], &compiled);
+            let maint = compile::rebind_or_patch(plan, &resolved, &compiled, &versions);
+            cache.record_reg_maintenance(maint.patched, maint.rebound);
+            let p = vm::run_prebound_sharded(prog, &maint.per_program[0], shards);
+            memoize_regs(
+                plan,
+                &versions,
+                &resolved,
+                maint.per_program,
+                None,
+                &compiled,
+            );
             QueryAnswer::Probability { p, std_error: None }
         }
         // Safe shapes collapse the bracket to the exact probability.
         (CompiledProgram::Boolean(prog), Statistic::ProbabilityBounds) => {
-            let regs = vm::bind_program(prog, &compiled);
-            let p = vm::run_prebound(prog, &regs);
-            memoize_regs(plan, &versions, vec![regs], &compiled);
+            let maint = compile::rebind_or_patch(plan, &resolved, &compiled, &versions);
+            cache.record_reg_maintenance(maint.patched, maint.rebound);
+            let p = vm::run_prebound_sharded(prog, &maint.per_program[0], shards);
+            memoize_regs(
+                plan,
+                &versions,
+                &resolved,
+                maint.per_program,
+                None,
+                &compiled,
+            );
             QueryAnswer::Bounds(ProbabilityBounds::exact(p))
         }
         (
@@ -558,9 +585,24 @@ where
             },
             Statistic::ProbabilityBounds,
         ) => {
-            let regs = compile::bind_bounds(programs, &compiled);
-            let eval = compile::run_bounds_prebound(&resolved, candidates, programs, &regs);
-            memoize_regs(plan, &versions, regs, &compiled);
+            let maint = compile::rebind_or_patch(plan, &resolved, &compiled, &versions);
+            cache.record_reg_maintenance(maint.patched, maint.rebound);
+            let eval = compile::run_bounds_prebound(
+                &resolved,
+                candidates,
+                programs,
+                &maint.per_program,
+                shards,
+                Some(&plan.describe),
+            );
+            memoize_regs(
+                plan,
+                &versions,
+                &resolved,
+                maint.per_program,
+                None,
+                &compiled,
+            );
             decomposition = Some(eval.plan);
             dissociated = eval.dissociated;
             let mut bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
@@ -575,10 +617,28 @@ where
             }
             QueryAnswer::Bounds(bounds)
         }
-        (CompiledProgram::Count(prog), Statistic::ExpectedCount) => QueryAnswer::Count {
-            mean: vm::run_count(prog, &compiled),
-            std_error: None,
-        },
+        (CompiledProgram::Count(prog), Statistic::ExpectedCount) => {
+            let maint = compile::rebind_or_patch(plan, &resolved, &compiled, &versions);
+            cache.record_reg_maintenance(maint.patched, maint.rebound);
+            let mean = match (&prog.steps, &maint.count) {
+                (Some(steps), Some(tables)) => {
+                    exact::run_mass_join_tables(steps, tables, prog.classes, shards)
+                }
+                _ => vm::run_count(prog, &compiled),
+            };
+            memoize_regs(
+                plan,
+                &versions,
+                &resolved,
+                maint.per_program,
+                maint.count,
+                &compiled,
+            );
+            QueryAnswer::Count {
+                mean,
+                std_error: None,
+            }
+        }
         (CompiledProgram::Sampled { bounds_reason }, _) => match stat {
             Statistic::Probability => {
                 let counts = mc::sample_join_counts(&compiled, classes, samples, config.mc_seed);
@@ -679,11 +739,13 @@ fn evaluate_cold<'a>(
         certain_count: ct.live_certain.count_ones(),
         alt_matches: ct.live_alts.clone(),
     };
+    let shards = vm::resolve_shards(config.shards);
     let answer = match (stat, path) {
         (Statistic::Probability, EvalPath::ExactColumnar) => {
             let p = if use_vm {
                 let prog = compile::compile_boolean(&resolved);
-                let p = vm::run(&prog, &compiled);
+                let regs = vm::bind_program(&prog, &compiled);
+                let p = vm::run_prebound_sharded(&prog, &regs, shards);
                 built = Some(CompiledProgram::Boolean(prog));
                 route = PlanRoute::Compiled;
                 p
@@ -708,7 +770,9 @@ fn evaluate_cold<'a>(
                 Some(BoundsPlan::Dissociate(candidates)) => {
                     let eval = if use_vm {
                         let programs = compile::compile_bounds(&resolved, candidates);
-                        let eval = compile::run_bounds(&resolved, &compiled, candidates, &programs);
+                        let eval = compile::run_bounds(
+                            &resolved, &compiled, candidates, &programs, shards,
+                        );
                         built = Some(CompiledProgram::Bounds {
                             candidates: candidates.clone(),
                             programs,
@@ -738,7 +802,8 @@ fn evaluate_cold<'a>(
                 _ => {
                     let p = if use_vm {
                         let prog = compile::compile_boolean(&resolved);
-                        let p = vm::run(&prog, &compiled);
+                        let regs = vm::bind_program(&prog, &compiled);
+                        let p = vm::run_prebound_sharded(&prog, &regs, shards);
                         built = Some(CompiledProgram::Boolean(prog));
                         route = PlanRoute::Compiled;
                         p
@@ -776,7 +841,14 @@ fn evaluate_cold<'a>(
         (Statistic::ExpectedCount, EvalPath::ExactColumnar) => {
             let mean = if use_vm {
                 let prog = compile::compile_count(&resolved);
-                let mean = vm::run_count(&prog, &compiled);
+                let mean = match &prog.steps {
+                    Some(steps) => {
+                        let tables =
+                            exact::mass_tables(steps, &compiled, rayon::current_num_threads() > 1);
+                        exact::run_mass_join_tables(steps, &tables, prog.classes, shards)
+                    }
+                    None => vm::run_count(&prog, &compiled),
+                };
                 built = Some(CompiledProgram::Count(prog));
                 route = PlanRoute::Compiled;
                 mean
@@ -889,12 +961,20 @@ fn evaluate_cold<'a>(
 fn memoize_regs(
     plan: &CachedPlan,
     versions: &[u64],
+    resolved: &Resolved,
     per_program: Vec<Vec<vm::TermRegs>>,
+    count: Option<Vec<exact::MassTable>>,
     compiled: &[CompiledTerm],
 ) {
     *plan.regs.lock().expect("register memo lock") = Some(compile::BoundRegs {
         versions: versions.to_vec(),
+        shard_versions: resolved
+            .terms
+            .iter()
+            .map(|t| t.db.shard_versions().to_vec())
+            .collect(),
         per_program,
+        count,
         stats: relation_stats(compiled),
     });
 }
@@ -918,14 +998,23 @@ fn run_prebound_fast(
     }
     let mut decomposition = plan.decomposition.clone();
     let mut dissociated: Vec<String> = Vec::new();
+    let shards = vm::resolve_shards(config.shards);
     let answer = match (&plan.program, stat) {
         (CompiledProgram::Boolean(prog), Statistic::Probability) => QueryAnswer::Probability {
-            p: vm::run_prebound(prog, &memo.per_program[0]),
+            p: vm::run_prebound_sharded(prog, &memo.per_program[0], shards),
             std_error: None,
         },
         (CompiledProgram::Boolean(prog), Statistic::ProbabilityBounds) => QueryAnswer::Bounds(
-            ProbabilityBounds::exact(vm::run_prebound(prog, &memo.per_program[0])),
+            ProbabilityBounds::exact(vm::run_prebound_sharded(prog, &memo.per_program[0], shards)),
         ),
+        (CompiledProgram::Count(prog), Statistic::ExpectedCount) => {
+            let steps = prog.steps.as_ref()?;
+            let tables = memo.count.as_ref()?;
+            QueryAnswer::Count {
+                mean: exact::run_mass_join_tables(steps, tables, prog.classes, shards),
+                std_error: None,
+            }
+        }
         (
             CompiledProgram::Bounds {
                 candidates,
@@ -933,8 +1022,14 @@ fn run_prebound_fast(
             },
             Statistic::ProbabilityBounds,
         ) => {
-            let eval =
-                compile::run_bounds_prebound(resolved, candidates, programs, &memo.per_program);
+            let eval = compile::run_bounds_prebound(
+                resolved,
+                candidates,
+                programs,
+                &memo.per_program,
+                shards,
+                Some(&plan.describe),
+            );
             let bounds = ProbabilityBounds::bracket(eval.lower, eval.upper);
             if bounds.width() > config.bounds_tolerance && config.mc_samples > 0 {
                 // The hybrid refinement samples worlds — full warm path.

@@ -45,6 +45,31 @@
 //! bit for bit. Registers are owned and data-addressed, so the plan
 //! cache memoizes them next to version stamps — an unchanged-data warm
 //! hit skips the gather entirely.
+//!
+//! **Sharded execution.** The root partition fold is independent across
+//! key values, so [`run_prebound_sharded`] splits the sorted key domain
+//! into contiguous value ranges ([`shard_ranges`]), evaluates each range
+//! on the rayon pool, and merges in range order. Each shard returns its
+//! per-value *complement factors* `1 - p_v` in ascending value order —
+//! not a partial product — and the merge multiplies the concatenated
+//! factor sequence left to right. That sequence is exactly the sequence
+//! the sequential fold multiplies, so the result is **bit-identical to
+//! the sequential VM (and therefore the interpreter) at every thread
+//! and shard count**: floating-point non-associativity never enters,
+//! because the multiplication order never changes. Dissociated folds
+//! need one extra pass — the branch count `d` feeding the lower bound's
+//! replication registers is counted per shard and summed in shard order
+//! (exact: counts are small integers) before any factor is computed, so
+//! every shard sees the same global `d` the sequential fold would.
+//!
+//! **Incremental maintenance.** [`patch_term`] rebuilds only the dirty
+//! key ranges of a memoized register set after an upsert: the store's
+//! per-shard version stamps ([`crate::ProbDb::shard_versions`]) prove
+//! which leading-key ranges changed, the stale runs are re-gathered and
+//! re-sorted, and the clean runs are spliced over from the old registers
+//! unchanged. Because the level-0 key is the pre-sort's primary key and
+//! equal stamps imply identical shard contents, the splice reproduces a
+//! fresh [`bind_program`] bit for bit.
 
 use super::classify::CompiledTerm;
 use super::exact::{self, MassStep};
@@ -170,7 +195,7 @@ pub(crate) struct TermRegs {
 /// Gathers and pre-sorts every term's live rows into columnar registers
 /// (the per-execution half of compilation — the program itself is
 /// data-free and cacheable).
-fn bind_term(path: &[usize], ct: &CompiledTerm) -> TermRegs {
+pub(crate) fn bind_term(path: &[usize], ct: &CompiledTerm) -> TermRegs {
     let mut cert: Vec<u32> = ct.live_certain.iter_ones().map(|i| i as u32).collect();
     let mut alts: Vec<u32> = ct.live_alts.iter_ones().map(|i| i as u32).collect();
     let ccols: Vec<&[u16]> = path
@@ -220,6 +245,120 @@ fn bind_term(path: &[usize], ct: &CompiledTerm) -> TermRegs {
     }
 }
 
+/// Incrementally re-binds a term's registers after an upsert that only
+/// touched the level-0 key ranges in `dirty` (sorted, disjoint,
+/// ascending): the dirty rows are re-gathered and re-sorted exactly as
+/// [`bind_term`] would, and the clean runs are spliced over from `old`
+/// unchanged.
+///
+/// Bit-identity to a fresh [`bind_term`]: the level-0 key is the LSD
+/// pre-sort's *primary* key, so a fresh bind's output is partitioned
+/// into contiguous segments by level-0 key range, each segment being the
+/// stable sort of exactly the rows in that range. Segments over clean
+/// ranges are unchanged from `old` (equal shard stamps imply the
+/// identical push sequence there), and segments over dirty ranges equal
+/// the stable sort of the re-gathered rows — which is what this splice
+/// assembles, range by ascending range.
+pub(crate) fn patch_term(
+    old: &TermRegs,
+    path: &[usize],
+    ct: &CompiledTerm,
+    dirty: &[std::ops::Range<u32>],
+) -> TermRegs {
+    let ccols: Vec<&[u16]> = path
+        .iter()
+        .map(|&c| ct.class_key(c).expect("sort path classes key the term").0)
+        .collect();
+    let acols: Vec<&[u16]> = path
+        .iter()
+        .map(|&c| ct.class_key(c).expect("sort path classes key the term").1)
+        .collect();
+    let in_dirty = |v: u16| dirty.iter().any(|r| r.contains(&(v as u32)));
+    // Re-gather only the live rows whose leading key landed in a dirty
+    // range; the sort and block collapse mirror `bind_term` exactly.
+    let mut cert: Vec<u32> = ct
+        .live_certain
+        .iter_ones()
+        .map(|i| i as u32)
+        .filter(|&r| in_dirty(ccols[0][r as usize]))
+        .collect();
+    let mut alts: Vec<u32> = ct
+        .live_alts
+        .iter_ones()
+        .map(|i| i as u32)
+        .filter(|&r| in_dirty(acols[0][r as usize]))
+        .collect();
+    sort_by_path(&mut cert, &ccols);
+    sort_by_path(&mut alts, &acols);
+    let probs = ct.db.columns().alt_probs();
+    let mut heads: Vec<u32> = Vec::new();
+    let mut hmass: Vec<f64> = Vec::new();
+    let mut i = 0;
+    while i < alts.len() {
+        let block = ct.alt_block[alts[i] as usize];
+        heads.push(alts[i]);
+        let mut mass = 0.0;
+        while i < alts.len() && ct.alt_block[alts[i] as usize] == block {
+            mass += probs[alts[i] as usize];
+            i += 1;
+        }
+        hmass.push(mass);
+    }
+    // Splice: for each dirty range, copy the preceding clean segment
+    // from the old registers, then append the re-gathered runs of the
+    // range; finish with the clean tail.
+    let levels = path.len();
+    let mut ckeys: Vec<Vec<u16>> = vec![Vec::new(); levels];
+    let mut akeys: Vec<Vec<u16>> = vec![Vec::new(); levels];
+    let mut amass: Vec<f64> = Vec::new();
+    let (mut oc, mut oa) = (0u32, 0u32); // old-register cursors
+    let (mut nc, mut na) = (0usize, 0usize); // re-gathered cursors
+    let old_ck0 = &old.ckeys[0];
+    let old_ak0 = &old.akeys[0];
+    for range in dirty {
+        let cs = seek(old_ck0, range.start).max(oc);
+        let as_ = seek(old_ak0, range.start).max(oa);
+        for lvl in 0..levels {
+            ckeys[lvl].extend_from_slice(&old.ckeys[lvl][oc as usize..cs as usize]);
+            akeys[lvl].extend_from_slice(&old.akeys[lvl][oa as usize..as_ as usize]);
+        }
+        amass.extend_from_slice(&old.amass[oa as usize..as_ as usize]);
+        oc = seek(old_ck0, range.end).max(cs);
+        oa = seek(old_ak0, range.end).max(as_);
+        while nc < cert.len() && (ccols[0][cert[nc] as usize] as u32) < range.end {
+            for lvl in 0..levels {
+                ckeys[lvl].push(ccols[lvl][cert[nc] as usize]);
+            }
+            nc += 1;
+        }
+        while na < heads.len() && (acols[0][heads[na] as usize] as u32) < range.end {
+            for lvl in 0..levels {
+                akeys[lvl].push(acols[lvl][heads[na] as usize]);
+            }
+            amass.push(hmass[na]);
+            na += 1;
+        }
+    }
+    for lvl in 0..levels {
+        ckeys[lvl].extend_from_slice(&old.ckeys[lvl][oc as usize..]);
+        akeys[lvl].extend_from_slice(&old.akeys[lvl][oa as usize..]);
+    }
+    amass.extend_from_slice(&old.amass[oa as usize..]);
+    debug_assert_eq!(
+        ckeys[0].len(),
+        ct.live_certain.count_ones(),
+        "patched certain registers cover every live row"
+    );
+    debug_assert_eq!((nc, na), (cert.len(), heads.len()));
+    TermRegs {
+        clen: ckeys[0].len() as u32,
+        alen: amass.len() as u32,
+        ckeys,
+        akeys,
+        amass,
+    }
+}
+
 /// Stable LSD counting sort of `rows` by the key columns, last level
 /// first. Dictionary-encoded keys are dense small `u16`s, so counting
 /// beats a comparator sort's per-comparison column indirection; per-pass
@@ -257,28 +396,207 @@ pub(crate) fn bind_program(program: &Program, compiled: &[CompiledTerm]) -> Vec<
         .collect()
 }
 
-/// Runs a boolean program against the current column data. The result is
-/// the raw product over root components — callers clamp for bound modes,
-/// exactly like the interpreter.
-pub(crate) fn run(program: &Program, compiled: &[CompiledTerm]) -> f64 {
-    run_prebound(program, &bind_program(program, compiled))
-}
-
 /// Runs a boolean program against registers bound earlier (and still
 /// valid for the current data).
 pub(crate) fn run_prebound(program: &Program, regs: &[TermRegs]) -> f64 {
-    let mut ex = Exec {
-        prog: program,
-        win: regs.iter().map(|r| [0, r.clen, 0, r.alen]).collect(),
-        repl: vec![1.0; regs.len()],
-        memo: vec![FxHashMap::default(); program.ops.len()],
-        regs,
-    };
+    let mut ex = Exec::new(program, regs);
     let mut p = 1.0;
     for &root in &program.roots {
         p *= ex.eval(root);
     }
     p
+}
+
+/// Default shard count when the engine auto-configures sharding
+/// (`QueryEngineConfig::shards == 0` on a multi-threaded pool). Matches
+/// [`crate::column::SHARD_COUNT`] so register patching and parallel
+/// execution partition the key domain the same way, but the two are
+/// independent knobs: any shard count produces bit-identical answers.
+pub(crate) const DEFAULT_SHARDS: usize = 16;
+
+/// Minimum binding rows before an *auto-configured* fold bothers
+/// sharding; explicitly requested shard counts ignore it. Purely an
+/// overhead threshold — results are identical either way.
+const AUTO_SHARD_MIN_ROWS: u32 = 4096;
+
+/// Resolves a configured shard count: `0` means "auto" — shard to
+/// [`DEFAULT_SHARDS`] when the current rayon pool has more than one
+/// thread, stay sequential otherwise. A nonzero count is honored as-is
+/// (even on one thread), which is what lets tests and benches force the
+/// sharded path deterministically.
+pub(crate) fn resolve_shards(requested: usize) -> usize {
+    match requested {
+        0 if rayon::current_num_threads() > 1 => DEFAULT_SHARDS,
+        0 => 1,
+        n => n,
+    }
+}
+
+/// [`resolve_shards`], plus the auto-mode size gate: tiny folds stay
+/// sequential unless a shard count was forced.
+fn effective_shards(requested: usize, rows: u32) -> usize {
+    if requested == 0 && rows < AUTO_SHARD_MIN_ROWS {
+        1
+    } else {
+        resolve_shards(requested)
+    }
+}
+
+/// [`run_prebound`], with each root partition fold sharded across the
+/// rayon pool. Bit-identical to the sequential path at every thread and
+/// shard count — see the module docs for the argument — because shards
+/// return per-value complement factors that are merged in value order,
+/// reproducing the sequential multiplication sequence exactly.
+pub(crate) fn run_prebound_sharded(program: &Program, regs: &[TermRegs], shards: usize) -> f64 {
+    if shards <= 1 {
+        return run_prebound(program, regs);
+    }
+    let mut p = 1.0;
+    for &root in &program.roots {
+        // A fresh `Exec` per root is bit-identical to the shared one in
+        // `run_prebound`: windows, replication registers and memos carry
+        // no state across root components.
+        p *= eval_root_sharded(program, regs, root, shards);
+    }
+    p
+}
+
+/// Evaluates one root component, sharding its partition fold by key
+/// range when the fold is large enough to split.
+fn eval_root_sharded(program: &Program, regs: &[TermRegs], root: u32, requested: usize) -> f64 {
+    let Op::Partition {
+        binding,
+        copied,
+        body,
+        fused,
+    } = &program.ops[root as usize]
+    else {
+        return Exec::new(program, regs).eval(root);
+    };
+    let rows: u32 = binding
+        .iter()
+        .map(|&(t, _)| {
+            let r = &regs[t as usize];
+            r.clen + r.alen
+        })
+        .sum();
+    let ranges = shard_ranges(binding, regs, effective_shards(requested, rows));
+    if ranges.len() <= 1 {
+        return Exec::new(program, regs).eval(root);
+    }
+    use rayon::prelude::*;
+    // Dissociated folds replicate the global branch count d into every
+    // copied term, so it must be known before any shard computes a
+    // factor: count per shard, sum in shard order (exact — counts are
+    // small integers, so the sum order cannot matter anyway).
+    let d = if copied.is_empty() {
+        0.0
+    } else {
+        ranges
+            .par_iter()
+            .map(|range| shard_exec(program, regs, binding, range).count_values(binding))
+            .collect::<Vec<f64>>()
+            .into_iter()
+            .sum()
+    };
+    let chunks: Vec<Vec<f64>> = ranges
+        .par_iter()
+        .map(|range| {
+            let mut ex = shard_exec(program, regs, binding, range);
+            ex.partition_factors(root, binding, copied, body, fused.as_deref(), d)
+        })
+        .collect();
+    // Merge: multiply the concatenated factor sequence left to right —
+    // the exact sequence (and early exit) of the sequential fold.
+    let mut none = 1.0;
+    'merge: for chunk in &chunks {
+        for &f in chunk {
+            none *= f;
+            if none == 0.0 {
+                break 'merge;
+            }
+        }
+    }
+    1.0 - none
+}
+
+/// Splits the root fold's key domain into up to `shards` contiguous
+/// value ranges with roughly balanced row counts, cutting at values
+/// drawn from the largest binding term's sorted key register. The ranges
+/// tile `[0, 65536)` in ascending order, so concatenating the per-range
+/// value sequences reproduces the sequential fold's value order exactly.
+#[allow(clippy::single_range_in_vec_init)] // ranges are shard intervals, not element sets
+fn shard_ranges(
+    binding: &[(u32, u32)],
+    regs: &[TermRegs],
+    shards: usize,
+) -> Vec<std::ops::Range<u32>> {
+    const DOMAIN_END: u32 = u16::MAX as u32 + 1;
+    if shards <= 1 || binding.is_empty() {
+        return vec![0..DOMAIN_END];
+    }
+    let &(t, lvl) = binding
+        .iter()
+        .max_by_key(|&&(t, _)| {
+            let r = &regs[t as usize];
+            r.clen + r.alen
+        })
+        .expect("binding is non-empty");
+    let r = &regs[t as usize];
+    let keys: &[u16] = if r.alen >= r.clen {
+        &r.akeys[lvl as usize]
+    } else {
+        &r.ckeys[lvl as usize]
+    };
+    if keys.is_empty() {
+        return vec![0..DOMAIN_END];
+    }
+    // Equidistant positions in the sorted key register give balanced
+    // *rows* per range (not balanced value counts); duplicate cut values
+    // collapse, so skewed keys degrade shard count, never correctness.
+    let mut bounds: Vec<u32> = vec![0];
+    for i in 1..shards {
+        let v = keys[i * keys.len() / shards] as u32;
+        if v > *bounds.last().expect("bounds start non-empty") {
+            bounds.push(v);
+        }
+    }
+    bounds.push(DOMAIN_END);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// An `Exec` whose binding-term windows are narrowed to `range` of the
+/// level-0 key domain. All other terms (copied terms, separate subtrees)
+/// keep their full windows, exactly as in the sequential fold.
+fn shard_exec<'p>(
+    program: &'p Program,
+    regs: &'p [TermRegs],
+    binding: &[(u32, u32)],
+    range: &std::ops::Range<u32>,
+) -> Exec<'p> {
+    let mut ex = Exec::new(program, regs);
+    for &(t, lvl) in binding {
+        // Root partitions always bind at the first path level: compile
+        // pushes the root class onto every bound term's path before
+        // recursing into the body.
+        debug_assert_eq!(lvl, 0, "root partitions bind at the first path level");
+        let r = &regs[t as usize];
+        let ck = &r.ckeys[lvl as usize];
+        let ak = &r.akeys[lvl as usize];
+        ex.win[t as usize] = [
+            seek(ck, range.start),
+            seek(ck, range.end),
+            seek(ak, range.start),
+            seek(ak, range.end),
+        ];
+    }
+    ex
+}
+
+/// First position in the sorted key register whose key is `>= bound`
+/// (`bound` ranges over `0..=65536`, one past the `u16` domain).
+fn seek(keys: &[u16], bound: u32) -> u32 {
+    keys.partition_point(|&k| (k as u32) < bound) as u32
 }
 
 /// Runs an expected-count program through the shared deterministic
@@ -318,7 +636,18 @@ struct Exec<'p> {
     memo: Vec<FxHashMap<(u32, u16, u64), f64>>,
 }
 
-impl Exec<'_> {
+impl<'p> Exec<'p> {
+    /// Fresh execution state: full windows, unit replication, empty memos.
+    fn new(prog: &'p Program, regs: &'p [TermRegs]) -> Self {
+        Exec {
+            prog,
+            win: regs.iter().map(|r| [0, r.clen, 0, r.alen]).collect(),
+            repl: vec![1.0; regs.len()],
+            memo: vec![FxHashMap::default(); prog.ops.len()],
+            regs,
+        }
+    }
+
     fn eval(&mut self, op: u32) -> f64 {
         let prog = self.prog;
         match &prog.ops[op as usize] {
@@ -378,15 +707,7 @@ impl Exec<'_> {
             // The branch count d multiplies every copied term's
             // replication register, identically in all branches — so it
             // is applied once, before the value loop.
-            let mut count = cur.clone();
-            let mut d = 0.0;
-            while let Some(v) = self.next_value(binding, &outer, &mut count) {
-                d += 1.0;
-                for (i, &(t, lvl)) in binding.iter().enumerate() {
-                    let (ce, ae) = self.run_end(t, lvl, &outer[i], &count[i], v);
-                    count[i] = [ce, ae];
-                }
-            }
+            let d = self.count_values(binding);
             for &t in copied {
                 self.repl[t as usize] *= d;
             }
@@ -396,58 +717,12 @@ impl Exec<'_> {
         let mut first = true;
         let mut none = 1.0;
         while let Some(v) = self.next_value(binding, &outer, &mut cur) {
-            for (i, &(t, lvl)) in binding.iter().enumerate() {
-                let (ce, ae) = self.run_end(t, lvl, &outer[i], &cur[i], v);
-                self.win[t as usize] = [cur[i][0], ce, cur[i][1], ae];
-                cur[i] = [ce, ae];
-            }
+            self.narrow_to_run(binding, &outer, &mut cur, v);
             if first {
-                // Loop-invariant factors: copied-only subtrees see the
-                // same (un-narrowed) windows in every branch.
-                for step in body {
-                    if let BodyStep::Hoisted(op) = step {
-                        hoist_vals.push(self.eval(*op));
-                    }
-                }
+                self.hoist_body(body, &mut hoist_vals);
                 first = false;
             }
-            let mut p_v = 1.0;
-            if let Some(leaves) = fused {
-                for &(t, tr, memoizable) in leaves {
-                    let p = if memoizable {
-                        let key = (t, v, self.repl[t as usize].to_bits());
-                        match self.memo[op as usize].get(&key) {
-                            Some(&p) => p,
-                            None => {
-                                let p = self.leaf(t, tr);
-                                self.memo[op as usize].insert(key, p);
-                                p
-                            }
-                        }
-                    } else {
-                        self.leaf(t, tr)
-                    };
-                    p_v *= p;
-                    if p_v == 0.0 {
-                        break;
-                    }
-                }
-            } else {
-                let mut hi = 0;
-                for step in body {
-                    p_v *= match step {
-                        BodyStep::Eval(op) => self.eval(*op),
-                        BodyStep::Hoisted(_) => {
-                            let x = hoist_vals[hi];
-                            hi += 1;
-                            x
-                        }
-                    };
-                    if p_v == 0.0 {
-                        break;
-                    }
-                }
-            }
+            let p_v = self.branch_product(op, body, fused, &hoist_vals, v);
             none *= 1.0 - p_v;
             if none == 0.0 {
                 break;
@@ -461,6 +736,142 @@ impl Exec<'_> {
             self.repl[t as usize] = saved_repl[i];
         }
         1.0 - none
+    }
+
+    /// The partition fold's value loop, returning the per-value
+    /// complement factors `1 - p_v` in ascending value order instead of
+    /// folding them — the sharded executor's per-shard kernel. `d` is the
+    /// *global* branch count (across all shards), precomputed by the
+    /// caller. Windows and replication registers are not restored: the
+    /// shard `Exec` is discarded after this call.
+    fn partition_factors(
+        &mut self,
+        op: u32,
+        binding: &[(u32, u32)],
+        copied: &[u32],
+        body: &[BodyStep],
+        fused: Option<&[(u32, Transform, bool)]>,
+        d: f64,
+    ) -> Vec<f64> {
+        let outer: Vec<[u32; 4]> = binding.iter().map(|&(t, _)| self.win[t as usize]).collect();
+        let mut cur: Vec<[u32; 2]> = outer.iter().map(|w| [w[0], w[2]]).collect();
+        for &t in copied {
+            self.repl[t as usize] *= d;
+        }
+        let mut hoist_vals: Vec<f64> = Vec::new();
+        let mut first = true;
+        let mut out = Vec::new();
+        while let Some(v) = self.next_value(binding, &outer, &mut cur) {
+            self.narrow_to_run(binding, &outer, &mut cur, v);
+            if first {
+                self.hoist_body(body, &mut hoist_vals);
+                first = false;
+            }
+            let p_v = self.branch_product(op, body, fused, &hoist_vals, v);
+            out.push(1.0 - p_v);
+            if p_v == 1.0 {
+                // This factor is exactly 0.0, so the merged product is
+                // 0.0 no matter what follows — the same early exit the
+                // sequential fold takes when `none` first hits zero.
+                break;
+            }
+        }
+        out
+    }
+
+    /// Counts the distinct key values of the fold over the *current*
+    /// windows (the branch count `d` of a dissociated fold). Read-only:
+    /// iterates private cursors, windows stay untouched.
+    fn count_values(&self, binding: &[(u32, u32)]) -> f64 {
+        let outer: Vec<[u32; 4]> = binding.iter().map(|&(t, _)| self.win[t as usize]).collect();
+        let mut cur: Vec<[u32; 2]> = outer.iter().map(|w| [w[0], w[2]]).collect();
+        let mut d = 0.0;
+        while let Some(v) = self.next_value(binding, &outer, &mut cur) {
+            d += 1.0;
+            for (i, &(t, lvl)) in binding.iter().enumerate() {
+                let (ce, ae) = self.run_end(t, lvl, &outer[i], &cur[i], v);
+                cur[i] = [ce, ae];
+            }
+        }
+        d
+    }
+
+    /// Narrows every binding term's window to its `v` run and advances
+    /// the merge cursors past it.
+    fn narrow_to_run(
+        &mut self,
+        binding: &[(u32, u32)],
+        outer: &[[u32; 4]],
+        cur: &mut [[u32; 2]],
+        v: u16,
+    ) {
+        for (i, &(t, lvl)) in binding.iter().enumerate() {
+            let (ce, ae) = self.run_end(t, lvl, &outer[i], &cur[i], v);
+            self.win[t as usize] = [cur[i][0], ce, cur[i][1], ae];
+            cur[i] = [ce, ae];
+        }
+    }
+
+    /// Evaluates the loop-invariant (hoisted) body steps once, in body
+    /// order: copied-only subtrees see the same un-narrowed windows in
+    /// every branch.
+    fn hoist_body(&mut self, body: &[BodyStep], hoist_vals: &mut Vec<f64>) {
+        for step in body {
+            if let BodyStep::Hoisted(op) = step {
+                hoist_vals.push(self.eval(*op));
+            }
+        }
+    }
+
+    /// One branch's subcomponent product `∏ p`, left to right with the
+    /// interpreter's zero early-exit, through either the fused leaf list
+    /// or the general body.
+    fn branch_product(
+        &mut self,
+        op: u32,
+        body: &[BodyStep],
+        fused: Option<&[(u32, Transform, bool)]>,
+        hoist_vals: &[f64],
+        v: u16,
+    ) -> f64 {
+        let mut p_v = 1.0;
+        if let Some(leaves) = fused {
+            for &(t, tr, memoizable) in leaves {
+                let p = if memoizable {
+                    let key = (t, v, self.repl[t as usize].to_bits());
+                    match self.memo[op as usize].get(&key) {
+                        Some(&p) => p,
+                        None => {
+                            let p = self.leaf(t, tr);
+                            self.memo[op as usize].insert(key, p);
+                            p
+                        }
+                    }
+                } else {
+                    self.leaf(t, tr)
+                };
+                p_v *= p;
+                if p_v == 0.0 {
+                    break;
+                }
+            }
+        } else {
+            let mut hi = 0;
+            for step in body {
+                p_v *= match step {
+                    BodyStep::Eval(op) => self.eval(*op),
+                    BodyStep::Hoisted(_) => {
+                        let x = hoist_vals[hi];
+                        hi += 1;
+                        x
+                    }
+                };
+                if p_v == 0.0 {
+                    break;
+                }
+            }
+        }
+        p_v
     }
 
     /// Advances the merge to the next key value present in *every*

@@ -1,0 +1,108 @@
+//! Warm-planning suite.
+//!
+//! Bounds planning has two expensive cold-only stages: the BFS over
+//! dissociation candidates and the bracket program compilation. Both are
+//! cached under the query's shape key, so a warm hit must run neither.
+//! This lives in its own test binary because it observes the
+//! process-wide [`dissociation_search_count`] counter.
+
+use mrsl_repro::probdb::{
+    dissociation_search_count, Alternative, Block, Catalog, CatalogEngine, PlanRoute, Predicate,
+    ProbDb, Query, QueryEngineConfig, Statistic,
+};
+use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, ValueId};
+
+fn alt(values: Vec<u16>, prob: f64) -> Alternative {
+    Alternative {
+        tuple: CompleteTuple::from_values(values),
+        prob,
+    }
+}
+
+/// The unsafe chain `R(x), S(x,y), T(y)` — the minimal dissociable shape.
+fn chain_catalog() -> Catalog {
+    let one = |n: &str| {
+        Schema::builder()
+            .attribute(n, ["v0", "v1"])
+            .attribute("ok", ["no", "yes"])
+            .build()
+            .unwrap()
+    };
+    let two = Schema::builder()
+        .attribute("x", ["v0", "v1"])
+        .attribute("y", ["v0", "v1"])
+        .attribute("ok", ["no", "yes"])
+        .build()
+        .unwrap();
+    let pair = |k: u16, p: f64| vec![alt(vec![k, 0], 1.0 - p), alt(vec![k, 1], p)];
+    let spair = |x: u16, y: u16, p: f64| vec![alt(vec![x, y, 0], 1.0 - p), alt(vec![x, y, 1], p)];
+    let mut r = ProbDb::new(one("x"));
+    r.push_block(Block::new(0, pair(0, 0.6)).unwrap()).unwrap();
+    r.push_block(Block::new(1, pair(1, 0.5)).unwrap()).unwrap();
+    let mut s = ProbDb::new(two);
+    s.push_block(Block::new(0, spair(0, 1, 0.7)).unwrap())
+        .unwrap();
+    s.push_block(Block::new(1, spair(1, 0, 0.4)).unwrap())
+        .unwrap();
+    let mut t = ProbDb::new(one("y"));
+    t.push_block(Block::new(0, pair(0, 0.8)).unwrap()).unwrap();
+    t.push_block(Block::new(1, pair(1, 0.3)).unwrap()).unwrap();
+    let mut catalog = Catalog::new();
+    catalog.add("r", r).unwrap();
+    catalog.add("s", s).unwrap();
+    catalog.add("t", t).unwrap();
+    catalog
+}
+
+fn chain_query() -> Query {
+    let ok2 = Predicate::eq(AttrId(1), ValueId(1));
+    let ok3 = Predicate::eq(AttrId(2), ValueId(1));
+    Query::scan("r")
+        .filter(ok2.clone())
+        .join_on(Query::scan("s").filter(ok3), [(AttrId(0), AttrId(0))])
+        .join_on_rel("s", Query::scan("t").filter(ok2), [(AttrId(1), AttrId(0))])
+}
+
+/// Cold bounds planning runs the dissociation BFS once; warm hits reuse
+/// the cached candidates and bracket programs and must not search again —
+/// not even after a benign catalog mutation re-binds the registers.
+#[test]
+fn warm_bounds_hits_skip_the_dissociation_search() {
+    let mut catalog = chain_catalog();
+    let q = chain_query();
+    let config = QueryEngineConfig {
+        bounds_tolerance: 1.0,
+        ..QueryEngineConfig::default()
+    };
+    let engine = CatalogEngine::with_config(&catalog, config);
+    let before = dissociation_search_count();
+    let (_, cold) = engine.evaluate(&q, Statistic::ProbabilityBounds).unwrap();
+    assert_eq!(cold.route, PlanRoute::Compiled);
+    let after_cold = dissociation_search_count();
+    assert!(after_cold > before, "cold planning must run the BFS");
+    let (_, warm) = engine.evaluate(&q, Statistic::ProbabilityBounds).unwrap();
+    assert_eq!(warm.route, PlanRoute::CacheHit);
+    assert_eq!(
+        dissociation_search_count(),
+        after_cold,
+        "a warm hit re-ran the dissociation search"
+    );
+    // A data change moves versions and re-binds registers, but the
+    // candidate set is shape-derived: still no new search.
+    let cache = engine.plan_cache().clone();
+    catalog
+        .get_mut("s")
+        .unwrap()
+        .push_block(Block::new(2, vec![alt(vec![0, 0, 0], 0.5), alt(vec![0, 0, 1], 0.5)]).unwrap())
+        .unwrap();
+    let warm_engine = CatalogEngine::with_plan_cache(&catalog, config, cache);
+    let (_, warm) = warm_engine
+        .evaluate(&q, Statistic::ProbabilityBounds)
+        .unwrap();
+    assert_eq!(warm.route, PlanRoute::CacheHit);
+    assert_eq!(
+        dissociation_search_count(),
+        after_cold,
+        "a post-mutation warm hit re-ran the dissociation search"
+    );
+}
