@@ -1,0 +1,303 @@
+//! Bench: the concurrent serving layer.
+//!
+//! Self-timed reporter (the vendored criterion shim has no programmatic
+//! timing hooks) written to `BENCH_serve.json` at the repo root:
+//!
+//! - per-request p50/p99 latency and aggregate queries/sec for the warm
+//!   hierarchical join probability at 1/2/4/8 client threads hammering
+//!   one [`ProbDbServer`] worker pool through cloned handles;
+//! - cold request latency (plan + bind through the serving path, plan
+//!   cache cleared between samples);
+//! - read-while-ingest: the same client ladder while a writer thread
+//!   publishes one-block upserts copy-on-write — the snapshot swap plus
+//!   the register *patch* (not rebuild) every post-publish request pays;
+//! - the server's cumulative [`ServerStats`] so cache warmth, generation
+//!   lag and queue depth land next to the latency numbers.
+//!
+//! `host_cores` records the machine's parallelism: client counts above it
+//! time contention honestly rather than projecting speedups. Under
+//! `--test` (CI smoke) the fixtures shrink to seconds of work and the
+//! JSON is not rewritten.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsl_bench::synthetic_join_catalog;
+use mrsl_probdb::serve::{ProbDbServer, ServeConfig};
+use mrsl_probdb::{
+    Alternative, Block, Predicate, Query, QueryEngineConfig, ServerHandle, ServerStats, Statistic,
+};
+use mrsl_relation::{AttrId, CompleteTuple, ValueId};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const WORKERS: usize = 4;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: WORKERS,
+        engine: QueryEngineConfig {
+            bounds_tolerance: 1.0,
+            ..QueryEngineConfig::default()
+        },
+    }
+}
+
+/// σ[kind ∈ {0,1}](sensors) ⨝ σ[level ≥ 2](readings) on the station —
+/// the same hierarchical join the shard bench times engine-direct.
+fn join_query() -> Query {
+    Query::scan("sensors")
+        .filter(Predicate::is_in(AttrId(1), [ValueId(0), ValueId(1)]))
+        .join_on(
+            Query::scan("readings").filter(Predicate::range(AttrId(1), ValueId(2), ValueId(3))),
+            [(AttrId(0), AttrId(0))],
+        )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// One client thread: `iters` blocking round-trips through the pool,
+/// per-request wall-clock nanoseconds.
+fn client_latencies(handle: &ServerHandle, query: &Query, iters: usize) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(
+                handle
+                    .evaluate(query, Statistic::Probability)
+                    .expect("served"),
+            );
+            start.elapsed().as_nanos() as f64
+        })
+        .collect()
+}
+
+/// `clients` threads hammering the pool concurrently; returns the merged
+/// sorted per-request samples and the aggregate queries/sec.
+fn client_section(
+    server: &ProbDbServer,
+    query: &Query,
+    clients: usize,
+    iters: usize,
+) -> (Vec<f64>, f64) {
+    let start = Instant::now();
+    let mut samples: Vec<f64> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..clients)
+            .map(|_| {
+                let handle = server.handle();
+                s.spawn(move || client_latencies(&handle, query, iters))
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let qps = (clients * iters) as f64 / wall;
+    (samples, qps)
+}
+
+fn write_section(out: &mut String, key: &str, samples: &[f64], qps: f64, extra: &str, last: bool) {
+    let _ = writeln!(
+        out,
+        "    \"{key}\": {{\"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"qps\": {qps:.1}{extra}}}{}",
+        percentile(samples, 0.5),
+        percentile(samples, 0.99),
+        if last { "" } else { "," }
+    );
+}
+
+/// A fresh one-block upsert for the writer: two alternatives on a
+/// rotating station, normalized to a valid block.
+fn ingest_block(key: usize, stations: usize) -> Block {
+    let station = (key % stations) as u16;
+    Block::normalized(
+        key,
+        vec![
+            Alternative {
+                tuple: CompleteTuple::from_values(vec![station, 0, 0]),
+                prob: 1.0,
+            },
+            Alternative {
+                tuple: CompleteTuple::from_values(vec![station, 1, 1]),
+                prob: 1.0,
+            },
+        ],
+    )
+    .expect("valid block")
+}
+
+fn emit_serve_report(_c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (stations, certain, blocks) = if smoke {
+        (16, 200, 200)
+    } else {
+        (256, 5_000, 20_000)
+    };
+    let iters = if smoke { 5 } else { 300 };
+    let cold_iters = if smoke { 2 } else { 8 };
+
+    let catalog = synthetic_join_catalog(stations, certain, blocks, 3, 42);
+    let query = join_query();
+
+    let mut out = String::from("{\n");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},");
+    let _ = writeln!(
+        out,
+        "  \"fixture\": {{\"stations\": {stations}, \"certain\": {certain}, \
+         \"blocks\": {blocks}, \"iters_per_client\": {iters}}},"
+    );
+
+    // Cold: plan + bind through the serving path. The pool and snapshot
+    // are reused; only the shared plan cache is dropped between samples.
+    let server = ProbDbServer::with_config(catalog.clone(), serve_config());
+    let handle = server.handle();
+    let mut cold: Vec<f64> = (0..cold_iters)
+        .map(|_| {
+            server.plan_cache().clear();
+            let start = Instant::now();
+            std::hint::black_box(
+                handle
+                    .evaluate(&query, Statistic::Probability)
+                    .expect("cold serve"),
+            );
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    cold.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let _ = writeln!(
+        out,
+        "  \"cold\": {{\"p50_ns\": {:.0}, \"p99_ns\": {:.0}}},",
+        percentile(&cold, 0.5),
+        percentile(&cold, 0.99)
+    );
+
+    // Warm ladder: the plan stays cached and memoized; every request is
+    // queue + snapshot pin + cache hit + fold.
+    handle
+        .evaluate(&query, Statistic::Probability)
+        .expect("warm-up");
+    let _ = writeln!(out, "  \"warm\": {{");
+    for (i, &clients) in CLIENTS.iter().enumerate() {
+        let (samples, qps) = client_section(&server, &query, clients, iters);
+        write_section(
+            &mut out,
+            &format!("clients_{clients}"),
+            &samples,
+            qps,
+            "",
+            i + 1 == CLIENTS.len(),
+        );
+    }
+    let _ = writeln!(out, "  }},");
+    let warm_stats = server.stats();
+    server.shutdown();
+
+    // Read-while-ingest: a fresh server per client count (copy-on-write
+    // makes the catalog clone cheap), a writer publishing one-block
+    // upserts on a fixed cadence while the clients hammer the join.
+    let _ = writeln!(out, "  \"read_while_ingest\": {{");
+    let mut ingest_stats: Option<ServerStats> = None;
+    for (i, &clients) in CLIENTS.iter().enumerate() {
+        let server = ProbDbServer::with_config(catalog.clone(), serve_config());
+        server
+            .handle()
+            .evaluate(&query, Statistic::Probability)
+            .expect("warm-up");
+        let stop = AtomicBool::new(false);
+        let next_key = AtomicUsize::new(blocks);
+        let (samples, qps) = std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let key = next_key.fetch_add(1, Ordering::Relaxed);
+                    let block = ingest_block(key, stations);
+                    server.update(|catalog| {
+                        catalog
+                            .get_mut("sensors")
+                            .expect("sensors")
+                            .push_block(block)
+                            .expect("arity ok");
+                    });
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            });
+            let section = client_section(&server, &query, clients, iters);
+            stop.store(true, Ordering::Relaxed);
+            writer.join().expect("writer thread");
+            section
+        });
+        let stats = server.stats();
+        write_section(
+            &mut out,
+            &format!("clients_{clients}"),
+            &samples,
+            qps,
+            &format!(", \"publishes\": {}", stats.publishes),
+            i + 1 == CLIENTS.len(),
+        );
+        if !smoke {
+            assert!(
+                stats.publishes > 0,
+                "read-while-ingest measured no publishes at {clients} clients"
+            );
+        }
+        ingest_stats = Some(stats);
+        server.shutdown();
+    }
+    let _ = writeln!(out, "  }},");
+
+    // Cumulative counters: warm ladder totals, plus the last ingest
+    // section's cache and lag shape.
+    let ingest = ingest_stats.expect("at least one ingest section ran");
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"warm_queries\": {}, \"warm_cache_hits\": {}, \
+         \"warm_max_queue_depth\": {}, \"ingest_queries\": {}, \"ingest_cache_hits\": {}, \
+         \"ingest_lagged_reads\": {}, \"ingest_max_lag\": {}, \"ingest_reg_patches\": {}, \
+         \"ingest_reg_rebinds\": {}, \"errors\": {}}}\n}}",
+        warm_stats.queries,
+        warm_stats.cache_hits,
+        warm_stats.max_queue_depth,
+        ingest.queries,
+        ingest.cache_hits,
+        ingest.lagged_reads,
+        ingest.max_lag,
+        ingest.plan_cache.reg_patches,
+        ingest.plan_cache.reg_rebinds,
+        warm_stats.errors + ingest.errors
+    );
+    assert_eq!(warm_stats.errors + ingest.errors, 0, "served errors");
+    if !smoke {
+        assert!(
+            warm_stats.cache_hits > 0,
+            "warm ladder never hit the shared plan cache"
+        );
+    }
+
+    if smoke {
+        println!("serve bench smoke mode: BENCH_serve.json left untouched");
+        print!("{out}");
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(err) = std::fs::write(path, &out) {
+        eprintln!("BENCH_serve.json not written: {err}");
+    } else {
+        println!("wrote {path}");
+        print!("{out}");
+    }
+}
+
+criterion_group!(benches, emit_serve_report);
+criterion_main!(benches);

@@ -251,6 +251,58 @@ fn emit_shard_report(_c: &mut Criterion) {
         );
     }
 
+    // Auto-shard heuristic on a sub-threshold binding: `shards = 0` must
+    // stay sequential inside a wide pool instead of paying the fan-out
+    // (the 1.4µs → 393µs regression this section guards). Measured on a
+    // dedicated small catalog so the binding sits under the auto-shard
+    // row threshold.
+    let (small_stations, small_certain, small_blocks) =
+        if smoke { (8, 50, 60) } else { (64, 500, 1_000) };
+    let small_catalog = synthetic_join_catalog(small_stations, small_certain, small_blocks, 3, 42);
+    let small_seq = latency_row(
+        &small_catalog,
+        &join,
+        Statistic::Probability,
+        vm_config(1),
+        warm_iters,
+        cold_iters,
+    );
+    let (small_auto, small_forced) = in_pool(8, || {
+        (
+            latency_row(
+                &small_catalog,
+                &join,
+                Statistic::Probability,
+                vm_config(0),
+                warm_iters,
+                cold_iters,
+            ),
+            latency_row(
+                &small_catalog,
+                &join,
+                Statistic::Probability,
+                vm_config(16),
+                warm_iters,
+                cold_iters,
+            ),
+        )
+    });
+    let _ = writeln!(out, "  \"auto_small_binding\": {{");
+    write_row(&mut out, "sequential", &small_seq, false);
+    write_row(&mut out, "auto_8_threads", &small_auto, false);
+    write_row(&mut out, "forced_16_shards_8_threads", &small_forced, true);
+    let _ = writeln!(out, "  }},");
+    if !smoke {
+        // Generous margin: auto must track the sequential fold, not the
+        // forced fan-out (historically ~300x slower here).
+        assert!(
+            small_auto.warm_p50_ns <= small_seq.warm_p50_ns * 20.0,
+            "auto sharding regressed on a small binding: auto {:.0}ns vs sequential {:.0}ns",
+            small_auto.warm_p50_ns,
+            small_seq.warm_p50_ns
+        );
+    }
+
     // Incremental maintenance: a one-block upsert patches one shard of
     // one term; a cold engine re-binds everything from scratch.
     let mut patched_catalog = synthetic_join_catalog(stations, certain, blocks, 3, 42);

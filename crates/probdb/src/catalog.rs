@@ -45,6 +45,7 @@ use crate::database::ProbDb;
 use crate::ProbDbError;
 use mrsl_relation::{AttrId, Attribute};
 use mrsl_util::FxHashMap;
+use std::sync::Arc;
 
 /// Do two attributes intern the same dictionary — the same labels in the
 /// same order? The single definition of join compatibility, used by
@@ -56,9 +57,18 @@ pub(crate) fn same_dictionary(left: &Attribute, right: &Attribute) -> bool {
 
 /// A named collection of probabilistic relations, each a [`ProbDb`] with
 /// its own schema. Iteration order is insertion order.
+///
+/// Relations are held behind [`Arc`], which makes `Catalog::clone`
+/// copy-on-write: the clone shares every relation's storage with the
+/// original, and [`Catalog::get_mut`] deep-copies only the relation it is
+/// about to mutate. The serving layer ([`crate::serve`]) leans on this to
+/// build the next catalog generation behind live readers without copying
+/// untouched relations — and because an unmodified shared relation keeps
+/// its [`ProbDb::version`] and shard stamps, plan-cache register memos
+/// bound against one generation stay warm across the next.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    relations: Vec<(String, ProbDb)>,
+    relations: Vec<(String, Arc<ProbDb>)>,
     by_name: FxHashMap<String, usize>,
 }
 
@@ -79,13 +89,25 @@ impl Catalog {
             return Err(ProbDbError::DuplicateRelation(name));
         }
         self.by_name.insert(name.clone(), self.relations.len());
-        self.relations.push((name, db));
+        self.relations.push((name, Arc::new(db)));
         Ok(())
     }
 
     /// The relation named `name`, if present.
     pub fn get(&self, name: &str) -> Option<&ProbDb> {
-        self.by_name.get(name).map(|&i| &self.relations[i].1)
+        self.by_name
+            .get(name)
+            .map(|&i| self.relations[i].1.as_ref())
+    }
+
+    /// The shared handle to the relation named `name`, if present.
+    ///
+    /// Catalog clones share relation storage until a [`Catalog::get_mut`]
+    /// diverges them; comparing handles with [`Arc::ptr_eq`] across two
+    /// catalog generations tells whether a relation was carried over
+    /// untouched (and therefore kept its version stamps) or rebuilt.
+    pub fn get_shared(&self, name: &str) -> Option<Arc<ProbDb>> {
+        self.by_name.get(name).map(|&i| self.relations[i].1.clone())
     }
 
     /// Mutable access to the relation named `name`, for incremental data
@@ -93,11 +115,15 @@ impl Catalog {
     /// relation). The name map is untouched; mutation bumps the
     /// relation's [`ProbDb::version`] stamp, which is how live plan
     /// caches notice the data changed.
+    ///
+    /// When the relation is shared with another catalog generation (see
+    /// [`Catalog::get_shared`]) this copies it first, so mutation never
+    /// reaches behind a published snapshot.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut ProbDb> {
         self.by_name
             .get(name)
             .copied()
-            .map(|i| &mut self.relations[i].1)
+            .map(|i| Arc::make_mut(&mut self.relations[i].1))
     }
 
     /// Like [`Catalog::get`] but with a typed error naming the miss.
@@ -118,7 +144,9 @@ impl Catalog {
 
     /// Iterates `(name, relation)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ProbDb)> {
-        self.relations.iter().map(|(n, db)| (n.as_str(), db))
+        self.relations
+            .iter()
+            .map(|(n, db)| (n.as_str(), db.as_ref()))
     }
 
     /// Are `left.l_attr` and `right.r_attr` join-compatible — do their
@@ -168,6 +196,43 @@ mod tests {
         let e = cat.add("r", ProbDb::new(fig1_schema()));
         assert!(matches!(e, Err(ProbDbError::DuplicateRelation(n)) if n == "r"));
         assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_relations_until_mutated() {
+        use mrsl_relation::CompleteTuple;
+
+        let mut cat = Catalog::new();
+        cat.add("a", ProbDb::new(fig1_schema())).unwrap();
+        cat.add("b", ProbDb::new(fig1_schema())).unwrap();
+        let next = cat.clone();
+        assert!(Arc::ptr_eq(
+            &cat.get_shared("a").unwrap(),
+            &next.get_shared("a").unwrap()
+        ));
+
+        let mut next = next;
+        next.get_mut("a")
+            .unwrap()
+            .push_certain(CompleteTuple::from_values(vec![0, 0, 0, 0]))
+            .unwrap();
+        // The mutated relation diverged; the untouched one is still shared
+        // and kept its version stamps.
+        assert!(!Arc::ptr_eq(
+            &cat.get_shared("a").unwrap(),
+            &next.get_shared("a").unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &cat.get_shared("b").unwrap(),
+            &next.get_shared("b").unwrap()
+        ));
+        assert_eq!(
+            cat.get("b").unwrap().version(),
+            next.get("b").unwrap().version()
+        );
+        // The original never sees the write.
+        assert_eq!(cat.get("a").unwrap().certain().len(), 0);
+        assert_eq!(next.get("a").unwrap().certain().len(), 1);
     }
 
     #[test]

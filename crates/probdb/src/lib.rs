@@ -35,6 +35,11 @@
 //!   decomposition — in an [`EvalReport`]. The flat
 //!   `QuerySpec`/`QueryEngine` API survives as a deprecated shim that
 //!   lowers into the tree.
+//! * [`serve`] — the concurrent serving layer: [`ProbDbServer`] owns
+//!   generations of immutable catalog snapshots, answers queries on a
+//!   worker pool sharing one concurrent plan cache, and lets a single
+//!   writer publish the next generation copy-on-write behind live
+//!   readers.
 //! * [`testutil`] — brute-force joint-world oracles every evaluator is
 //!   tested against (shared by unit, integration and property suites).
 
@@ -47,6 +52,7 @@ pub mod montecarlo;
 pub mod plan;
 pub mod predicate;
 pub mod query;
+pub mod serve;
 pub mod testutil;
 pub mod world;
 
@@ -63,6 +69,7 @@ pub use plan::{
 #[allow(deprecated)]
 pub use plan::{QueryEngine, QuerySpec};
 pub use predicate::Predicate;
+pub use serve::{ProbDbServer, ServeConfig, Served, ServerHandle, ServerStats, Snapshot};
 pub use world::PossibleWorld;
 
 use std::fmt;
@@ -103,6 +110,9 @@ pub enum ProbDbError {
         /// The statistic's name.
         statistic: &'static str,
     },
+    /// The serving layer dropped the request before answering: the
+    /// server shut down, or the worker evaluating it died.
+    ServerUnavailable,
 }
 
 impl fmt::Display for ProbDbError {
@@ -145,6 +155,9 @@ impl fmt::Display for ProbDbError {
                     f,
                     "the {statistic} statistic requires a single-relation query"
                 )
+            }
+            Self::ServerUnavailable => {
+                write!(f, "the server dropped the request before answering")
             }
         }
     }

@@ -50,6 +50,7 @@ use crate::database::ProbDb;
 use crate::predicate::Predicate;
 use mrsl_relation::{AttrId, Schema};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache tag of a statistic, for statistics whose planning verdict and
@@ -820,20 +821,19 @@ struct Entry {
     last_used: u64,
 }
 
+/// Upper bound on the number of independently locked stripes of a
+/// [`PlanCache`]. Small caches (capacity below `2 ×` this) collapse to
+/// one stripe so their LRU order stays globally exact.
+const CACHE_STRIPES: usize = 8;
+
 #[derive(Debug)]
-struct CacheInner {
+struct CacheStripe {
     entries: Vec<Entry>,
     capacity: usize,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    invalidations: u64,
-    reg_patches: u64,
-    reg_rebinds: u64,
 }
 
-/// A shape-keyed cache of compiled plans, shared across engines.
+/// A shape-keyed cache of compiled plans, shared across engines — and,
+/// under the serving layer, across worker threads.
 ///
 /// Keys are `(statistic tag, 64-bit shape fingerprint)`; hits re-verify
 /// full structural equality before reuse, so collisions degrade to
@@ -847,12 +847,26 @@ struct CacheInner {
 /// guarded data properties change are removed eagerly and counted in
 /// [`PlanCacheStats::invalidations`].
 ///
-/// Interior mutability (a mutex) makes the cache shareable behind an
-/// [`Arc`] across engine instances — and across catalog mutations, which
-/// is the point: rebuild the borrowing engine, keep the warmth.
+/// **Concurrency.** The table is striped: entries hash to one of up to
+/// eight independently locked stripes, counters are atomics,
+/// and each operation locks exactly one stripe — concurrent workers
+/// probing different shapes never serialize on each other. Capacity is
+/// enforced per stripe (each stripe gets an equal share), so under
+/// striping LRU is exact within a stripe and approximate globally;
+/// caches smaller than two entries per stripe use a single stripe and
+/// keep the globally exact order. Shareable behind an [`Arc`] across
+/// engine instances — and across catalog mutations, which is the point:
+/// rebuild the borrowing engine, keep the warmth.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<CacheInner>,
+    stripes: Vec<Mutex<CacheStripe>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    reg_patches: AtomicU64,
+    reg_rebinds: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -869,62 +883,88 @@ impl PlanCache {
 
     /// A cache holding at most `capacity` plans (minimum 1).
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let stripes = if capacity >= 2 * CACHE_STRIPES {
+            CACHE_STRIPES
+        } else {
+            1
+        };
+        let (base, extra) = (capacity / stripes, capacity % stripes);
         Self {
-            inner: Mutex::new(CacheInner {
-                entries: Vec::new(),
-                capacity: capacity.max(1),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                invalidations: 0,
-                reg_patches: 0,
-                reg_rebinds: 0,
-            }),
+            stripes: (0..stripes)
+                .map(|i| {
+                    Mutex::new(CacheStripe {
+                        entries: Vec::new(),
+                        capacity: base + usize::from(i < extra),
+                    })
+                })
+                .collect(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            reg_patches: AtomicU64::new(0),
+            reg_rebinds: AtomicU64::new(0),
         }
     }
 
     /// Snapshot of the cumulative counters and current size.
     pub fn stats(&self) -> PlanCacheStats {
-        let inner = self.lock();
         PlanCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            invalidations: inner.invalidations,
-            reg_patches: inner.reg_patches,
-            reg_rebinds: inner.reg_rebinds,
-            len: inner.entries.len(),
-            capacity: inner.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            reg_patches: self.reg_patches.load(Ordering::Relaxed),
+            reg_rebinds: self.reg_rebinds.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.stripes.iter().map(|s| self.lock(s).capacity).sum(),
         }
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.stripes
+            .iter()
+            .map(|s| self.lock(s).entries.len())
+            .sum()
     }
 
     /// True when no plans are cached.
     pub fn is_empty(&self) -> bool {
-        self.lock().entries.is_empty()
+        self.len() == 0
     }
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        self.lock().entries.clear();
+        for stripe in &self.stripes {
+            self.lock(stripe).entries.clear();
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().expect("plan cache lock")
+    fn lock<'a>(&self, stripe: &'a Mutex<CacheStripe>) -> std::sync::MutexGuard<'a, CacheStripe> {
+        stripe.lock().expect("plan cache stripe lock")
+    }
+
+    /// The stripe `(tag, hash)` lives in: the fingerprint's high bits
+    /// folded over the low ones (the low bits alone correlate with the
+    /// shapes' shared hashing prefix), salted with the statistic tag.
+    fn stripe_of(&self, tag: u8, hash: u64) -> &Mutex<CacheStripe> {
+        let mix = hash ^ (hash >> 32) ^ u64::from(tag);
+        &self.stripes[(mix as usize) % self.stripes.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The entry under `(tag, hash)`, LRU-bumped, with its recorded data
     /// versions. Callers verify the shape and count the hit or miss.
     pub(crate) fn probe(&self, tag: u8, hash: u64) -> Option<(Arc<CachedPlan>, Vec<u64>)> {
-        let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let entry = inner
+        let tick = self.next_tick();
+        let mut stripe = self.lock(self.stripe_of(tag, hash));
+        let entry = stripe
             .entries
             .iter_mut()
             .find(|e| e.tag == tag && e.hash == hash)?;
@@ -933,39 +973,39 @@ impl PlanCache {
     }
 
     pub(crate) fn record_hit(&self) {
-        self.lock().hits += 1;
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_miss(&self) {
-        self.lock().misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Accounts one warm execution's register maintenance (see
     /// [`PlanCacheStats::reg_patches`] / [`PlanCacheStats::reg_rebinds`]).
     pub(crate) fn record_reg_maintenance(&self, patched: u64, rebound: u64) {
-        if patched == 0 && rebound == 0 {
-            return;
+        if patched > 0 {
+            self.reg_patches.fetch_add(patched, Ordering::Relaxed);
         }
-        let mut inner = self.lock();
-        inner.reg_patches += patched;
-        inner.reg_rebinds += rebound;
+        if rebound > 0 {
+            self.reg_rebinds.fetch_add(rebound, Ordering::Relaxed);
+        }
     }
 
     /// Removes a stale entry (guards or schema changed).
     pub(crate) fn invalidate(&self, tag: u8, hash: u64) {
-        let mut inner = self.lock();
-        let before = inner.entries.len();
-        inner.entries.retain(|e| !(e.tag == tag && e.hash == hash));
-        if inner.entries.len() < before {
-            inner.invalidations += 1;
+        let mut stripe = self.lock(self.stripe_of(tag, hash));
+        let before = stripe.entries.len();
+        stripe.entries.retain(|e| !(e.tag == tag && e.hash == hash));
+        if stripe.entries.len() < before {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Updates the recorded data versions after the guards re-validated,
     /// so the next unchanged-data hit skips them again.
     pub(crate) fn refresh_versions(&self, tag: u8, hash: u64, versions: &[u64]) {
-        let mut inner = self.lock();
-        if let Some(e) = inner
+        let mut stripe = self.lock(self.stripe_of(tag, hash));
+        if let Some(e) = stripe
             .entries
             .iter_mut()
             .find(|e| e.tag == tag && e.hash == hash)
@@ -975,13 +1015,12 @@ impl PlanCache {
         }
     }
 
-    /// Inserts (or replaces) an entry, evicting the least recently used
-    /// one when full.
+    /// Inserts (or replaces) an entry, evicting the stripe's least
+    /// recently used one when the stripe is full.
     pub(crate) fn insert(&self, tag: u8, hash: u64, plan: Arc<CachedPlan>, versions: Vec<u64>) {
-        let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(e) = inner
+        let tick = self.next_tick();
+        let mut stripe = self.lock(self.stripe_of(tag, hash));
+        if let Some(e) = stripe
             .entries
             .iter_mut()
             .find(|e| e.tag == tag && e.hash == hash)
@@ -991,19 +1030,19 @@ impl PlanCache {
             e.last_used = tick;
             return;
         }
-        if inner.entries.len() >= inner.capacity {
-            if let Some(oldest) = inner
+        if stripe.entries.len() >= stripe.capacity {
+            if let Some(oldest) = stripe
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
             {
-                inner.entries.swap_remove(oldest);
-                inner.evictions += 1;
+                stripe.entries.swap_remove(oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.entries.push(Entry {
+        stripe.entries.push(Entry {
             tag,
             hash,
             plan,

@@ -258,7 +258,10 @@ pub(crate) fn run_mass_join(steps: &[MassStep], compiled: &[CompiledTerm], class
 }
 
 /// [`run_mass_join`] over prebuilt (possibly memoized) mass tables, with
-/// the probe loop sharded across the rayon pool when `shards > 1`.
+/// the probe loop sharded across the rayon pool. `shards` is the raw
+/// configured count: `0` lets each step decide per its accumulator size
+/// via [`super::vm::effective_shards`], so small probe loops stay
+/// sequential in auto mode.
 ///
 /// Sharding is bit-identical to the sequential fold: the accumulator is
 /// split into contiguous chunks, each chunk probes the (shared,
@@ -276,6 +279,8 @@ pub(crate) fn run_mass_join_tables(
     // Seed: the empty assignment (one per class, u16::MAX = unbound).
     let mut acc: Vec<(Vec<u16>, f64)> = vec![(vec![u16::MAX; classes], 1.0)];
     for (step, grouped) in steps.iter().zip(tables) {
+        let rows = u32::try_from(acc.len()).unwrap_or(u32::MAX);
+        let shards = super::vm::effective_shards(shards, rows);
         let mut next = if shards > 1 && acc.len() >= shards.max(2) {
             use rayon::prelude::*;
             let size = acc.len().div_ceil(shards);

@@ -98,9 +98,11 @@ pub struct QueryEngineConfig {
     /// own.
     pub plan_cache_capacity: usize,
     /// Key-range shard count for parallel plan execution. `0` (the
-    /// default) auto-configures: large partition folds shard 16 ways
-    /// when the ambient rayon pool has more than one thread, and stay
-    /// sequential otherwise. Any nonzero value forces that many shards
+    /// default) auto-configures per fold: a fold shards 16 ways only
+    /// when it spans at least a few thousand rows *and* both the ambient
+    /// rayon pool and the host have more than one thread — small folds
+    /// stay sequential regardless of pool size, because the fan-out
+    /// overhead dwarfs them. Any nonzero value forces that many shards
     /// even on one thread (useful for tests and overhead measurements).
     /// Answers are **bit-identical at every setting** — sharding fixes
     /// the multiplication order to the sequential fold's.
@@ -547,7 +549,7 @@ where
     let classes = resolved.classes.len();
     let mut decomposition = plan.decomposition.clone();
     let mut dissociated: Vec<String> = Vec::new();
-    let shards = vm::resolve_shards(config.shards);
+    let shards = config.shards;
     let answer = match (&plan.program, stat) {
         (CompiledProgram::Boolean(prog), Statistic::Probability) => {
             let maint = compile::rebind_or_patch(plan, &resolved, &compiled, &versions);
@@ -739,7 +741,7 @@ fn evaluate_cold<'a>(
         certain_count: ct.live_certain.count_ones(),
         alt_matches: ct.live_alts.clone(),
     };
-    let shards = vm::resolve_shards(config.shards);
+    let shards = config.shards;
     let answer = match (stat, path) {
         (Statistic::Probability, EvalPath::ExactColumnar) => {
             let p = if use_vm {
@@ -998,7 +1000,7 @@ fn run_prebound_fast(
     }
     let mut decomposition = plan.decomposition.clone();
     let mut dissociated: Vec<String> = Vec::new();
-    let shards = vm::resolve_shards(config.shards);
+    let shards = config.shards;
     let answer = match (&plan.program, stat) {
         (CompiledProgram::Boolean(prog), Statistic::Probability) => QueryAnswer::Probability {
             p: vm::run_prebound_sharded(prog, &memo.per_program[0], shards),

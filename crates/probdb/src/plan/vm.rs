@@ -419,26 +419,29 @@ pub(crate) const DEFAULT_SHARDS: usize = 16;
 /// overhead threshold — results are identical either way.
 const AUTO_SHARD_MIN_ROWS: u32 = 4096;
 
-/// Resolves a configured shard count: `0` means "auto" — shard to
-/// [`DEFAULT_SHARDS`] when the current rayon pool has more than one
-/// thread, stay sequential otherwise. A nonzero count is honored as-is
+/// Resolves a configured shard count for a fold over `rows` rows. `0`
+/// means "auto": stay sequential unless the fold is at least
+/// [`AUTO_SHARD_MIN_ROWS`] rows, the current rayon pool has more than
+/// one thread, *and* the host actually has more than one core —
+/// otherwise shard to [`DEFAULT_SHARDS`]. The size gate applies
+/// regardless of pool size: below the threshold the fan-out/merge
+/// overhead dwarfs the fold itself (sub-threshold warm folds measured
+/// ~300× slower when force-sharded onto an 8-thread pool of a 1-core
+/// host), so auto mode never pays it. A nonzero count is honored as-is
 /// (even on one thread), which is what lets tests and benches force the
-/// sharded path deterministically.
-pub(crate) fn resolve_shards(requested: usize) -> usize {
+/// sharded path deterministically. Purely a scheduling decision —
+/// results are bit-identical at every shard count.
+pub(crate) fn effective_shards(requested: usize, rows: u32) -> usize {
     match requested {
-        0 if rayon::current_num_threads() > 1 => DEFAULT_SHARDS,
-        0 => 1,
+        0 => {
+            let host = std::thread::available_parallelism().map_or(1, usize::from);
+            if rows < AUTO_SHARD_MIN_ROWS || rayon::current_num_threads() <= 1 || host <= 1 {
+                1
+            } else {
+                DEFAULT_SHARDS
+            }
+        }
         n => n,
-    }
-}
-
-/// [`resolve_shards`], plus the auto-mode size gate: tiny folds stay
-/// sequential unless a shard count was forced.
-fn effective_shards(requested: usize, rows: u32) -> usize {
-    if requested == 0 && rows < AUTO_SHARD_MIN_ROWS {
-        1
-    } else {
-        resolve_shards(requested)
     }
 }
 
@@ -447,8 +450,12 @@ fn effective_shards(requested: usize, rows: u32) -> usize {
 /// shard count — see the module docs for the argument — because shards
 /// return per-value complement factors that are merged in value order,
 /// reproducing the sequential multiplication sequence exactly.
+///
+/// `shards` is the raw configured count: `0` lets each root fold decide
+/// per its own size via [`effective_shards`], `1` forces the sequential
+/// path outright.
 pub(crate) fn run_prebound_sharded(program: &Program, regs: &[TermRegs], shards: usize) -> f64 {
-    if shards <= 1 {
+    if shards == 1 {
         return run_prebound(program, regs);
     }
     let mut p = 1.0;
@@ -931,5 +938,50 @@ impl<'p> Exec<'p> {
             past_run(ck, cur[0], outer[1], v),
             past_run(ak, cur[1], outer[3], v),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("test pool")
+            .install(f)
+    }
+
+    #[test]
+    fn auto_mode_keeps_small_folds_sequential_even_in_wide_pools() {
+        // The regression this guards: auto mode used to shard any fold 16
+        // ways as soon as the pool had >1 thread, which made warm
+        // microsecond folds hundreds of times slower. The size gate must
+        // hold at every pool width.
+        for threads in [1, 2, 4, 8] {
+            let eff = in_pool(threads, || effective_shards(0, AUTO_SHARD_MIN_ROWS - 1));
+            assert_eq!(eff, 1, "small fold sharded in a {threads}-thread pool");
+        }
+    }
+
+    #[test]
+    fn forced_counts_are_honored_verbatim() {
+        for threads in [1, 8] {
+            assert_eq!(in_pool(threads, || effective_shards(1, 1_000_000)), 1);
+            assert_eq!(in_pool(threads, || effective_shards(5, 10)), 5);
+            assert_eq!(in_pool(threads, || effective_shards(16, 0)), 16);
+        }
+    }
+
+    #[test]
+    fn auto_mode_follows_pool_and_host_width_for_large_folds() {
+        let host = std::thread::available_parallelism().map_or(1, usize::from);
+        // A single-thread pool never shards, whatever the host has.
+        assert_eq!(in_pool(1, || effective_shards(0, u32::MAX)), 1);
+        // A wide pool shards large folds only when the host can actually
+        // run the shards in parallel.
+        let expected = if host > 1 { DEFAULT_SHARDS } else { 1 };
+        assert_eq!(in_pool(8, || effective_shards(0, u32::MAX)), expected);
     }
 }

@@ -1,0 +1,655 @@
+//! The concurrent serving layer: generations of immutable catalog
+//! snapshots behind a long-lived worker pool.
+//!
+//! The paper's engine answers one query at a time against a catalog it
+//! borrows; a service holds the catalog for years and answers many
+//! queries at once while new data keeps arriving. [`ProbDbServer`] closes
+//! that gap with a classic snapshot architecture:
+//!
+//! * **Generations.** The server owns an [`Arc<Snapshot>`] — an immutable
+//!   [`Catalog`] stamped with a monotonically increasing generation
+//!   number — published behind an atomic epoch counter. Readers pin the
+//!   current snapshot and keep using it for the whole query; a publish
+//!   never mutates data a reader can see, so there is no torn state to
+//!   observe and nothing to lock during evaluation.
+//! * **Lock-free reads in steady state.** Each worker caches the pinned
+//!   `Arc` thread-locally and revalidates it against the epoch counter
+//!   (one relaxed-cost atomic load) per request; the snapshot mutex is
+//!   touched only in the request that observes a new epoch.
+//! * **Copy-on-write ingestion.** A single writer builds the next
+//!   generation from the current one: [`Catalog`] clones share every
+//!   relation behind an `Arc`, and only relations the writer actually
+//!   touches are deep-copied ([`Catalog::get_mut`]). Publishing swaps the
+//!   snapshot pointer and bumps the epoch — atomic, and invisible to
+//!   in-flight readers until their next request. A writer that dies
+//!   mid-build ([`GenerationBuilder`] dropped, or the closure passed to
+//!   [`ProbDbServer::update`] panics) leaves the published snapshot
+//!   untouched.
+//! * **Warm plans across generations.** All workers share one concurrent
+//!   [`PlanCache`]. Untouched relations keep their
+//!   [`crate::ProbDb::version`] and per-shard stamps through a publish
+//!   (the `Arc` is the same object), so memoized registers stay valid; for touched relations the
+//!   stamps prove exactly which leading-key ranges moved and the memo is
+//!   *patched*, not rebuilt — the PR 7 incremental machinery, carried
+//!   across generations.
+//!
+//! Requests flow through an `std::sync::mpsc` queue to the pool (the
+//! build environment is offline: no async runtime, just std threads and
+//! the vendored rayon shim inside the evaluators). [`ServerHandle`] is a
+//! cheap clone per client thread; [`ServerStats`] exposes per-path
+//! counts, cache warmth, generation lag and queue depth for the serve
+//! bench reporter.
+//!
+//! ```
+//! use mrsl_probdb::serve::ProbDbServer;
+//! use mrsl_probdb::{Alternative, Block, Catalog, Predicate, ProbDb, Query};
+//! use mrsl_relation::{AttrId, CompleteTuple, Schema, ValueId};
+//!
+//! // One uncertain tuple: key "a" with probability 0.5, else "b".
+//! let coin = |key: usize| {
+//!     Block::new(key, vec![
+//!         Alternative { tuple: CompleteTuple::from_values(vec![0]), prob: 0.5 },
+//!         Alternative { tuple: CompleteTuple::from_values(vec![1]), prob: 0.5 },
+//!     ])
+//!     .unwrap()
+//! };
+//! let schema = Schema::builder().attribute("k", ["a", "b"]).build().unwrap();
+//! let mut db = ProbDb::new(schema);
+//! db.push_block(coin(0)).unwrap();
+//! let mut catalog = Catalog::new();
+//! catalog.add("r", db).unwrap();
+//!
+//! let server = ProbDbServer::start(catalog);
+//! let handle = server.handle();
+//! let is_a = Query::scan("r").filter(Predicate::eq(AttrId(0), ValueId(0)));
+//! let (p, _) = handle.probability(&is_a).unwrap();
+//! assert_eq!(p, 0.5);
+//!
+//! // Ingestion publishes generation 1 copy-on-write; the next read
+//! // sees it.
+//! let (generation, _) = server.update(|catalog| {
+//!     catalog.get_mut("r").unwrap().push_block(coin(1)).unwrap();
+//! });
+//! assert_eq!(generation, 1);
+//! let (p, _) = handle.probability(&is_a).unwrap();
+//! assert_eq!(p, 0.75);
+//! server.shutdown();
+//! ```
+
+mod stats;
+
+pub use stats::ServerStats;
+
+use crate::algebra::{Query, Statistic};
+use crate::catalog::Catalog;
+use crate::plan::{
+    CatalogEngine, EvalReport, PlanCache, PlanRoute, ProbabilityBounds, QueryAnswer,
+    QueryEngineConfig,
+};
+use crate::ProbDbError;
+use stats::ServerCounters;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// An immutable catalog generation: the unit of publication. Readers pin
+/// one and evaluate against it for the whole query; the writer never
+/// mutates a published snapshot (copy-on-write builds the next one).
+#[derive(Debug)]
+pub struct Snapshot {
+    generation: u64,
+    catalog: Arc<Catalog>,
+}
+
+impl Snapshot {
+    /// The generation number: `0` for the catalog the server started
+    /// with, `+1` per publish.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The catalog of this generation.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+}
+
+/// Server configuration: pool size plus the engine configuration every
+/// worker evaluates with.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Worker threads in the pool; `0` (the default) starts one per host
+    /// core.
+    pub workers: usize,
+    /// Engine configuration shared by all workers.
+    /// [`QueryEngineConfig::plan_cache_capacity`] sizes the one
+    /// concurrent plan cache the pool shares.
+    pub engine: QueryEngineConfig,
+}
+
+/// One served answer, stamped with the generation it was computed
+/// against.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The statistic's answer.
+    pub answer: QueryAnswer,
+    /// The planner's report for this evaluation.
+    pub report: EvalReport,
+    /// Generation of the snapshot the answer was computed against.
+    pub generation: u64,
+}
+
+/// A pending reply: returned by [`ServerHandle::submit`], redeemed with
+/// [`Ticket::wait`]. Dropping it abandons the answer (the worker still
+/// computes it; the send into the dropped channel is a no-op).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Served, ProbDbError>>,
+}
+
+impl Ticket {
+    /// Blocks until the worker replies. Returns
+    /// [`ProbDbError::ServerUnavailable`] when the server shut down (or
+    /// the evaluating worker died) before answering.
+    pub fn wait(self) -> Result<Served, ProbDbError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(ProbDbError::ServerUnavailable))
+    }
+}
+
+enum Job {
+    Query {
+        query: Query,
+        stat: Statistic,
+        reply: mpsc::Sender<Result<Served, ProbDbError>>,
+    },
+    /// Stops the worker that receives it (one is queued per worker at
+    /// shutdown; queries already queued ahead of them still drain).
+    Shutdown,
+}
+
+/// State shared by the server, every handle and every worker.
+#[derive(Debug)]
+struct Shared {
+    /// The published generation number. Written only under the snapshot
+    /// mutex, read lock-free by every request to revalidate the worker's
+    /// thread-local snapshot pin.
+    epoch: AtomicU64,
+    /// The published snapshot. The mutex guards pointer swaps only —
+    /// held for an `Arc` clone, never during evaluation.
+    current: Mutex<Arc<Snapshot>>,
+    /// The concurrent plan cache all workers share.
+    cache: Arc<PlanCache>,
+    config: QueryEngineConfig,
+    counters: ServerCounters,
+}
+
+impl Shared {
+    fn lock_current(&self) -> MutexGuard<'_, Arc<Snapshot>> {
+        // A panicking writer poisons nothing observable: the snapshot is
+        // only ever replaced whole, so the value under a poisoned lock is
+        // still the last published generation.
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current snapshot, served from `local` when its generation
+    /// still matches the epoch — the steady-state path costs one atomic
+    /// load and no lock.
+    fn pin(&self, local: &mut Option<Arc<Snapshot>>) -> Arc<Snapshot> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if let Some(snap) = local {
+            if snap.generation == epoch {
+                return snap.clone();
+            }
+        }
+        let fresh = self.lock_current().clone();
+        *local = Some(fresh.clone());
+        fresh
+    }
+
+    fn serve(
+        &self,
+        local: &mut Option<Arc<Snapshot>>,
+        query: &Query,
+        stat: Statistic,
+    ) -> Result<Served, ProbDbError> {
+        let snap = self.pin(local);
+        let engine = CatalogEngine::with_plan_cache(&snap.catalog, self.config, self.cache.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| engine.evaluate(query, stat)));
+        match outcome {
+            Ok(Ok((answer, report))) => {
+                let lag = self
+                    .epoch
+                    .load(Ordering::Acquire)
+                    .saturating_sub(snap.generation);
+                self.counters
+                    .served(report.path, report.route == PlanRoute::CacheHit, lag);
+                Ok(Served {
+                    answer,
+                    report,
+                    generation: snap.generation,
+                })
+            }
+            Ok(Err(e)) => {
+                self.counters.failed();
+                Err(e)
+            }
+            // A panic inside evaluation is contained to the request: the
+            // worker survives, the client sees `ServerUnavailable`.
+            Err(_) => {
+                self.counters.failed();
+                Err(ProbDbError::ServerUnavailable)
+            }
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.counters
+            .snapshot(self.epoch.load(Ordering::Acquire), self.cache.stats())
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, jobs: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    let mut local: Option<Arc<Snapshot>> = None;
+    loop {
+        // Hold the receiver lock only to pull the next job, never while
+        // evaluating — the queue stays live for the rest of the pool.
+        let job = {
+            let rx = jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        match job {
+            Ok(Job::Query { query, stat, reply }) => {
+                shared.counters.dequeued();
+                // The client may have dropped its ticket; a failed send
+                // just discards the answer.
+                let _ = reply.send(shared.serve(&mut local, &query, stat));
+            }
+            // Channel closed (server dropped without shutdown) or an
+            // explicit stop: either way this worker is done.
+            Ok(Job::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+/// A cheap, cloneable client of a [`ProbDbServer`]: submits queries to
+/// the worker pool and reads server state. One handle per client thread
+/// is the intended shape.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    tx: mpsc::Sender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Enqueues a query without blocking; redeem the [`Ticket`] for the
+    /// answer. Queries submitted before a shutdown still drain.
+    pub fn submit(&self, query: Query, stat: Statistic) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        self.shared.counters.enqueued();
+        if self.tx.send(Job::Query { query, stat, reply }).is_err() {
+            // Pool gone: the dropped reply sender turns the ticket into
+            // `ServerUnavailable` without blocking.
+            self.shared.counters.dequeued();
+        }
+        Ticket { rx }
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn evaluate(&self, query: &Query, stat: Statistic) -> Result<Served, ProbDbError> {
+        self.submit(query.clone(), stat).wait()
+    }
+
+    /// Convenience: `P(result non-empty)` with its report.
+    pub fn probability(&self, query: &Query) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(query, Statistic::Probability)? {
+            Served {
+                answer: QueryAnswer::Probability { p, .. },
+                report,
+                ..
+            } => Ok((p, report)),
+            _ => unreachable!("probability query answers with a probability"),
+        }
+    }
+
+    /// Convenience: guaranteed probability bounds with their report.
+    pub fn probability_bounds(
+        &self,
+        query: &Query,
+    ) -> Result<(ProbabilityBounds, EvalReport), ProbDbError> {
+        match self.evaluate(query, Statistic::ProbabilityBounds)? {
+            Served {
+                answer: QueryAnswer::Bounds(b),
+                report,
+                ..
+            } => Ok((b, report)),
+            _ => unreachable!("probability-bounds query answers with bounds"),
+        }
+    }
+
+    /// Convenience: expected result count with its report.
+    pub fn expected_count(&self, query: &Query) -> Result<(f64, EvalReport), ProbDbError> {
+        match self.evaluate(query, Statistic::ExpectedCount)? {
+            Served {
+                answer: QueryAnswer::Count { mean, .. },
+                report,
+                ..
+            } => Ok((mean, report)),
+            _ => unreachable!("expected-count query answers with a count"),
+        }
+    }
+
+    /// Pins the currently published snapshot (for direct, in-thread
+    /// evaluation or inspection).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.lock_current().clone()
+    }
+
+    /// The server's cumulative counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+}
+
+/// An in-progress next generation: a copy-on-write catalog the writer
+/// mutates freely while readers keep serving the published snapshot.
+/// Obtained from [`ProbDbServer::begin_update`]; holds the writer lock,
+/// so at most one exists at a time. [`GenerationBuilder::publish`] makes
+/// it visible atomically; dropping it (abandonment, or a panic anywhere
+/// mid-build) discards it without a trace.
+#[derive(Debug)]
+pub struct GenerationBuilder<'a> {
+    shared: &'a Shared,
+    _writer: MutexGuard<'a, ()>,
+    catalog: Catalog,
+    base: u64,
+}
+
+impl GenerationBuilder<'_> {
+    /// The next generation's catalog, mutable. Relations untouched so
+    /// far still share storage with the published snapshot;
+    /// [`Catalog::get_mut`] copies one on first touch.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Generation of the snapshot this build started from.
+    pub fn base_generation(&self) -> u64 {
+        self.base
+    }
+
+    /// Publishes the built catalog as the next generation and returns
+    /// its number. In-flight readers finish on the old snapshot; every
+    /// request pinned after this sees the new one.
+    pub fn publish(self) -> u64 {
+        let generation = self.base + 1;
+        let snapshot = Arc::new(Snapshot {
+            generation,
+            catalog: Arc::new(self.catalog),
+        });
+        let mut current = self.shared.lock_current();
+        *current = snapshot;
+        // Release-store after the swap: a reader that sees the new epoch
+        // lock-free will find the new snapshot under the mutex.
+        self.shared.epoch.store(generation, Ordering::Release);
+        drop(current);
+        self.shared.counters.published();
+        generation
+    }
+
+    /// Discards the build; the published snapshot is untouched. (Plain
+    /// drop does the same — this just names the intent.)
+    pub fn abandon(self) {}
+}
+
+/// A long-lived server over generations of immutable catalog snapshots.
+/// See the [module docs](self) for the architecture.
+///
+/// The server itself is the single writer ([`ProbDbServer::update`] /
+/// [`ProbDbServer::begin_update`]); any number of [`ServerHandle`]
+/// clients read concurrently. Dropping the server stops the pool
+/// ([`ProbDbServer::shutdown`] does it explicitly, draining queued
+/// queries first).
+#[derive(Debug)]
+pub struct ProbDbServer {
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes writers; the guard is what a [`GenerationBuilder`]
+    /// holds.
+    writer: Mutex<()>,
+}
+
+impl ProbDbServer {
+    /// Starts a server over `catalog` with [`ServeConfig::default`]: one
+    /// worker per host core, default engine configuration.
+    pub fn start(catalog: Catalog) -> Self {
+        Self::with_config(catalog, ServeConfig::default())
+    }
+
+    /// Starts a server over `catalog` (published as generation 0) with
+    /// an explicit configuration.
+    pub fn with_config(catalog: Catalog, config: ServeConfig) -> Self {
+        let workers = match config.workers {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            current: Mutex::new(Arc::new(Snapshot {
+                generation: 0,
+                catalog: Arc::new(catalog),
+            })),
+            cache: Arc::new(PlanCache::with_capacity(config.engine.plan_cache_capacity)),
+            config: config.engine,
+            counters: ServerCounters::default(),
+        });
+        let (tx, rx) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("probdb-serve-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            tx,
+            workers,
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// A new client handle (cheap; clone freely, one per client thread).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Pins the currently published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.lock_current().clone()
+    }
+
+    /// The currently published generation number.
+    pub fn generation(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The server's cumulative counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// The plan cache shared by the worker pool — e.g. to pre-warm it or
+    /// to hand the warmth to a successor server.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.shared.cache
+    }
+
+    /// Starts building the next generation copy-on-write; blocks while
+    /// another writer holds the builder. Readers are never blocked.
+    pub fn begin_update(&self) -> GenerationBuilder<'_> {
+        // A writer that panicked mid-build published nothing; recovering
+        // the poisoned lock is safe because the builder it held died
+        // with its private catalog copy.
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = self.shared.lock_current().clone();
+        GenerationBuilder {
+            shared: &self.shared,
+            _writer: writer,
+            catalog: (*base.catalog).clone(),
+            base: base.generation,
+        }
+    }
+
+    /// Builds and publishes the next generation in one step: clones the
+    /// current catalog copy-on-write, applies `build`, publishes, and
+    /// returns the new generation number with `build`'s output. If
+    /// `build` panics, nothing is published.
+    pub fn update<T>(&self, build: impl FnOnce(&mut Catalog) -> T) -> (u64, T) {
+        let mut builder = self.begin_update();
+        let out = build(builder.catalog_mut());
+        (builder.publish(), out)
+    }
+
+    /// Stops the pool: queued queries drain, then the workers exit and
+    /// are joined. Handles outlive the server but their submissions
+    /// resolve to [`ProbDbError::ServerUnavailable`].
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for _ in &self.workers {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ProbDbServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Alternative, Block};
+    use crate::database::ProbDb;
+    use mrsl_relation::{CompleteTuple, Schema};
+
+    fn one_block_catalog(p: f64) -> Catalog {
+        let schema = Schema::builder()
+            .attribute("k", ["a", "b"])
+            .build()
+            .unwrap();
+        let mut db = ProbDb::new(schema);
+        db.push_block(
+            Block::new(
+                0,
+                vec![
+                    Alternative {
+                        tuple: CompleteTuple::from_values(vec![0]),
+                        prob: p,
+                    },
+                    Alternative {
+                        tuple: CompleteTuple::from_values(vec![1]),
+                        prob: 1.0 - p,
+                    },
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add("r", db).unwrap();
+        catalog
+    }
+
+    #[test]
+    fn generations_number_from_zero_and_share_untouched_relations() {
+        let server = ProbDbServer::with_config(
+            one_block_catalog(0.5),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.generation(), 0);
+        let before = server.snapshot();
+        let (generation, ()) = server.update(|_| ());
+        assert_eq!(generation, 1);
+        // An update that touches nothing still publishes a new
+        // generation — whose relations are the same objects.
+        assert!(Arc::ptr_eq(
+            &before.catalog().get_shared("r").unwrap(),
+            &server.snapshot().catalog().get_shared("r").unwrap()
+        ));
+        assert_eq!(server.stats().publishes, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn abandoned_builder_publishes_nothing_and_releases_the_writer() {
+        let server = ProbDbServer::start(one_block_catalog(0.5));
+        {
+            let mut builder = server.begin_update();
+            builder
+                .catalog_mut()
+                .get_mut("r")
+                .unwrap()
+                .push_certain(CompleteTuple::from_values(vec![1]))
+                .unwrap();
+            builder.abandon();
+        }
+        assert_eq!(server.generation(), 0);
+        assert_eq!(
+            server
+                .snapshot()
+                .catalog()
+                .get("r")
+                .unwrap()
+                .certain()
+                .len(),
+            0
+        );
+        // The writer lock was released: the next update goes through.
+        assert_eq!(server.update(|_| ()).0, 1);
+    }
+
+    #[test]
+    fn handles_survive_shutdown_with_a_typed_error() {
+        let server = ProbDbServer::start(one_block_catalog(0.5));
+        let handle = server.handle();
+        server.shutdown();
+        let err = handle.probability(&Query::scan("r")).unwrap_err();
+        assert_eq!(err, ProbDbError::ServerUnavailable);
+        // Queue-depth accounting unwound the failed submit.
+        assert_eq!(handle.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn planning_errors_come_back_typed() {
+        let server = ProbDbServer::start(one_block_catalog(0.5));
+        let err = server
+            .handle()
+            .probability(&Query::scan("missing"))
+            .unwrap_err();
+        assert_eq!(err, ProbDbError::UnknownRelation("missing".into()));
+        assert_eq!(server.stats().errors, 1);
+        server.shutdown();
+    }
+}

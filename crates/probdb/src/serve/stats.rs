@@ -1,0 +1,131 @@
+//! Serving-layer counters: lock-free cells the workers bump per request,
+//! snapshotted into [`ServerStats`] for reporters and benches.
+
+use crate::plan::PlanCacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counter cells. Every update is a relaxed atomic —
+/// the stats are monitoring data, not synchronization — so recording
+/// never serializes the worker pool.
+#[derive(Debug, Default)]
+pub(super) struct ServerCounters {
+    queries: AtomicU64,
+    exact: AtomicU64,
+    monte_carlo: AtomicU64,
+    hybrid: AtomicU64,
+    cache_hits: AtomicU64,
+    errors: AtomicU64,
+    publishes: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    lagged_reads: AtomicU64,
+    max_lag: AtomicU64,
+}
+
+fn raise_max(cell: &AtomicU64, candidate: u64) {
+    cell.fetch_max(candidate, Ordering::Relaxed);
+}
+
+impl ServerCounters {
+    /// A request entered the queue.
+    pub(super) fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        raise_max(&self.max_queue_depth, depth);
+    }
+
+    /// A worker picked a request up (or a submit failed after counting
+    /// itself in).
+    pub(super) fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One served answer: which physical path it took, whether the plan
+    /// came out of the shared cache warm, and how many generations the
+    /// served snapshot trailed the published head.
+    pub(super) fn served(&self, path: crate::plan::EvalPath, cache_hit: bool, lag: u64) {
+        use crate::plan::EvalPath;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let cell = match path {
+            EvalPath::ExactColumnar => &self.exact,
+            EvalPath::MonteCarlo => &self.monte_carlo,
+            EvalPath::Hybrid => &self.hybrid,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if lag > 0 {
+            self.lagged_reads.fetch_add(1, Ordering::Relaxed);
+            raise_max(&self.max_lag, lag);
+        }
+    }
+
+    /// One request that ended in an error (planning error, or a worker
+    /// panic contained by the job harness).
+    pub(super) fn failed(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The writer published a generation.
+    pub(super) fn published(&self) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn snapshot(&self, generation: u64, plan_cache: PlanCacheStats) -> ServerStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerStats {
+            queries: load(&self.queries),
+            exact: load(&self.exact),
+            monte_carlo: load(&self.monte_carlo),
+            hybrid: load(&self.hybrid),
+            cache_hits: load(&self.cache_hits),
+            errors: load(&self.errors),
+            publishes: load(&self.publishes),
+            generation,
+            queue_depth: load(&self.queue_depth),
+            max_queue_depth: load(&self.max_queue_depth),
+            lagged_reads: load(&self.lagged_reads),
+            max_lag: load(&self.max_lag),
+            plan_cache,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's cumulative counters, plus
+/// the shared plan cache's [`PlanCacheStats`]. Returned by
+/// [`super::ProbDbServer::stats`] and [`super::ServerHandle::stats`];
+/// the serve bench reporter records these next to its latency numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests that produced a reply (answers and errors alike).
+    pub queries: u64,
+    /// Answers served on [`crate::EvalPath::ExactColumnar`].
+    pub exact: u64,
+    /// Answers served on [`crate::EvalPath::MonteCarlo`].
+    pub monte_carlo: u64,
+    /// Answers served on [`crate::EvalPath::Hybrid`].
+    pub hybrid: u64,
+    /// Answers planned from a warm plan-cache entry
+    /// ([`crate::PlanRoute::CacheHit`]).
+    pub cache_hits: u64,
+    /// Requests that ended in an error (including worker panics the job
+    /// harness contained).
+    pub errors: u64,
+    /// Generations published by the writer.
+    pub publishes: u64,
+    /// The currently published generation number.
+    pub generation: u64,
+    /// Requests submitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// High-water mark of [`ServerStats::queue_depth`].
+    pub max_queue_depth: u64,
+    /// Answers computed against a snapshot that trailed the published
+    /// head (a publish landed between snapshot pin and answer): the
+    /// shape of snapshot isolation, never an inconsistency.
+    pub lagged_reads: u64,
+    /// Largest generation distance ever observed by a lagged read.
+    pub max_lag: u64,
+    /// The shared concurrent plan cache's counters.
+    pub plan_cache: PlanCacheStats,
+}
