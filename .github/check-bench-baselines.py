@@ -30,6 +30,7 @@ def main():
     baselines = load(".github/bench-baselines.json")
     shard = load("BENCH_shard.json")
     serve = load("BENCH_serve.json")
+    learn = load("BENCH_learn.json")
     failures = []
 
     def check(label, value, floor, at_least=True):
@@ -74,6 +75,26 @@ def main():
             row["qps"],
             baselines["serve_read_while_ingest_qps_min"],
         )
+
+    # The reverse sweep revisits each safe-plan node a constant number of
+    # times, so probability_with_gradient must stay within a small factor
+    # of the forward-only evaluation (both on cold engines).
+    for key in ("gradient_selection", "gradient_join"):
+        check(
+            f"learn.{key}.overhead",
+            learn[key]["overhead"],
+            baselines["learn_gradient_overhead_max"],
+            at_least=False,
+        )
+
+    # EM weight fitting over the four engines is a closed-form loop on
+    # pre-scored holdout instances; it must stay interactive.
+    check(
+        "learn.weight_fit.fit_ms_p50",
+        learn["weight_fit"]["fit_ms_p50"],
+        baselines["learn_weight_fit_ms_max"],
+        at_least=False,
+    )
 
     if failures:
         print(f"\n{len(failures)} bench floor(s) violated")

@@ -1,5 +1,5 @@
 //! Bench: row-wise vs columnar predicate evaluation on a wide synthetic
-//! database, plus the planned `QueryEngine` paths.
+//! database, plus the planned `CatalogEngine` paths.
 //!
 //! The database is built directly (no model derivation) so the bench
 //! isolates query evaluation: many certain rows, many blocks, compound

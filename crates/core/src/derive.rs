@@ -10,7 +10,7 @@
 use crate::config::{GibbsConfig, LearnConfig, VotingConfig};
 use crate::infer::batch::infer_batch;
 use crate::infer::dag::{workload_engine, SamplingCost, WorkloadStrategy};
-use crate::infer::engine::SingleVoting;
+use crate::infer::engine::{InferenceEngine, SingleVoting};
 use crate::infer::gibbs::JointEstimate;
 use crate::model::MrslModel;
 use mrsl_probdb::{Alternative, Block, ProbDb};
@@ -75,6 +75,24 @@ pub struct DeriveOutput {
 /// batch executor ([`infer_batch`]) with deterministic per-tuple seeding,
 /// so the output is identical for any worker-thread count.
 pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> DeriveOutput {
+    let engine = workload_engine(config.strategy, &config.gibbs);
+    derive_probabilistic_db_with_engine(relation, config, engine.as_ref())
+}
+
+/// [`derive_probabilistic_db`] with an explicit multi-attribute engine.
+///
+/// `config.strategy` is ignored: every tuple with two or more missing
+/// values goes through `engine` instead of the strategy's workload engine
+/// (single-missing tuples still use Algorithm 2 directly). This is how a
+/// learned [`InferenceEngine`] — e.g. `mrsl_learn`'s weighted ensemble —
+/// drives the whole derivation path. The emitted database records
+/// `engine.name()` as its provenance
+/// ([`ProbDb::provenance`](mrsl_probdb::ProbDb::provenance)).
+pub fn derive_probabilistic_db_with_engine(
+    relation: &Relation,
+    config: &DeriveConfig,
+    engine: &dyn InferenceEngine,
+) -> DeriveOutput {
     let sw = Stopwatch::start();
     let schema = relation.schema();
     let model = MrslModel::learn(schema, relation.complete_part(), &config.learn);
@@ -111,11 +129,10 @@ pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> De
 
     let mut sampling_cost = SamplingCost::default();
     if !multi_workload.is_empty() {
-        let engine = workload_engine(config.strategy, &config.gibbs);
         let result = infer_batch(
             &model,
             &multi_workload,
-            engine.as_ref(),
+            engine,
             config.gibbs.voting,
             config.seed,
         );
@@ -131,6 +148,7 @@ pub fn derive_probabilistic_db(relation: &Relation, config: &DeriveConfig) -> De
 
     // Assemble the probabilistic database.
     let mut db = ProbDb::new(schema.clone());
+    db.set_provenance(engine.name());
     for point in relation.complete_part() {
         db.push_certain(point.clone())
             .expect("schema arity verified by the relation");

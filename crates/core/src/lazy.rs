@@ -24,6 +24,7 @@ use crate::config::GibbsConfig;
 use crate::derive::estimate_to_block;
 use crate::infer::batch::infer_batch;
 use crate::infer::dag::{workload_engine, SamplingCost, WorkloadStrategy};
+use crate::infer::engine::InferenceEngine;
 use crate::model::MrslModel;
 use mrsl_probdb::query::Predicate;
 use mrsl_probdb::{Catalog, ProbDb, ProbDbError, Query};
@@ -77,6 +78,20 @@ pub fn derive_for_query(
     strategy: WorkloadStrategy,
     seed: u64,
 ) -> LazyQueryOutput {
+    let engine = workload_engine(strategy, gibbs);
+    derive_for_query_with_engine(relation, model, pred, gibbs, engine.as_ref(), seed)
+}
+
+/// [`derive_for_query`] with an explicit inference engine for the
+/// undecided tuples (instead of a [`WorkloadStrategy`]'s workload engine).
+pub fn derive_for_query_with_engine(
+    relation: &Relation,
+    model: &MrslModel,
+    pred: &Predicate,
+    gibbs: &GibbsConfig,
+    engine: &dyn InferenceEngine,
+    seed: u64,
+) -> LazyQueryOutput {
     let certain_matches = relation
         .complete_part()
         .iter()
@@ -115,8 +130,7 @@ pub fn derive_for_query(
     // combinations whose completion satisfies it.
     let mut sampling_cost = SamplingCost::default();
     if !workload.is_empty() {
-        let engine = workload_engine(strategy, gibbs);
-        let result = infer_batch(model, &workload, engine.as_ref(), gibbs.voting, seed);
+        let result = infer_batch(model, &workload, engine, gibbs.voting, seed);
         sampling_cost = result.cost;
         for ((slot, t), est) in slots.iter().zip(&workload).zip(&result.estimates) {
             let mut prob = 0.0;
@@ -218,6 +232,21 @@ pub fn derive_catalog_for_query(
     strategy: WorkloadStrategy,
     seed: u64,
 ) -> Result<LazyCatalogOutput, ProbDbError> {
+    let engine = workload_engine(strategy, gibbs);
+    derive_catalog_for_query_with_engine(sources, query, gibbs, engine.as_ref(), seed)
+}
+
+/// [`derive_catalog_for_query`] with an explicit inference engine for the
+/// tuples that need `Δt`. Every derived relation records `engine.name()`
+/// as its provenance, so [`EvalReport`](mrsl_probdb::EvalReport)s over the
+/// catalog say which engine stood behind the blocks they read.
+pub fn derive_catalog_for_query_with_engine(
+    sources: &[LazySource<'_>],
+    query: &Query,
+    gibbs: &GibbsConfig,
+    engine: &dyn InferenceEngine,
+    seed: u64,
+) -> Result<LazyCatalogOutput, ProbDbError> {
     let requirements = query.scan_requirements()?;
     let mut catalog = Catalog::new();
     let mut per_relation = Vec::with_capacity(requirements.len());
@@ -228,6 +257,7 @@ pub fn derive_catalog_for_query(
             .ok_or_else(|| ProbDbError::UnknownRelation(req.relation.clone()))?;
         let relation = source.relation;
         let mut db = ProbDb::new(relation.schema().clone());
+        db.set_provenance(engine.name());
         for point in relation.complete_part() {
             db.push_certain(point.clone())
                 .expect("schema arity verified by the relation");
@@ -273,8 +303,7 @@ pub fn derive_catalog_for_query(
         }
         stats.inferred = workload.len();
         if !workload.is_empty() {
-            let engine = workload_engine(strategy, gibbs);
-            let result = infer_batch(source.model, &workload, engine.as_ref(), gibbs.voting, seed);
+            let result = infer_batch(source.model, &workload, engine, gibbs.voting, seed);
             stats.sampling_cost = result.cost;
             for ((key, t), est) in keys.iter().zip(&workload).zip(&result.estimates) {
                 db.push_block(estimate_to_block(*key, t, est, 0.0))

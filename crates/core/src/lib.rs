@@ -47,7 +47,9 @@ pub mod meta_rule;
 pub mod model;
 
 pub use config::{GibbsConfig, LearnConfig, VoterChoice, VotingConfig, VotingScheme};
-pub use derive::{derive_probabilistic_db, DeriveConfig, DeriveOutput};
+pub use derive::{
+    derive_probabilistic_db, derive_probabilistic_db_with_engine, DeriveConfig, DeriveOutput,
+};
 pub use infer::batch::infer_batch;
 pub use infer::dag::{workload_engine, SamplingCost, TupleDag, WorkloadResult, WorkloadStrategy};
 pub use infer::engine::{
@@ -57,8 +59,9 @@ pub use infer::engine::{
 pub use infer::gibbs::JointEstimate;
 pub use lattice::{MetaRuleId, Mrsl};
 pub use lazy::{
-    derive_catalog_for_query, derive_for_query, LazyCatalogOutput, LazyDisposition,
-    LazyQueryOutput, LazyRelationStats, LazySelection, LazySource,
+    derive_catalog_for_query, derive_catalog_for_query_with_engine, derive_for_query,
+    derive_for_query_with_engine, LazyCatalogOutput, LazyDisposition, LazyQueryOutput,
+    LazyRelationStats, LazySelection, LazySource,
 };
 pub use meta_rule::MetaRule;
 pub use model::{LearnStats, MrslModel};

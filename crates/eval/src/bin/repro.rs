@@ -4,14 +4,14 @@
 //!   repro <experiment|all> [--full] [--json] [--seed N] [--threads N]
 //!
 //! Experiments: table1 fig7 fig4a fig4b fig4c table2 fig5 fig6 fig8a fig8b
-//!              fig8c fig9 fig10 fig11 ablation queries joins
+//!              fig8c fig9 fig10 fig11 ablation queries joins learn
 //!
 //! Defaults run scaled-down parameters (minutes); `--full` restores the
 //! paper-scale settings (CPU-hours). `--json` emits machine-readable
 //! output for EXPERIMENTS.md tooling.
 
 use mrsl_eval::experiments::{
-    ablation, fig10, fig11, fig4, fig5, fig6, fig8, fig9, joins, queries, table1, table2,
+    ablation, fig10, fig11, fig4, fig5, fig6, fig8, fig9, joins, learn, queries, table1, table2,
     ExpOptions,
 };
 use mrsl_eval::Report;
@@ -38,6 +38,7 @@ fn registry() -> Vec<(&'static str, Runner)> {
         ("ablation", ablation::run),
         ("queries", queries::run),
         ("joins", joins::run),
+        ("learn", learn::run),
     ]
 }
 
@@ -130,7 +131,7 @@ fn usage(err: &str) -> ! {
         "usage: repro <experiment ...|all> [--full] [--json] [--seed N] [--threads N] \
          [--instances N] [--splits N]\n\
          experiments: table1 fig7 fig4a fig4b fig4c table2 fig5 fig6 fig8a fig8b fig8c \
-         fig9 fig10 fig11 ablation queries joins"
+         fig9 fig10 fig11 ablation queries joins learn"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

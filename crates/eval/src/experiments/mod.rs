@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod joins;
+pub mod learn;
 pub mod queries;
 pub mod table1;
 pub mod table2;

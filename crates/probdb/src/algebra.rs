@@ -1,7 +1,7 @@
 //! Composable relational-algebra query trees over a [`Catalog`].
 //!
-//! [`Query`] replaces the flat `QuerySpec` enum with a tree the planner
-//! can classify structurally: scans of named relations, selections
+//! [`Query`] gives the planner a tree it can classify structurally:
+//! scans of named relations, selections
 //! ([`Predicate`]), equi-joins on dictionary-encoded attributes, and a
 //! bag-semantics projection. Trees are built fluently —
 //!

@@ -36,6 +36,14 @@ pub enum BlockError {
         /// Arity of the offending alternative.
         got: usize,
     },
+    /// A mass update supplied the wrong number of probabilities for the
+    /// block (see [`ProbDb::set_block_masses`](crate::ProbDb::set_block_masses)).
+    AlternativeCountMismatch {
+        /// Number of alternatives in the block.
+        expected: usize,
+        /// Number of probabilities supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -47,6 +55,12 @@ impl fmt::Display for BlockError {
             Self::DuplicateAlternative => write!(f, "duplicate alternative tuple in block"),
             Self::ArityMismatch { expected, got } => {
                 write!(f, "alternative has arity {got}, schema expects {expected}")
+            }
+            Self::AlternativeCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "mass update has {got} probabilities, block has {expected}"
+                )
             }
         }
     }
@@ -108,6 +122,34 @@ impl Block {
         Self::new(key, kept)
     }
 
+    /// Replaces the alternative probabilities in place, keeping the tuples.
+    ///
+    /// Validates like [`Block::new`]: every probability positive and
+    /// finite, the sum within tolerance of 1, and exactly one probability
+    /// per alternative. The block is untouched on error.
+    pub(crate) fn set_probs(&mut self, probs: &[f64]) -> Result<(), BlockError> {
+        if probs.len() != self.alternatives.len() {
+            return Err(BlockError::AlternativeCountMismatch {
+                expected: self.alternatives.len(),
+                got: probs.len(),
+            });
+        }
+        let mut sum = 0.0;
+        for &p in probs {
+            if !(p > 0.0 && p.is_finite()) {
+                return Err(BlockError::BadProbability(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > Self::NORM_TOL {
+            return Err(BlockError::NotNormalized(sum));
+        }
+        for (a, &p) in self.alternatives.iter_mut().zip(probs) {
+            a.prob = p;
+        }
+        Ok(())
+    }
+
     /// The source incomplete-tuple key.
     pub fn key(&self) -> usize {
         self.key
@@ -116,6 +158,13 @@ impl Block {
     /// The alternatives.
     pub fn alternatives(&self) -> &[Alternative] {
         &self.alternatives
+    }
+
+    /// Test-only raw access for the gradient tests' finite-difference
+    /// oracle, which perturbs a single mass off the simplex.
+    #[cfg(test)]
+    pub(crate) fn alternatives_mut(&mut self) -> &mut [Alternative] {
+        &mut self.alternatives
     }
 
     /// Number of alternatives.

@@ -317,6 +317,15 @@ impl ColumnStore {
         self.block_offsets.push(self.alternatives.rows());
     }
 
+    /// Overwrites block `b`'s alternative probabilities (mass update; the
+    /// caller — [`ProbDb::set_block_masses`](crate::ProbDb::set_block_masses)
+    /// — validates the simplex constraint first).
+    pub(crate) fn set_block_probs(&mut self, b: usize, probs: &[f64]) {
+        let range = self.block_range(b);
+        debug_assert_eq!(range.len(), probs.len());
+        self.alt_probs[range].copy_from_slice(probs);
+    }
+
     /// The certain-tuple columns.
     pub fn certain(&self) -> &ColumnSet {
         &self.certain

@@ -40,6 +40,11 @@ pub struct ProbDb {
     /// registers.
     #[serde(skip)]
     shard_versions: Vec<u64>,
+    /// How this database was derived: the deriving engine's name, or an
+    /// ensemble weights digest. Metadata only — not part of the wire
+    /// format, and reset by deserialization.
+    #[serde(skip)]
+    provenance: Option<String>,
 }
 
 impl ProbDb {
@@ -54,6 +59,7 @@ impl ProbDb {
             columns: ColumnStore::new(arity),
             version,
             shard_versions: vec![version; SHARD_COUNT],
+            provenance: None,
         }
     }
 
@@ -140,6 +146,61 @@ impl ProbDb {
             }
         }
         Ok(())
+    }
+
+    /// Overwrites the alternative probabilities of block `block` (by
+    /// position), keeping its tuples — the write path of tuple-probability
+    /// learning, where a gradient step adjusts block masses to fit labeled
+    /// query answers.
+    ///
+    /// `probs` must satisfy the same simplex constraint [`Block::new`]
+    /// enforces (positive, finite, summing to 1 within tolerance, one per
+    /// alternative); the database is untouched on error. A successful
+    /// update bumps [`ProbDb::version`] and restamps exactly the shards
+    /// the block's alternatives live in, so warm plan-cache registers
+    /// patch the touched key ranges instead of re-binding — mass updates
+    /// ride the same incremental maintenance as tuple upserts.
+    ///
+    /// # Panics
+    /// Panics when `block >= self.blocks().len()`.
+    pub fn set_block_masses(&mut self, block: usize, probs: &[f64]) -> Result<(), BlockError> {
+        let map = self.shard_map();
+        let mut touched = [false; SHARD_COUNT];
+        for a in self.blocks[block].alternatives() {
+            touched[map.shard_of(a.tuple.raw().first().copied().unwrap_or(0))] = true;
+        }
+        self.blocks[block].set_probs(probs)?;
+        self.columns.set_block_probs(block, probs);
+        self.version = next_stamp();
+        for (s, hit) in touched.into_iter().enumerate() {
+            if hit {
+                self.touch_shard(s);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ProbDb::set_block_masses`] without the simplex validation and
+    /// without version stamping: the finite-difference oracle of the
+    /// gradient tests perturbs a single mass off the simplex, which the
+    /// public API rightly rejects.
+    #[cfg(test)]
+    pub(crate) fn set_block_masses_unchecked(&mut self, block: usize, probs: &[f64]) {
+        for (a, &p) in self.blocks[block].alternatives_mut().iter_mut().zip(probs) {
+            a.prob = p;
+        }
+        self.columns.set_block_probs(block, probs);
+    }
+
+    /// Derivation provenance: which inference engine (or ensemble weights
+    /// digest) produced this database, when recorded.
+    pub fn provenance(&self) -> Option<&str> {
+        self.provenance.as_deref()
+    }
+
+    /// Records derivation provenance (see [`ProbDb::provenance`]).
+    pub fn set_provenance(&mut self, provenance: impl Into<String>) {
+        self.provenance = Some(provenance.into());
     }
 
     /// The certain tuples.
@@ -325,6 +386,61 @@ mod tests {
             clone.shard_versions()[touched],
             db.shard_versions()[touched]
         );
+    }
+
+    #[test]
+    fn mass_updates_patch_columns_and_restamp_touched_shards() {
+        let mut db = two_block_db();
+        let map = db.shard_map();
+        let before = db.shard_versions().to_vec();
+        let v0 = db.version();
+        db.set_block_masses(1, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        // Row store and columnar mirror agree on the new masses.
+        let probs: Vec<f64> = db.blocks()[1]
+            .alternatives()
+            .iter()
+            .map(|a| a.prob)
+            .collect();
+        assert_eq!(probs, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(&db.columns().alt_probs()[2..6], &[0.1, 0.2, 0.3, 0.4]);
+        // Version bumped; only the shards holding key value 1 restamped.
+        assert!(db.version() > v0);
+        let touched = map.shard_of(1);
+        for (s, (&old, &new)) in before.iter().zip(db.shard_versions()).enumerate() {
+            if s == touched {
+                assert_eq!(new, db.version());
+            } else {
+                assert_eq!(new, old, "untouched shard {s}");
+            }
+        }
+        // Invalid updates leave the database untouched.
+        let v1 = db.version();
+        let e = db.set_block_masses(1, &[0.5, 0.5]);
+        assert!(matches!(
+            e,
+            Err(BlockError::AlternativeCountMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+        let e = db.set_block_masses(1, &[0.1, 0.2, 0.3, 0.9]);
+        assert!(matches!(e, Err(BlockError::NotNormalized(_))));
+        let e = db.set_block_masses(1, &[0.0, 0.3, 0.3, 0.4]);
+        assert!(matches!(e, Err(BlockError::BadProbability(_))));
+        assert_eq!(db.version(), v1);
+        assert!((db.columns().alt_probs()[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provenance_is_metadata_not_wire_format() {
+        let mut db = two_block_db();
+        assert_eq!(db.provenance(), None);
+        db.set_provenance("gibbs");
+        assert_eq!(db.provenance(), Some("gibbs"));
+        let text = serde_json::to_string(&db).unwrap();
+        assert!(!text.contains("provenance"));
+        let back: ProbDb = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.provenance(), None);
     }
 
     #[test]

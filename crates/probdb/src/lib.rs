@@ -32,9 +32,9 @@
 //!   self-joins — answer [`Statistic::ProbabilityBounds`] with
 //!   deterministic dissociation brackets, everything else samples),
 //!   routes it, and reports the choice — with the safe-plan
-//!   decomposition — in an [`EvalReport`]. The flat
-//!   `QuerySpec`/`QueryEngine` API survives as a deprecated shim that
-//!   lowers into the tree.
+//!   decomposition — in an [`EvalReport`]. Liftable plans also expose
+//!   exact mass gradients ([`CatalogEngine::probability_with_gradient`])
+//!   for tuple-probability learning.
 //! * [`serve`] — the concurrent serving layer: [`ProbDbServer`] owns
 //!   generations of immutable catalog snapshots, answers queries on a
 //!   worker pool sharing one concurrent plan cache, and lets a single
@@ -62,12 +62,10 @@ pub use catalog::Catalog;
 pub use column::{Bitmap, ColumnSet, ColumnStore, ShardMap, SHARD_COUNT};
 pub use database::ProbDb;
 pub use plan::{
-    dissociation_search_count, CatalogEngine, EvalPath, EvalReport, PlanCache, PlanCacheStats,
-    PlanClass, PlanRoute, ProbabilityBounds, QueryAnswer, QueryEngineConfig, RelationStats,
-    SafePlan,
+    dissociation_search_count, CatalogEngine, EvalPath, EvalReport, MassGradients, PlanCache,
+    PlanCacheStats, PlanClass, PlanRoute, ProbabilityBounds, QueryAnswer, QueryEngineConfig,
+    RelationStats, SafePlan,
 };
-#[allow(deprecated)]
-pub use plan::{QueryEngine, QuerySpec};
 pub use predicate::Predicate;
 pub use serve::{ProbDbServer, ServeConfig, Served, ServerHandle, ServerStats, Snapshot};
 pub use world::PossibleWorld;
@@ -113,6 +111,14 @@ pub enum ProbDbError {
     /// The serving layer dropped the request before answering: the
     /// server shut down, or the worker evaluating it died.
     ServerUnavailable,
+    /// The query's plan shape is not differentiable: mass gradients are
+    /// only defined along the exact safe-plan route, so shapes that
+    /// route to Monte Carlo or dissociation bounds cannot answer
+    /// [`CatalogEngine::probability_with_gradient`].
+    NotDifferentiable {
+        /// The classifier's reason for rejecting the exact route.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ProbDbError {
@@ -158,6 +164,9 @@ impl fmt::Display for ProbDbError {
             }
             Self::ServerUnavailable => {
                 write!(f, "the server dropped the request before answering")
+            }
+            Self::NotDifferentiable { reason } => {
+                write!(f, "query plan is not differentiable: {reason}")
             }
         }
     }

@@ -33,19 +33,25 @@
 //! per-relation scan statistics, and — for joins — the [`SafePlan`]
 //! decomposition that justified (or failed) the exact route.
 //!
-//! The pre-catalog `QuerySpec`/`QueryEngine` API survives below as a
-//! deprecated shim that lowers into the query tree.
+//! Liftable plans are additionally *differentiable*: the safe plan is a
+//! pure product/complement tree over the block-alternative masses, and
+//! [`CatalogEngine::probability_with_gradient`] runs a reverse-mode
+//! backward sweep over the interpreter recursion to return `∂P(Q)/∂m`
+//! for every alternative mass — the machinery tuple-probability
+//! learning (`mrsl_learn`) descends on.
 
 pub(crate) mod classify;
 mod compile;
 mod dissociate;
 mod exact;
+mod grad;
 mod mc;
 mod report;
 mod vm;
 
 pub use compile::{PlanCache, PlanCacheStats};
 pub use dissociate::dissociation_search_count;
+pub use grad::MassGradients;
 pub use report::{
     EvalPath, EvalReport, PlanClass, PlanRoute, ProbabilityBounds, RelationStats, SafePlan,
 };
@@ -56,7 +62,7 @@ use crate::database::ProbDb;
 use crate::montecarlo::{
     mc_count_distribution_compiled, mc_expected_count_compiled, CompiledSelection,
 };
-use crate::query::{self, Predicate, RankedTuple};
+use crate::query::{self, RankedTuple};
 use crate::ProbDbError;
 use classify::{
     alias_groups, alias_live_mismatch, classify, key_straddle, resolve, CompiledTerm, Resolved,
@@ -337,6 +343,51 @@ impl<'a> CatalogEngine<'a> {
             (QueryAnswer::Distribution(d), report) => Ok((d, report)),
             _ => unreachable!("value-marginal query answers with a distribution"),
         }
+    }
+
+    /// `P(result non-empty)` together with its gradient in every
+    /// block-alternative mass, by a reverse-mode backward sweep over the
+    /// safe-plan recursion.
+    ///
+    /// Only classified-liftable queries are differentiable — the exact
+    /// product/complement tree *is* the computational graph. Shapes that
+    /// would route to Monte Carlo (non-hierarchical, key-correlated,
+    /// aliased) return [`ProbDbError::NotDifferentiable`] with the
+    /// classifier's reason. The probability matches
+    /// [`CatalogEngine::probability`]'s interpreter path bit for bit; the
+    /// gradients feed the tuple-probability optimizer in `mrsl_learn`,
+    /// which projects updates back onto each block's simplex and writes
+    /// them through [`crate::ProbDb::set_block_masses`].
+    pub fn probability_with_gradient(
+        &self,
+        q: &Query,
+    ) -> Result<(f64, MassGradients), ProbDbError> {
+        let flat = q.flatten()?;
+        let resolved = resolve(&flat, |name| self.catalog.get(name))?;
+        let compiled: Vec<CompiledTerm> = resolved
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| CompiledTerm::compile(i, t, &resolved.classes))
+            .collect();
+        if resolved.terms.len() > 1 {
+            let c = classify(&resolved, &compiled);
+            if c.class != PlanClass::Liftable {
+                let reason = match c.decomposition {
+                    SafePlan::Unsafe { reason } => reason,
+                    _ => format!("{:?} plans are not differentiable", c.class),
+                };
+                return Err(ProbDbError::NotDifferentiable { reason });
+            }
+        }
+        let (p, grads) = grad::boolean_gradient(&resolved, &compiled);
+        let relations = resolved
+            .terms
+            .iter()
+            .zip(grads)
+            .map(|(t, g)| (t.relation.clone(), g))
+            .collect();
+        Ok((p, MassGradients { relations }))
     }
 }
 
@@ -856,8 +907,8 @@ fn evaluate_cold<'a>(
                 mean
             } else if classes == 0 && compiled.len() == 1 {
                 // Single relations keep the legacy arithmetic (certain
-                // matches plus per-block marginals) so shim answers stay
-                // bit-identical.
+                // matches plus per-block marginals) so answers stay
+                // bit-identical with the historical single-table path.
                 exact::single_expected_count(&compiled[0])
             } else {
                 exact::expected_join_count(&resolved, &compiled)
@@ -1068,172 +1119,18 @@ fn relation_stats(compiled: &[CompiledTerm]) -> Vec<RelationStats> {
                 blocks_touched: cols.block_count() - pruned,
                 certain_rows: cols.certain().rows(),
                 alt_rows: cols.alternatives().rows(),
+                provenance: ct.db.provenance().map(String::from),
             }
         })
         .collect()
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated single-table shim.
-// ---------------------------------------------------------------------------
-
-/// Relation name the single-table shim resolves its scans against.
-const SHIM_RELATION: &str = "db";
-
-/// A logical query over one probabilistic table.
-#[deprecated(
-    note = "build a Query tree (Query::scan(..).filter(..)) and evaluate it \
-            through CatalogEngine; QuerySpec lowers into that tree"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub enum QuerySpec {
-    /// Per-block probability that the true tuple satisfies the predicate.
-    SelectionMarginals(Predicate),
-    /// `E[COUNT(*) WHERE pred]`.
-    ExpectedCount(Predicate),
-    /// Exact or sampled distribution of `COUNT(*) WHERE pred`.
-    CountDistribution(Predicate),
-    /// Marginal distribution of one attribute over the expected table.
-    ValueMarginal(AttrId),
-    /// The `k` most probable tuples satisfying the predicate.
-    TopK(Predicate, usize),
-}
-
-#[allow(deprecated)]
-impl QuerySpec {
-    /// The selection predicate of the query, if it has one.
-    pub fn predicate(&self) -> Option<&Predicate> {
-        match self {
-            Self::SelectionMarginals(p)
-            | Self::ExpectedCount(p)
-            | Self::CountDistribution(p)
-            | Self::TopK(p, _) => Some(p),
-            Self::ValueMarginal(_) => None,
-        }
-    }
-
-    /// Lowers the flat spec into the equivalent query tree over `relation`
-    /// plus the statistic to compute — the shim's bridge into the planner.
-    pub fn lower(&self, relation: &str) -> (Query, Statistic) {
-        let filtered = |p: &Predicate| Query::scan(relation).filter(p.clone());
-        match self {
-            Self::SelectionMarginals(p) => (filtered(p), Statistic::Marginals),
-            Self::ExpectedCount(p) => (filtered(p), Statistic::ExpectedCount),
-            Self::CountDistribution(p) => (filtered(p), Statistic::CountDistribution),
-            Self::ValueMarginal(a) => (Query::scan(relation), Statistic::ValueMarginal(*a)),
-            Self::TopK(p, k) => (filtered(p), Statistic::TopK(*k)),
-        }
-    }
-}
-
-/// The pre-catalog single-table engine: plans a [`QuerySpec`] against one
-/// database by lowering it into the query tree.
-#[deprecated(
-    note = "wrap the database in a Catalog and use CatalogEngine; this shim \
-            lowers every QuerySpec into the Query tree anyway"
-)]
-#[derive(Debug, Clone)]
-pub struct QueryEngine<'a> {
-    db: &'a ProbDb,
-    config: QueryEngineConfig,
-    cache: Arc<PlanCache>,
-}
-
-#[allow(deprecated)]
-impl<'a> QueryEngine<'a> {
-    /// An engine with default configuration.
-    pub fn new(db: &'a ProbDb) -> Self {
-        Self::with_config(db, QueryEngineConfig::default())
-    }
-
-    /// An engine with explicit configuration.
-    pub fn with_config(db: &'a ProbDb, config: QueryEngineConfig) -> Self {
-        let cache = Arc::new(PlanCache::with_capacity(config.plan_cache_capacity));
-        Self { db, config, cache }
-    }
-
-    /// The configuration in effect.
-    pub fn config(&self) -> &QueryEngineConfig {
-        &self.config
-    }
-
-    /// Classifies a query: which physical path, and why.
-    ///
-    /// Kept as the historical O(1), infallible routing decision — it
-    /// looks only at the query shape and configuration, never at the
-    /// predicate (which [`QueryEngine::evaluate`] resolves and compiles).
-    pub fn plan(&self, spec: &QuerySpec) -> (EvalPath, PlanClass) {
-        match spec {
-            QuerySpec::SelectionMarginals(_)
-            | QuerySpec::ExpectedCount(_)
-            | QuerySpec::CountDistribution(_)
-                if self.config.force_monte_carlo =>
-            {
-                (EvalPath::MonteCarlo, PlanClass::ForcedMonteCarlo)
-            }
-            QuerySpec::CountDistribution(_)
-                if self.db.blocks().len() > self.config.max_exact_dp_blocks =>
-            {
-                (EvalPath::MonteCarlo, PlanClass::DpBudgetExceeded)
-            }
-            _ => (EvalPath::ExactColumnar, PlanClass::Liftable),
-        }
-    }
-
-    /// Plans and evaluates `spec` by lowering it into the query tree.
-    pub fn evaluate(&self, spec: &QuerySpec) -> Result<(QueryAnswer, EvalReport), ProbDbError> {
-        let (q, stat) = spec.lower(SHIM_RELATION);
-        evaluate_with(
-            |name| self.lookup(name),
-            &q,
-            stat,
-            &self.config,
-            &self.cache,
-        )
-    }
-
-    /// Convenience: expected count with its report.
-    pub fn expected_count(&self, pred: &Predicate) -> Result<(f64, EvalReport), ProbDbError> {
-        match self.evaluate(&QuerySpec::ExpectedCount(pred.clone()))? {
-            (QueryAnswer::Count { mean, .. }, report) => Ok((mean, report)),
-            _ => unreachable!("expected-count query answers with a count"),
-        }
-    }
-
-    /// Convenience: count distribution with its report.
-    pub fn count_distribution(
-        &self,
-        pred: &Predicate,
-    ) -> Result<(Vec<f64>, EvalReport), ProbDbError> {
-        match self.evaluate(&QuerySpec::CountDistribution(pred.clone()))? {
-            (QueryAnswer::Distribution(d), report) => Ok((d, report)),
-            _ => unreachable!("count-distribution query answers with a distribution"),
-        }
-    }
-
-    /// Convenience: top-k with its report.
-    pub fn top_k(
-        &self,
-        pred: &Predicate,
-        k: usize,
-    ) -> Result<(Vec<RankedTuple>, EvalReport), ProbDbError> {
-        match self.evaluate(&QuerySpec::TopK(pred.clone(), k))? {
-            (QueryAnswer::Ranked(r), report) => Ok((r, report)),
-            _ => unreachable!("top-k query answers with a ranking"),
-        }
-    }
-
-    fn lookup(&self, name: &str) -> Option<&'a ProbDb> {
-        (name == SHIM_RELATION).then_some(self.db)
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::block::{Alternative, Block};
     use crate::catalog::Catalog;
+    use crate::predicate::Predicate;
     use crate::testutil::{oracle, oracle_probability};
     use mrsl_relation::schema::fig1_schema;
     use mrsl_relation::{CompleteTuple, Schema, ValueId};
@@ -1278,15 +1175,22 @@ mod tests {
     }
 
     // ---------------------------------------------------------------
-    // Ported single-table engine behavior (through the deprecated shim).
+    // Single-table engine behavior (one-relation catalogs).
     // ---------------------------------------------------------------
+
+    fn single_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog.add("db", db()).unwrap();
+        catalog
+    }
 
     #[test]
     fn liftable_queries_take_the_exact_path() {
-        let db = db();
-        let engine = QueryEngine::new(&db);
+        let catalog = single_catalog();
+        let engine = CatalogEngine::new(&catalog);
         let pred = Predicate::eq(AttrId(2), ValueId(1));
-        let (count, report) = engine.expected_count(&pred).unwrap();
+        let q = Query::scan("db").filter(pred);
+        let (count, report) = engine.expected_count(&q).unwrap();
         assert_eq!(report.path, EvalPath::ExactColumnar);
         assert_eq!(report.plan, PlanClass::Liftable);
         assert_eq!(report.mc_samples, 0);
@@ -1297,16 +1201,16 @@ mod tests {
         assert_eq!(report.blocks_touched, 2);
         assert_eq!(report.certain_rows, 1);
         assert_eq!(report.alt_rows, 6);
-        // The shim reports one relation and no join decomposition.
+        // One relation, no join decomposition.
         assert_eq!(report.relations.len(), 1);
         assert!(report.decomposition.is_none());
     }
 
     #[test]
     fn dp_budget_routes_count_distribution_to_monte_carlo() {
-        let db = db();
-        let engine = QueryEngine::with_config(
-            &db,
+        let catalog = single_catalog();
+        let engine = CatalogEngine::with_config(
+            &catalog,
             QueryEngineConfig {
                 max_exact_dp_blocks: 2,
                 mc_samples: 30_000,
@@ -1314,24 +1218,28 @@ mod tests {
             },
         );
         let pred = Predicate::eq(AttrId(2), ValueId(1));
-        let (mc_dist, report) = engine.count_distribution(&pred).unwrap();
+        let q = Query::scan("db").filter(pred.clone());
+        let (answer, report) = engine.evaluate(&q, Statistic::CountDistribution).unwrap();
         assert_eq!(report.path, EvalPath::MonteCarlo);
         assert_eq!(report.plan, PlanClass::DpBudgetExceeded);
         assert_eq!(report.mc_samples, 30_000);
-        let exact = query::count_distribution(&db, &pred);
+        let QueryAnswer::Distribution(mc_dist) = answer else {
+            panic!("distribution expected");
+        };
+        let exact = query::count_distribution(catalog.get("db").unwrap(), &pred);
         for (k, &e) in exact.iter().enumerate() {
             assert!((mc_dist[k] - e).abs() < 0.02, "k={k}");
         }
         // Expected count stays exact: its cost is linear.
-        let (_, report) = engine.expected_count(&pred).unwrap();
+        let (_, report) = engine.expected_count(&q).unwrap();
         assert_eq!(report.path, EvalPath::ExactColumnar);
     }
 
     #[test]
     fn forced_monte_carlo_reports_standard_error() {
-        let db = db();
-        let engine = QueryEngine::with_config(
-            &db,
+        let catalog = single_catalog();
+        let engine = CatalogEngine::with_config(
+            &catalog,
             QueryEngineConfig {
                 force_monte_carlo: true,
                 mc_samples: 20_000,
@@ -1339,46 +1247,46 @@ mod tests {
             },
         );
         let pred = Predicate::eq(AttrId(2), ValueId(1)).negate();
-        let (answer, report) = engine
-            .evaluate(&QuerySpec::ExpectedCount(pred.clone()))
-            .unwrap();
+        let q = Query::scan("db").filter(pred.clone());
+        let (answer, report) = engine.evaluate(&q, Statistic::ExpectedCount).unwrap();
         assert_eq!(report.plan, PlanClass::ForcedMonteCarlo);
         let QueryAnswer::Count { mean, std_error } = answer else {
             panic!("count answer expected");
         };
         let se = std_error.expect("MC path reports a standard error");
-        let exact = query::expected_count(&db, &pred);
+        let exact = query::expected_count(catalog.get("db").unwrap(), &pred);
         assert!((mean - exact).abs() < 4.0 * se + 0.02);
         // Ranking has no sampling estimator: stays exact even when forced.
-        let (_, report) = engine.top_k(&pred, 3).unwrap();
+        let (_, report) = engine.evaluate(&q, Statistic::TopK(3)).unwrap();
         assert_eq!(report.path, EvalPath::ExactColumnar);
     }
 
     #[test]
     fn zero_sample_budget_is_an_error() {
-        let db = db();
-        let engine = QueryEngine::with_config(
-            &db,
+        let catalog = single_catalog();
+        let engine = CatalogEngine::with_config(
+            &catalog,
             QueryEngineConfig {
                 force_monte_carlo: true,
                 mc_samples: 0,
                 ..QueryEngineConfig::default()
             },
         );
-        let e = engine.expected_count(&Predicate::any());
+        let q = Query::scan("db").filter(Predicate::any());
+        let e = engine.expected_count(&q);
         assert!(matches!(e, Err(ProbDbError::NoSamples)));
         // Every sampled query shape refuses a zero budget the same way.
-        let e = engine.evaluate(&QuerySpec::SelectionMarginals(Predicate::any()));
+        let e = engine.evaluate(&q, Statistic::Marginals);
         assert!(matches!(e, Err(ProbDbError::NoSamples)));
-        let e = engine.count_distribution(&Predicate::any());
+        let e = engine.evaluate(&q, Statistic::CountDistribution);
         assert!(matches!(e, Err(ProbDbError::NoSamples)));
     }
 
     #[test]
     fn mc_selection_marginals_agree_with_exact() {
-        let db = db();
-        let engine = QueryEngine::with_config(
-            &db,
+        let catalog = single_catalog();
+        let engine = CatalogEngine::with_config(
+            &catalog,
             QueryEngineConfig {
                 force_monte_carlo: true,
                 mc_samples: 30_000,
@@ -1386,14 +1294,13 @@ mod tests {
             },
         );
         let pred = Predicate::is_in(AttrId(3), [ValueId(1)]);
-        let (answer, report) = engine
-            .evaluate(&QuerySpec::SelectionMarginals(pred.clone()))
-            .unwrap();
+        let q = Query::scan("db").filter(pred.clone());
+        let (answer, report) = engine.evaluate(&q, Statistic::Marginals).unwrap();
         assert_eq!(report.path, EvalPath::MonteCarlo);
         let QueryAnswer::Marginals(mc) = answer else {
             panic!("marginals expected");
         };
-        let exact = query::block_selection_probs(&db, &pred);
+        let exact = query::block_selection_probs(catalog.get("db").unwrap(), &pred);
         for (b, (&m, &e)) in mc.iter().zip(&exact).enumerate() {
             assert!((m - e).abs() < 0.02, "block {b}: {m} vs {e}");
         }
@@ -1401,16 +1308,13 @@ mod tests {
 
     #[test]
     fn value_marginal_reports_no_pruning() {
-        let db = db();
-        let engine = QueryEngine::new(&db);
-        let (answer, report) = engine
-            .evaluate(&QuerySpec::ValueMarginal(AttrId(0)))
+        let catalog = single_catalog();
+        let engine = CatalogEngine::new(&catalog);
+        let (m, report) = engine
+            .value_marginal(&Query::scan("db"), AttrId(0))
             .unwrap();
         assert_eq!(report.blocks_pruned, 0);
         assert_eq!(report.blocks_touched, 3);
-        let QueryAnswer::Distribution(m) = answer else {
-            panic!("distribution expected");
-        };
         assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
@@ -1735,39 +1639,6 @@ mod tests {
             e,
             Err(ProbDbError::IncompatibleJoinDomains { .. })
         ));
-    }
-
-    #[test]
-    fn query_spec_lowering_matches_catalog_engine() {
-        // The deprecated shim and the catalog engine share one code path;
-        // answers must be identical on both physical routes.
-        let db = db();
-        let mut catalog = Catalog::new();
-        catalog.add("db", db.clone()).unwrap();
-        for config in [
-            QueryEngineConfig::default(),
-            QueryEngineConfig {
-                force_monte_carlo: true,
-                mc_samples: 2_000,
-                ..QueryEngineConfig::default()
-            },
-        ] {
-            let old = QueryEngine::with_config(&db, config);
-            let new = CatalogEngine::with_config(&catalog, config);
-            let pred =
-                Predicate::eq(AttrId(2), ValueId(1)).or(Predicate::eq(AttrId(3), ValueId(1)));
-            let (old_count, old_report) = old.expected_count(&pred).unwrap();
-            let (new_count, new_report) = new
-                .expected_count(&Query::scan("db").filter(pred.clone()))
-                .unwrap();
-            assert_eq!(old_count.to_bits(), new_count.to_bits());
-            assert_eq!(old_report, new_report);
-            let (old_dist, _) = old.count_distribution(&pred).unwrap();
-            let (new_dist, _) = new
-                .count_distribution(&Query::scan("db").filter(pred.clone()))
-                .unwrap();
-            assert_eq!(old_dist, new_dist);
-        }
     }
 
     #[test]

@@ -233,6 +233,11 @@ pub struct RelationStats {
     pub certain_rows: usize,
     /// Alternative rows scanned by the columnar filter.
     pub alt_rows: usize,
+    /// Which inference engine (or learned-ensemble weights digest)
+    /// derived this relation, when the derivation path recorded one via
+    /// [`crate::ProbDb::set_provenance`]. `None` for hand-built or
+    /// deserialized relations.
+    pub provenance: Option<String>,
 }
 
 /// Per-query evaluation report: path, classification, per-relation scan
@@ -317,6 +322,7 @@ mod tests {
             blocks_touched: blocks - pruned,
             certain_rows: 10,
             alt_rows: blocks * 2,
+            provenance: None,
         };
         let report = EvalReport::new(
             EvalPath::ExactColumnar,

@@ -246,8 +246,12 @@ impl Shared {
     }
 
     fn stats(&self) -> ServerStats {
-        self.counters
-            .snapshot(self.epoch.load(Ordering::Acquire), self.cache.stats())
+        let provenance = stats::provenance_digest(&self.lock_current().catalog);
+        self.counters.snapshot(
+            self.epoch.load(Ordering::Acquire),
+            self.cache.stats(),
+            provenance,
+        )
     }
 }
 
@@ -628,6 +632,28 @@ mod tests {
         );
         // The writer lock was released: the next update goes through.
         assert_eq!(server.update(|_| ()).0, 1);
+    }
+
+    #[test]
+    fn stats_fingerprint_the_published_catalog_provenance() {
+        let server = ProbDbServer::start(one_block_catalog(0.5));
+        let unstamped = server.stats().catalog_provenance;
+        assert_ne!(unstamped, 0, "non-empty catalogs digest to non-zero");
+        server.update(|catalog| {
+            catalog
+                .get_mut("r")
+                .unwrap()
+                .set_provenance("ensemble[gibbs:0.6,independent:0.4]#00c0ffee");
+        });
+        let stamped = server.stats().catalog_provenance;
+        assert_ne!(
+            unstamped, stamped,
+            "publishing a differently-derived catalog changes the digest"
+        );
+        // Re-publishing the same provenance is digest-stable.
+        server.update(|_| ());
+        assert_eq!(server.stats().catalog_provenance, stamped);
+        server.shutdown();
     }
 
     #[test]

@@ -72,7 +72,12 @@ impl ServerCounters {
         self.publishes.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(super) fn snapshot(&self, generation: u64, plan_cache: PlanCacheStats) -> ServerStats {
+    pub(super) fn snapshot(
+        &self,
+        generation: u64,
+        plan_cache: PlanCacheStats,
+        catalog_provenance: u64,
+    ) -> ServerStats {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServerStats {
             queries: load(&self.queries),
@@ -88,8 +93,40 @@ impl ServerCounters {
             lagged_reads: load(&self.lagged_reads),
             max_lag: load(&self.max_lag),
             plan_cache,
+            catalog_provenance,
         }
     }
+}
+
+/// FNV-1a digest of every relation's name and recorded provenance (see
+/// [`crate::ProbDb::set_provenance`]) in the published catalog, sorted by
+/// relation name — a stable fingerprint of *which* engines (or learned
+/// ensemble mixtures) derived the data a server is answering from. `0`
+/// when the catalog is empty; relations without provenance contribute
+/// their name only, so hand-built and derived catalogs still digest
+/// differently.
+pub(super) fn provenance_digest(catalog: &crate::Catalog) -> u64 {
+    let mut entries: Vec<(&str, Option<&str>)> = catalog
+        .iter()
+        .map(|(name, db)| (name, db.provenance()))
+        .collect();
+    if entries.is_empty() {
+        return 0;
+    }
+    entries.sort_unstable();
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            acc = (acc ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+    for (name, provenance) in entries {
+        eat(name.as_bytes());
+        eat(&[0]);
+        eat(provenance.unwrap_or("").as_bytes());
+        eat(&[0]);
+    }
+    acc
 }
 
 /// A point-in-time snapshot of the server's cumulative counters, plus
@@ -128,4 +165,10 @@ pub struct ServerStats {
     pub max_lag: u64,
     /// The shared concurrent plan cache's counters.
     pub plan_cache: PlanCacheStats,
+    /// FNV-1a digest of the published catalog's per-relation provenance
+    /// strings (engine names or learned-ensemble weight fingerprints):
+    /// records *which* derivation produced the data every answer in this
+    /// snapshot of the counters ran against. Changes whenever a publish
+    /// swaps in a catalog derived differently; `0` for an empty catalog.
+    pub catalog_provenance: u64,
 }

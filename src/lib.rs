@@ -9,6 +9,7 @@ pub use mrsl_bayesnet as bayesnet;
 pub use mrsl_core as core;
 pub use mrsl_eval as eval;
 pub use mrsl_itemset as itemset;
+pub use mrsl_learn as learn;
 pub use mrsl_probdb as probdb;
 pub use mrsl_relation as relation;
 pub use mrsl_util as util;

@@ -219,68 +219,6 @@ proptest! {
         );
     }
 
-    /// The deprecated `QuerySpec` shim lowers into the query tree; its
-    /// answers must be identical to the catalog engine's on single-table
-    /// queries — bit for bit, on both physical paths.
-    #[test]
-    #[allow(deprecated)]
-    fn query_spec_shim_is_answer_identical(
-        (db, salt, force) in (arb_db(), 0u16..64, 0u8..2)
-    ) {
-        let force = force == 1;
-        use mrsl_repro::probdb::plan::QuerySpec;
-        use mrsl_repro::probdb::{
-            Catalog, CatalogEngine, Query, QueryAnswer, QueryEngine, QueryEngineConfig, Statistic,
-        };
-        let config = QueryEngineConfig {
-            force_monte_carlo: force,
-            mc_samples: 500,
-            mc_seed: 0xc0 ^ salt as u64,
-            ..QueryEngineConfig::default()
-        };
-        let mut catalog = Catalog::new();
-        catalog.add("db", db).expect("fresh catalog");
-        let db = catalog.get("db").expect("added above");
-        let old_engine = QueryEngine::with_config(db, config);
-        let new_engine = CatalogEngine::with_config(&catalog, config);
-        let (_, pred) = predicates_for(db.schema(), salt).pop().expect("non-empty");
-        let specs = vec![
-            QuerySpec::SelectionMarginals(pred.clone()),
-            QuerySpec::ExpectedCount(pred.clone()),
-            QuerySpec::CountDistribution(pred.clone()),
-            QuerySpec::ValueMarginal(mrsl_repro::relation::AttrId(0)),
-            QuerySpec::TopK(pred.clone(), 4),
-        ];
-        for spec in specs {
-            let (old_answer, old_report) = old_engine.evaluate(&spec).expect("old path");
-            let (query, stat): (Query, Statistic) = spec.lower("db");
-            let (new_answer, new_report) = new_engine.evaluate(&query, stat).expect("new path");
-            prop_assert_eq!(&old_report, &new_report, "{:?}", spec);
-            match (old_answer, new_answer) {
-                (QueryAnswer::Marginals(a), QueryAnswer::Marginals(b))
-                | (QueryAnswer::Distribution(a), QueryAnswer::Distribution(b)) => {
-                    prop_assert_eq!(a, b, "{:?}", spec);
-                }
-                (
-                    QueryAnswer::Count { mean: a, std_error: ea },
-                    QueryAnswer::Count { mean: b, std_error: eb },
-                ) => {
-                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", spec);
-                    prop_assert_eq!(ea.map(f64::to_bits), eb.map(f64::to_bits), "{:?}", spec);
-                }
-                (QueryAnswer::Ranked(a), QueryAnswer::Ranked(b)) => {
-                    prop_assert_eq!(a.len(), b.len(), "{:?}", spec);
-                    for (x, y) in a.iter().zip(&b) {
-                        prop_assert_eq!(&x.tuple, &y.tuple);
-                        prop_assert_eq!(x.prob.to_bits(), y.prob.to_bits());
-                        prop_assert_eq!(x.block, y.block);
-                    }
-                }
-                (a, b) => prop_assert!(false, "answer shapes diverge: {:?} vs {:?}", a, b),
-            }
-        }
-    }
-
     /// Word-masked `Bitmap::count_ones_in` / `any_in` agree with the naive
     /// bit-by-bit traversal on arbitrary bitmaps and ranges.
     #[test]
