@@ -76,6 +76,27 @@ def main():
             baselines["serve_read_while_ingest_qps_min"],
         )
 
+    # Overload scenario: the identical-shape storm must actually share
+    # evaluations, admission control must actually reject past the bound,
+    # and the client-side wait_timeout must come back near its deadline.
+    overload = serve["overload"]
+    check(
+        "serve.overload.storm.coalesced_share",
+        overload["storm"]["coalesced_share"],
+        baselines["serve_overload_coalesced_share_min"],
+    )
+    check(
+        "serve.overload.admission.rejected_total",
+        overload["admission"]["rejected_total"],
+        baselines["serve_overload_rejected_min"],
+    )
+    check(
+        "serve.overload.deadline.overshoot_p99_ms",
+        overload["deadline"]["overshoot_p99_ms"],
+        baselines["serve_overload_deadline_overshoot_ms_max"],
+        at_least=False,
+    )
+
     # The reverse sweep revisits each safe-plan node a constant number of
     # times, so probability_with_gradient must stay within a small factor
     # of the forward-only evaluation (both on cold engines).

@@ -11,6 +11,12 @@
 //! - read-while-ingest: the same client ladder while a writer thread
 //!   publishes one-block upserts copy-on-write — the snapshot swap plus
 //!   the register *patch* (not rebuild) every post-publish request pays;
+//! - overload: an identical-shape storm from 8 clients against a small
+//!   pool with a bounded queue (every evaluation forced onto the slow
+//!   Monte Carlo path), measuring the coalesced share and storm p99,
+//!   then deterministic admission rejections against a full queue and
+//!   the client-side `wait_timeout` overshoot next to a plain
+//!   `thread::sleep` jitter baseline;
 //! - the server's cumulative [`ServerStats`] so cache warmth, generation
 //!   lag and queue depth land next to the latency numbers.
 //!
@@ -23,7 +29,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mrsl_bench::synthetic_join_catalog;
 use mrsl_probdb::serve::{ProbDbServer, ServeConfig};
 use mrsl_probdb::{
-    Alternative, Block, Predicate, Query, QueryEngineConfig, ServerHandle, ServerStats, Statistic,
+    Alternative, Block, Predicate, ProbDbError, Query, QueryEngineConfig, ServerHandle,
+    ServerStats, Statistic,
 };
 use mrsl_relation::{AttrId, CompleteTuple, ValueId};
 use std::fmt::Write as _;
@@ -44,6 +51,7 @@ fn serve_config() -> ServeConfig {
             bounds_tolerance: 1.0,
             ..QueryEngineConfig::default()
         },
+        ..ServeConfig::default()
     }
 }
 
@@ -134,6 +142,202 @@ fn ingest_block(key: usize, stations: usize) -> Block {
         ],
     )
     .expect("valid block")
+}
+
+/// Overload scenario: 8 clients, 2 workers, queue bound 4, every
+/// evaluation forced onto the Monte Carlo path with enough samples that
+/// a request visibly holds a worker. Three deterministic sub-phases on
+/// one server (so the emitted counters are cumulative server totals):
+///
+/// 1. **storm** — identical-shape submit/wait loops from all clients;
+///    one evaluation fans out to everyone who attached while it ran.
+/// 2. **deadline** — with both workers pinned by slow blockers (two
+///    *different* shapes, so neither coalesces with the other), stamped
+///    probes time out client-side; the overshoot past the deadline is
+///    the measured scheduling jitter, reported next to a plain
+///    `thread::sleep` baseline.
+/// 3. **admission** — with the queue already holding the abandoned
+///    probes, a burst of submits bounces off the bound immediately.
+fn overload_section(out: &mut String, smoke: bool) {
+    const STORM_CLIENTS: usize = 8;
+    const OVERLOAD_WORKERS: usize = 2;
+    const QUEUE_BOUND: usize = 4;
+    // ~20k samples over this 400-block fixture is already ~1s of Monte
+    // Carlo on the 1-core reference host: a request visibly holds a
+    // worker without the section taking minutes.
+    let (mc_samples, storm_iters, probes) = if smoke {
+        (20_000, 2, 2)
+    } else {
+        (40_000, 6, QUEUE_BOUND)
+    };
+    let deadline = Duration::from_millis(25);
+
+    let catalog = synthetic_join_catalog(16, 200, 400, 3, 7);
+    let query = join_query();
+    let server = ProbDbServer::with_config(
+        catalog,
+        ServeConfig {
+            workers: OVERLOAD_WORKERS,
+            max_queue_depth: QUEUE_BOUND,
+            engine: QueryEngineConfig {
+                force_monte_carlo: true,
+                mc_samples,
+                bounds_tolerance: 1.0,
+                ..QueryEngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+
+    // Phase 1: the identical-shape storm.
+    let storm_start = Instant::now();
+    let mut samples: Vec<f64> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..STORM_CLIENTS)
+            .map(|_| {
+                let handle = server.handle();
+                let query = query.clone();
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(storm_iters);
+                    let mut done = 0;
+                    while done < storm_iters {
+                        let start = Instant::now();
+                        match handle.submit(query.clone(), Statistic::Probability) {
+                            Ok(ticket) => {
+                                std::hint::black_box(ticket.wait().expect("storm answer"));
+                                lat.push(start.elapsed().as_nanos() as f64);
+                                done += 1;
+                            }
+                            // Bounced at admission: back off and retry.
+                            Err(ProbDbError::Overloaded) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("storm submit: {e}"),
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("storm client"))
+            .collect()
+    });
+    let storm_wall = storm_start.elapsed().as_secs_f64();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let storm_requests = (STORM_CLIENTS * storm_iters) as u64;
+    let storm_stats = server.stats();
+
+    // Phase 2: pin both workers with slow blockers of *different*
+    // shapes, then probe the client-side deadline overshoot.
+    let handle = server.handle();
+    let blockers = [
+        handle
+            .submit(query.clone(), Statistic::Probability)
+            .expect("blocker admitted"),
+        handle
+            .submit(query.clone(), Statistic::ExpectedCount)
+            .expect("blocker admitted"),
+    ];
+    let pinned = Instant::now();
+    while handle.stats().queue_depth > 0 && pinned.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut overshoots_ms: Vec<f64> = Vec::with_capacity(probes);
+    for _ in 0..probes {
+        let Ok(ticket) =
+            handle.submit_with_deadline(query.clone(), Statistic::Probability, deadline)
+        else {
+            continue;
+        };
+        let start = Instant::now();
+        // With both workers pinned the probe expires; if a blocker
+        // finished early the probe just answers and measures nothing.
+        if ticket.wait_timeout(deadline).is_err() {
+            let overshoot = start.elapsed().saturating_sub(deadline);
+            overshoots_ms.push(overshoot.as_secs_f64() * 1e3);
+        }
+    }
+    overshoots_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    // Jitter baseline: how late a plain sleep of the same length wakes.
+    let mut sleep_jitter_ms: f64 = 0.0;
+    for _ in 0..probes.max(2) {
+        let start = Instant::now();
+        std::thread::sleep(deadline);
+        let late = start.elapsed().saturating_sub(deadline);
+        sleep_jitter_ms = sleep_jitter_ms.max(late.as_secs_f64() * 1e3);
+    }
+
+    // Phase 3: the queue still holds the abandoned probes; a burst of
+    // submits past the bound is refused immediately.
+    let mut admitted = Vec::new();
+    let mut burst_rejected = 0u64;
+    for _ in 0..STORM_CLIENTS {
+        match handle.submit(query.clone(), Statistic::Probability) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(ProbDbError::Overloaded) => burst_rejected += 1,
+            Err(e) => panic!("burst submit: {e}"),
+        }
+    }
+    drop(admitted);
+    for blocker in blockers {
+        blocker.wait().expect("blocker answers");
+    }
+    let stats = server.stats();
+    server.shutdown();
+
+    let coalesced_share = storm_stats.coalesced as f64 / storm_requests as f64;
+    let _ = writeln!(out, "  \"overload\": {{");
+    let _ = writeln!(
+        out,
+        "    \"clients\": {STORM_CLIENTS}, \"workers\": {OVERLOAD_WORKERS}, \
+         \"queue_bound\": {QUEUE_BOUND}, \"mc_samples\": {mc_samples},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"storm\": {{\"requests\": {storm_requests}, \"p50_ns\": {:.0}, \
+         \"p99_ns\": {:.0}, \"qps\": {:.1}, \"coalesced\": {}, \"coalesced_share\": {:.3}}},",
+        percentile(&samples, 0.5),
+        percentile(&samples, 0.99),
+        storm_requests as f64 / storm_wall,
+        storm_stats.coalesced,
+        coalesced_share
+    );
+    let _ = writeln!(
+        out,
+        "    \"admission\": {{\"burst\": {STORM_CLIENTS}, \"burst_rejected\": {burst_rejected}, \
+         \"rejected_total\": {}}},",
+        stats.rejected
+    );
+    let _ = writeln!(
+        out,
+        "    \"deadline\": {{\"deadline_ms\": {:.1}, \"probes_expired\": {}, \
+         \"overshoot_p99_ms\": {:.3}, \"sleep_jitter_ms\": {:.3}}},",
+        deadline.as_secs_f64() * 1e3,
+        overshoots_ms.len(),
+        if overshoots_ms.is_empty() {
+            0.0
+        } else {
+            percentile(&overshoots_ms, 0.99)
+        },
+        sleep_jitter_ms
+    );
+    let _ = writeln!(
+        out,
+        "    \"totals\": {{\"queries\": {}, \"expired\": {}, \"abandoned\": {}, \"errors\": {}}}",
+        stats.queries, stats.expired, stats.abandoned, stats.errors
+    );
+    let _ = writeln!(out, "  }},");
+    if !smoke {
+        assert!(
+            stats.rejected >= 1,
+            "overload scenario produced no admission rejections"
+        );
+        assert!(
+            coalesced_share > 0.0,
+            "identical-shape storm never coalesced"
+        );
+    }
 }
 
 fn emit_serve_report(_c: &mut Criterion) {
@@ -257,17 +461,22 @@ fn emit_serve_report(_c: &mut Criterion) {
     }
     let _ = writeln!(out, "  }},");
 
+    overload_section(&mut out, smoke);
+
     // Cumulative counters: warm ladder totals, plus the last ingest
     // section's cache and lag shape.
     let ingest = ingest_stats.expect("at least one ingest section ran");
     let _ = writeln!(
         out,
-        "  \"totals\": {{\"warm_queries\": {}, \"warm_cache_hits\": {}, \
-         \"warm_max_queue_depth\": {}, \"ingest_queries\": {}, \"ingest_cache_hits\": {}, \
+        "  \"totals\": {{\"warm_queries\": {}, \"warm_cache_hits\": {}, \"warm_hot_hits\": {}, \
+         \"warm_coalesced\": {}, \"warm_max_queue_depth\": {}, \"ingest_queries\": {}, \
+         \"ingest_cache_hits\": {}, \
          \"ingest_lagged_reads\": {}, \"ingest_max_lag\": {}, \"ingest_reg_patches\": {}, \
          \"ingest_reg_rebinds\": {}, \"errors\": {}}}\n}}",
         warm_stats.queries,
         warm_stats.cache_hits,
+        warm_stats.hot_hits,
+        warm_stats.coalesced,
         warm_stats.max_queue_depth,
         ingest.queries,
         ingest.cache_hits,

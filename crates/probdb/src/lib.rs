@@ -67,7 +67,7 @@ pub use plan::{
     RelationStats, SafePlan,
 };
 pub use predicate::Predicate;
-pub use serve::{ProbDbServer, ServeConfig, Served, ServerHandle, ServerStats, Snapshot};
+pub use serve::{ProbDbServer, ServeConfig, Served, ServerHandle, ServerStats, Snapshot, Ticket};
 pub use world::PossibleWorld;
 
 use std::fmt;
@@ -111,6 +111,15 @@ pub enum ProbDbError {
     /// The serving layer dropped the request before answering: the
     /// server shut down, or the worker evaluating it died.
     ServerUnavailable,
+    /// The server refused the request at admission: the job queue is at
+    /// its configured [`serve::ServeConfig::max_queue_depth`] bound.
+    /// Nothing was enqueued — back off and resubmit, or shed the load.
+    Overloaded,
+    /// The request's deadline passed before an answer was produced:
+    /// either [`serve::Ticket::wait_timeout`] gave up waiting, or a
+    /// worker dropped the job unevaluated because its submission
+    /// deadline had already expired in the queue.
+    DeadlineExceeded,
     /// The query's plan shape is not differentiable: mass gradients are
     /// only defined along the exact safe-plan route, so shapes that
     /// route to Monte Carlo or dissociation bounds cannot answer
@@ -164,6 +173,18 @@ impl fmt::Display for ProbDbError {
             }
             Self::ServerUnavailable => {
                 write!(f, "the server dropped the request before answering")
+            }
+            Self::Overloaded => {
+                write!(
+                    f,
+                    "the server's job queue is full; request refused at admission"
+                )
+            }
+            Self::DeadlineExceeded => {
+                write!(
+                    f,
+                    "the request's deadline passed before an answer was produced"
+                )
             }
             Self::NotDifferentiable { reason } => {
                 write!(f, "query plan is not differentiable: {reason}")

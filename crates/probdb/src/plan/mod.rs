@@ -49,6 +49,7 @@ mod mc;
 mod report;
 mod vm;
 
+pub(crate) use compile::cache_tag as statistic_cache_tag;
 pub use compile::{PlanCache, PlanCacheStats};
 pub use dissociate::dissociation_search_count;
 pub use grad::MassGradients;
@@ -528,6 +529,21 @@ fn evaluate_with<'a>(
         .flatten()
         .map(|tag| (tag, flat.shape_hash()));
     if let Some((tag, hash)) = slot {
+        // Hot tier first: repeatedly-hit shapes are served without
+        // touching a stripe lock. A stale or colliding hot entry falls
+        // through to the striped probe exactly like a cold shape.
+        if let Some((plan, versions)) = cache.probe_hot(tag, hash) {
+            if plan.matches(&flat) {
+                match execute_cached(&lookup, &plan, &versions, tag, hash, stat, config, cache)? {
+                    Some(result) => {
+                        cache.record_hot_hit();
+                        return Ok(result);
+                    }
+                    // Stale: schema or guarded data property changed.
+                    None => cache.invalidate(tag, hash),
+                }
+            }
+        }
         if let Some((plan, versions)) = cache.probe(tag, hash) {
             if plan.matches(&flat) {
                 match execute_cached(&lookup, &plan, &versions, tag, hash, stat, config, cache)? {

@@ -40,6 +40,29 @@
 //! counts, cache warmth, generation lag and queue depth for the serve
 //! bench reporter.
 //!
+//! **Overload & degradation.** The queue does not grow without bound:
+//!
+//! * **Admission control.** [`ServeConfig::max_queue_depth`] bounds the
+//!   submitted-but-not-picked-up backlog; a submit past the bound fails
+//!   fast with [`ProbDbError::Overloaded`] and enqueues nothing.
+//! * **Deadlines.** [`ServerHandle::submit_with_deadline`] stamps the
+//!   job; a worker that picks it up after the deadline drops it
+//!   unevaluated (counted in [`ServerStats::expired`]), and
+//!   [`Ticket::wait_timeout`] bounds the client's wait. Dropping a
+//!   [`Ticket`] marks the job abandoned so workers skip it without
+//!   paying for evaluation ([`ServerStats::abandoned`]).
+//! * **Request coalescing.** Identical concurrent requests — same query
+//!   shape, same statistic, same catalog generation — share one
+//!   evaluation: the first worker to pick one up registers it in-flight,
+//!   later workers attach their reply channels and move on, and the
+//!   single answer fans out to every waiter bit-identically
+//!   ([`ServerStats::coalesced`]). The plan cache dedupes *planning*;
+//!   coalescing dedupes *execution*.
+//! * **Hot-shape promotion.** Shapes that keep hitting the striped plan
+//!   cache are promoted into a small lock-free hot table probed before
+//!   any stripe lock ([`ServerStats::hot_hits`]), so the steady-state
+//!   hot path runs without taking a single lock on the planning side.
+//!
 //! ```
 //! use mrsl_probdb::serve::ProbDbServer;
 //! use mrsl_probdb::{Alternative, Block, Catalog, Predicate, ProbDb, Query};
@@ -88,10 +111,12 @@ use crate::plan::{
 };
 use crate::ProbDbError;
 use stats::ServerCounters;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// An immutable catalog generation: the unit of publication. Readers pin
 /// one and evaluate against it for the whole query; the writer never
@@ -115,17 +140,40 @@ impl Snapshot {
     }
 }
 
-/// Server configuration: pool size plus the engine configuration every
-/// worker evaluates with.
-#[derive(Debug, Clone, Default)]
+/// Server configuration: pool size, overload policy, and the engine
+/// configuration every worker evaluates with.
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads in the pool; `0` (the default) starts one per host
-    /// core.
+    /// core, but never fewer than two — one worker can always make
+    /// progress on reads while another is stuck in a long evaluation,
+    /// and publishes (which never ride the queue) stay safe either way.
     pub workers: usize,
+    /// Admission-control bound: when this many requests are already
+    /// submitted but not yet picked up, [`ServerHandle::submit`] fails
+    /// fast with [`ProbDbError::Overloaded`] instead of growing the
+    /// backlog. `0` (the default) leaves the queue unbounded.
+    pub max_queue_depth: usize,
+    /// When `true` (the default), identical concurrent requests — same
+    /// query shape, statistic and catalog generation — share one
+    /// evaluation, and the answer fans out to every waiter
+    /// ([`ServerStats::coalesced`]).
+    pub coalesce_requests: bool,
     /// Engine configuration shared by all workers.
     /// [`QueryEngineConfig::plan_cache_capacity`] sizes the one
     /// concurrent plan cache the pool shares.
     pub engine: QueryEngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_queue_depth: 0,
+            coalesce_requests: true,
+            engine: QueryEngineConfig::default(),
+        }
+    }
 }
 
 /// One served answer, stamped with the generation it was computed
@@ -141,11 +189,14 @@ pub struct Served {
 }
 
 /// A pending reply: returned by [`ServerHandle::submit`], redeemed with
-/// [`Ticket::wait`]. Dropping it abandons the answer (the worker still
-/// computes it; the send into the dropped channel is a no-op).
+/// [`Ticket::wait`] or [`Ticket::wait_timeout`]. Dropping it abandons
+/// the request: a worker that picks the job up afterwards skips it
+/// without evaluating ([`ServerStats::abandoned`]); if evaluation
+/// already started, the answer is simply discarded.
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Served, ProbDbError>>,
+    abandoned: Arc<AtomicBool>,
 }
 
 impl Ticket {
@@ -157,14 +208,62 @@ impl Ticket {
             .recv()
             .unwrap_or(Err(ProbDbError::ServerUnavailable))
     }
+
+    /// Blocks at most `timeout` for the reply. On timeout returns
+    /// [`ProbDbError::DeadlineExceeded`] and abandons the request (the
+    /// ticket is consumed, so a worker that has not started it yet will
+    /// skip it). [`ProbDbError::ServerUnavailable`] when the server shut
+    /// down before answering.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Served, ProbDbError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ProbDbError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ProbDbError::ServerUnavailable),
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // `std::sync::mpsc` senders can't observe receiver liveness, so
+        // the ticket flags abandonment explicitly for the worker to see.
+        self.abandoned.store(true, Ordering::Release);
+    }
+}
+
+/// Decrements the queue-depth gauge exactly once, whichever way the
+/// request leaves the queue: worker pickup, admission bounce after
+/// counting itself in, or the channel dropping it at teardown.
+#[derive(Debug)]
+struct DepthGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.shared.counters.dequeued();
+    }
+}
+
+struct QueryJob {
+    query: Query,
+    stat: Statistic,
+    reply: mpsc::Sender<Result<Served, ProbDbError>>,
+    /// Set by [`Ticket::drop`]; checked at pickup so dead requests never
+    /// pay for evaluation.
+    abandoned: Arc<AtomicBool>,
+    /// Requests past this instant at pickup are dropped unevaluated.
+    deadline: Option<Instant>,
+    /// `(statistic tag, query shape hash)` when this request is eligible
+    /// for coalescing with identical concurrent ones.
+    shape: Option<(u8, u64)>,
+    /// Dropped first thing at pickup (and automatically if the job dies
+    /// in the channel).
+    depth: DepthGuard,
 }
 
 enum Job {
-    Query {
-        query: Query,
-        stat: Statistic,
-        reply: mpsc::Sender<Result<Served, ProbDbError>>,
-    },
+    Query(Box<QueryJob>),
     /// Stops the worker that receives it (one is queued per worker at
     /// shutdown; queries already queued ahead of them still drain).
     Shutdown,
@@ -184,7 +283,18 @@ struct Shared {
     cache: Arc<PlanCache>,
     config: QueryEngineConfig,
     counters: ServerCounters,
+    /// [`ServeConfig::max_queue_depth`]; `0` means unbounded.
+    max_queue_depth: u64,
+    /// [`ServeConfig::coalesce_requests`].
+    coalesce: bool,
+    /// In-flight evaluations, keyed by `(statistic tag, shape hash,
+    /// generation)`. The evaluating worker owns the entry; workers that
+    /// pick up an identical request while it exists park their reply
+    /// sender here and move on.
+    inflight: Mutex<InflightTable>,
 }
+
+type InflightTable = HashMap<(u8, u64, u64), Vec<mpsc::Sender<Result<Served, ProbDbError>>>>;
 
 impl Shared {
     fn lock_current(&self) -> MutexGuard<'_, Arc<Snapshot>> {
@@ -209,40 +319,108 @@ impl Shared {
         fresh
     }
 
-    fn serve(
+    /// Evaluates one query against a pinned snapshot, panic-contained.
+    fn evaluate_on(
         &self,
-        local: &mut Option<Arc<Snapshot>>,
+        snap: &Snapshot,
         query: &Query,
         stat: Statistic,
     ) -> Result<Served, ProbDbError> {
-        let snap = self.pin(local);
         let engine = CatalogEngine::with_plan_cache(&snap.catalog, self.config, self.cache.clone());
         let outcome = catch_unwind(AssertUnwindSafe(|| engine.evaluate(query, stat)));
         match outcome {
-            Ok(Ok((answer, report))) => {
+            Ok(Ok((answer, report))) => Ok(Served {
+                answer,
+                report,
+                generation: snap.generation,
+            }),
+            Ok(Err(e)) => Err(e),
+            // A panic inside evaluation is contained to the request: the
+            // worker survives, the client sees `ServerUnavailable`.
+            Err(_) => Err(ProbDbError::ServerUnavailable),
+        }
+    }
+
+    /// Records one delivered outcome in the counters — once per waiter,
+    /// so fanned-out answers count like any served answer and the
+    /// `exact + monte_carlo + hybrid == queries` invariant holds.
+    fn record_outcome(&self, outcome: &Result<Served, ProbDbError>) {
+        match outcome {
+            Ok(served) => {
                 let lag = self
                     .epoch
                     .load(Ordering::Acquire)
-                    .saturating_sub(snap.generation);
-                self.counters
-                    .served(report.path, report.route == PlanRoute::CacheHit, lag);
-                Ok(Served {
-                    answer,
-                    report,
-                    generation: snap.generation,
-                })
+                    .saturating_sub(served.generation);
+                self.counters.served(
+                    served.report.path,
+                    served.report.route == PlanRoute::CacheHit,
+                    lag,
+                );
             }
-            Ok(Err(e)) => {
-                self.counters.failed();
-                Err(e)
-            }
-            // A panic inside evaluation is contained to the request: the
-            // worker survives, the client sees `ServerUnavailable`.
-            Err(_) => {
-                self.counters.failed();
-                Err(ProbDbError::ServerUnavailable)
+            Err(_) => self.counters.failed(),
+        }
+    }
+
+    fn lock_inflight(&self) -> MutexGuard<'_, InflightTable> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs one picked-up job end to end: liveness and deadline checks,
+    /// then either attaches to an identical in-flight evaluation or
+    /// evaluates (and fans the answer out to everyone who attached).
+    fn process(&self, local: &mut Option<Arc<Snapshot>>, job: QueryJob) {
+        let QueryJob {
+            query,
+            stat,
+            reply,
+            abandoned,
+            deadline,
+            shape,
+            depth,
+        } = job;
+        // Picked up: the request is out of the queue whatever happens next.
+        drop(depth);
+        if abandoned.load(Ordering::Acquire) {
+            self.counters.abandoned();
+            return;
+        }
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                self.counters.expired();
+                let _ = reply.send(Err(ProbDbError::DeadlineExceeded));
+                return;
             }
         }
+        let snap = self.pin(local);
+        let key = match shape {
+            Some((tag, hash)) if self.coalesce => (tag, hash, snap.generation),
+            _ => {
+                let outcome = self.evaluate_on(&snap, &query, stat);
+                self.record_outcome(&outcome);
+                let _ = reply.send(outcome);
+                return;
+            }
+        };
+        {
+            let mut inflight = self.lock_inflight();
+            if let Some(waiters) = inflight.get_mut(&key) {
+                // An identical request is already evaluating against this
+                // very generation: park the reply and free this worker.
+                waiters.push(reply);
+                return;
+            }
+            inflight.insert(key, Vec::new());
+        }
+        // This worker owns the entry; evaluate outside any lock.
+        let outcome = self.evaluate_on(&snap, &query, stat);
+        let waiters = self.lock_inflight().remove(&key).unwrap_or_default();
+        for waiter in waiters {
+            self.counters.coalesced();
+            self.record_outcome(&outcome);
+            let _ = waiter.send(outcome.clone());
+        }
+        self.record_outcome(&outcome);
+        let _ = reply.send(outcome);
     }
 
     fn stats(&self) -> ServerStats {
@@ -265,12 +443,9 @@ fn worker_loop(shared: Arc<Shared>, jobs: Arc<Mutex<mpsc::Receiver<Job>>>) {
             rx.recv()
         };
         match job {
-            Ok(Job::Query { query, stat, reply }) => {
-                shared.counters.dequeued();
-                // The client may have dropped its ticket; a failed send
-                // just discards the answer.
-                let _ = reply.send(shared.serve(&mut local, &query, stat));
-            }
+            // Failed sends inside `process` just discard answers whose
+            // clients dropped their tickets.
+            Ok(Job::Query(job)) => shared.process(&mut local, *job),
             // Channel closed (server dropped without shutdown) or an
             // explicit stop: either way this worker is done.
             Ok(Job::Shutdown) | Err(_) => return,
@@ -289,21 +464,83 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Enqueues a query without blocking; redeem the [`Ticket`] for the
-    /// answer. Queries submitted before a shutdown still drain.
-    pub fn submit(&self, query: Query, stat: Statistic) -> Ticket {
-        let (reply, rx) = mpsc::channel();
-        self.shared.counters.enqueued();
-        if self.tx.send(Job::Query { query, stat, reply }).is_err() {
-            // Pool gone: the dropped reply sender turns the ticket into
-            // `ServerUnavailable` without blocking.
-            self.shared.counters.dequeued();
+    /// answer. Fails fast with [`ProbDbError::Overloaded`] when the
+    /// queue is at [`ServeConfig::max_queue_depth`] — nothing is
+    /// enqueued. Queries submitted before a shutdown still drain.
+    pub fn submit(&self, query: Query, stat: Statistic) -> Result<Ticket, ProbDbError> {
+        self.submit_inner(query, stat, None)
+    }
+
+    /// Like [`ServerHandle::submit`], but stamps the request with a
+    /// deadline `timeout` from now: a worker that picks it up after the
+    /// deadline drops it unevaluated and replies
+    /// [`ProbDbError::DeadlineExceeded`]. Pair with
+    /// [`Ticket::wait_timeout`] to bound the client-side wait too.
+    pub fn submit_with_deadline(
+        &self,
+        query: Query,
+        stat: Statistic,
+        timeout: Duration,
+    ) -> Result<Ticket, ProbDbError> {
+        self.submit_inner(query, stat, Some(Instant::now() + timeout))
+    }
+
+    fn submit_inner(
+        &self,
+        query: Query,
+        stat: Statistic,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ProbDbError> {
+        // Count the request in first, then check the bound: concurrent
+        // submitters each see a depth that includes themselves, so the
+        // backlog can never exceed the bound no matter the interleaving.
+        let depth = self.shared.counters.enqueued();
+        let guard = DepthGuard {
+            shared: self.shared.clone(),
+        };
+        let bound = self.shared.max_queue_depth;
+        if bound > 0 && depth > bound {
+            self.shared.counters.rejected();
+            // `guard` drops here and unwinds the provisional count.
+            return Err(ProbDbError::Overloaded);
         }
-        Ticket { rx }
+        let shape = crate::plan::statistic_cache_tag(stat)
+            .and_then(|tag| query.flatten().ok().map(|flat| (tag, flat.shape_hash())));
+        let (reply, rx) = mpsc::channel();
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let job = QueryJob {
+            query,
+            stat,
+            reply,
+            abandoned: abandoned.clone(),
+            deadline,
+            shape,
+            depth: guard,
+        };
+        // Pool gone: the job (and its reply sender) drops, which turns
+        // the ticket into `ServerUnavailable` without blocking, and the
+        // depth guard unwinds the count.
+        let _ = self.tx.send(Job::Query(Box::new(job)));
+        Ok(Ticket { rx, abandoned })
     }
 
     /// Submits and blocks for the answer.
     pub fn evaluate(&self, query: &Query, stat: Statistic) -> Result<Served, ProbDbError> {
-        self.submit(query.clone(), stat).wait()
+        self.submit(query.clone(), stat)?.wait()
+    }
+
+    /// Submits with a deadline and waits at most that long: the request
+    /// is dropped unevaluated if it expires in the queue, and the wait
+    /// returns [`ProbDbError::DeadlineExceeded`] (abandoning the answer)
+    /// if the deadline passes first.
+    pub fn evaluate_within(
+        &self,
+        query: &Query,
+        stat: Statistic,
+        timeout: Duration,
+    ) -> Result<Served, ProbDbError> {
+        self.submit_with_deadline(query.clone(), stat, timeout)?
+            .wait_timeout(timeout)
     }
 
     /// Convenience: `P(result non-empty)` with its report.
@@ -437,7 +674,10 @@ impl ProbDbServer {
     /// an explicit configuration.
     pub fn with_config(catalog: Catalog, config: ServeConfig) -> Self {
         let workers = match config.workers {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            // Never fewer than two, even on a 1-core host: one worker
+            // stuck in a long evaluation must not starve every other
+            // read until it finishes.
+            0 => std::thread::available_parallelism().map_or(2, |n| usize::from(n).max(2)),
             n => n,
         };
         let shared = Arc::new(Shared {
@@ -449,6 +689,9 @@ impl ProbDbServer {
             cache: Arc::new(PlanCache::with_capacity(config.engine.plan_cache_capacity)),
             config: config.engine,
             counters: ServerCounters::default(),
+            max_queue_depth: config.max_queue_depth as u64,
+            coalesce: config.coalesce_requests,
+            inflight: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
@@ -491,6 +734,12 @@ impl ProbDbServer {
     /// The server's cumulative counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// Worker threads actually running (after the `workers: 0` → host
+    /// cores, minimum two, resolution).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// The plan cache shared by the worker pool — e.g. to pre-warm it or

@@ -20,6 +20,10 @@ pub(super) struct ServerCounters {
     max_queue_depth: AtomicU64,
     lagged_reads: AtomicU64,
     max_lag: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    coalesced: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 fn raise_max(cell: &AtomicU64, candidate: u64) {
@@ -27,16 +31,41 @@ fn raise_max(cell: &AtomicU64, candidate: u64) {
 }
 
 impl ServerCounters {
-    /// A request entered the queue.
-    pub(super) fn enqueued(&self) {
+    /// A request entered the queue; returns the new depth (for the
+    /// admission-control bound).
+    pub(super) fn enqueued(&self) -> u64 {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         raise_max(&self.max_queue_depth, depth);
+        depth
     }
 
-    /// A worker picked a request up (or a submit failed after counting
-    /// itself in).
+    /// A request left the queue: picked up by a worker, bounced at
+    /// admission after counting itself in, or dropped in the channel at
+    /// teardown. Called exactly once per `enqueued` by the RAII depth
+    /// guard, so the gauge can neither drift nor underflow.
     pub(super) fn dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A submit was refused at admission (queue at its bound).
+    pub(super) fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker dropped a job unevaluated: its deadline had already
+    /// passed in the queue.
+    pub(super) fn expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker skipped a job whose ticket was dropped before pickup.
+    pub(super) fn abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One answer fanned out from another request's evaluation.
+    pub(super) fn coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One served answer: which physical path it took, whether the plan
@@ -92,6 +121,11 @@ impl ServerCounters {
             max_queue_depth: load(&self.max_queue_depth),
             lagged_reads: load(&self.lagged_reads),
             max_lag: load(&self.max_lag),
+            rejected: load(&self.rejected),
+            expired: load(&self.expired),
+            coalesced: load(&self.coalesced),
+            abandoned: load(&self.abandoned),
+            hot_hits: plan_cache.hot_hits,
             plan_cache,
             catalog_provenance,
         }
@@ -163,6 +197,26 @@ pub struct ServerStats {
     pub lagged_reads: u64,
     /// Largest generation distance ever observed by a lagged read.
     pub max_lag: u64,
+    /// Submits refused at admission because the queue was at
+    /// [`super::ServeConfig::max_queue_depth`]. Not counted in
+    /// [`ServerStats::queries`]: nothing was enqueued or evaluated.
+    pub rejected: u64,
+    /// Jobs a worker dropped unevaluated because their submission
+    /// deadline had already passed in the queue (the waiter gets
+    /// [`crate::ProbDbError::DeadlineExceeded`] if it is still there).
+    pub expired: u64,
+    /// Answers fanned out from another identical request's evaluation
+    /// (same query shape, statistic and generation) instead of paying
+    /// for their own. Counted in [`ServerStats::queries`] and the
+    /// per-path counters like any served answer.
+    pub coalesced: u64,
+    /// Jobs skipped unevaluated because their [`super::Ticket`] was
+    /// dropped before a worker picked them up.
+    pub abandoned: u64,
+    /// Answers planned from the plan cache's lock-free hot tier
+    /// (mirrors [`crate::plan::PlanCacheStats::hot_hits`]; a subset of
+    /// [`ServerStats::cache_hits`]).
+    pub hot_hits: u64,
     /// The shared concurrent plan cache's counters.
     pub plan_cache: PlanCacheStats,
     /// FNV-1a digest of the published catalog's per-relation provenance

@@ -132,6 +132,7 @@ fn main() {
         ServeConfig {
             workers: 4,
             engine: QueryEngineConfig::default(),
+            ..ServeConfig::default()
         },
     );
     let (p0, _) = server.handle().probability(&query).expect("generation 0");
@@ -216,6 +217,11 @@ fn main() {
         stats.plan_cache.misses,
         stats.plan_cache.reg_patches,
         stats.plan_cache.reg_rebinds,
+    );
+    println!(
+        "overload counters: {} coalesced answers, {} hot-tier plan hits, \
+         {} rejected / {} expired / {} abandoned",
+        stats.coalesced, stats.hot_hits, stats.rejected, stats.expired, stats.abandoned,
     );
 
     // Graceful shutdown drains the queue; handles outlive the server but

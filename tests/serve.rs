@@ -18,6 +18,7 @@ use mrsl_repro::probdb::{
 use mrsl_repro::relation::{AttrId, CompleteTuple, Schema, ValueId};
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn alt(values: Vec<u16>, prob: f64) -> Alternative {
     Alternative {
@@ -48,7 +49,38 @@ fn serve_config(workers: usize, shards: usize) -> ServeConfig {
     ServeConfig {
         workers,
         engine: vm_config(shards),
+        ..ServeConfig::default()
     }
+}
+
+/// Overload-suite configuration: every evaluation forced onto the Monte
+/// Carlo path with an explicit sample count, so "how long a request
+/// holds a worker" is a dial the tests control.
+fn overload_config(workers: usize, max_queue_depth: usize, mc_samples: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        max_queue_depth,
+        engine: QueryEngineConfig {
+            force_monte_carlo: true,
+            mc_samples,
+            bounds_tolerance: 1.0,
+            ..QueryEngineConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Polls `done` every few milliseconds until it holds or `patience`
+/// runs out; returns the final observation.
+fn eventually(patience: Duration, done: impl Fn() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < patience {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
 }
 
 /// Raw bit payload of an answer, so comparisons are exact by
@@ -497,7 +529,11 @@ fn shutdown_drains_queued_work_then_rejects() {
     let server = ProbDbServer::with_config(catalog, serve_config(1, 0));
     let handle = server.handle();
     let tickets: Vec<_> = (0..16)
-        .map(|_| handle.submit(q.clone(), Statistic::Probability))
+        .map(|_| {
+            handle
+                .submit(q.clone(), Statistic::Probability)
+                .expect("unbounded queue admits")
+        })
         .collect();
     server.shutdown();
     for ticket in tickets {
@@ -509,4 +545,307 @@ fn shutdown_drains_queued_work_then_rejects() {
         ProbDbError::ServerUnavailable
     );
     assert_eq!(handle.stats().queue_depth, 0);
+}
+
+// ---------------------------------------------------------------------
+// Overload & degradation suite: admission control, deadlines, ticket
+// abandonment, and request coalescing.
+// ---------------------------------------------------------------------
+
+/// Samples that hold a worker for a human-visible stretch in a debug
+/// build (roughly a second), so the queue observably backs up.
+const SLOW_SAMPLES: usize = 300_000;
+
+/// Submits one slow request and blocks until a worker has picked it up
+/// (queue empty again), so the test knows the pool is busy.
+fn occupy_worker(handle: &ServerHandle, q: &Query) -> mrsl_repro::probdb::serve::Ticket {
+    let blocker = handle
+        .submit(q.clone(), Statistic::Probability)
+        .expect("blocker admitted");
+    assert!(
+        eventually(Duration::from_secs(20), || handle.stats().queue_depth == 0),
+        "worker never picked the blocker up"
+    );
+    blocker
+}
+
+/// Acceptance criterion: a full queue refuses new work immediately with
+/// the typed error — no blocking, no deadlock — and the refusal unwinds
+/// the provisional depth count.
+#[test]
+fn full_queue_rejects_with_overloaded_immediately() {
+    let catalog = chain_catalog([0.3, 0.7], [0.2, 0.5, 0.8], [0.6, 0.4]);
+    let q = chain_query();
+    const BOUND: usize = 2;
+    let server = ProbDbServer::with_config(catalog, overload_config(1, BOUND, SLOW_SAMPLES));
+    let handle = server.handle();
+    let blocker = occupy_worker(&handle, &q);
+
+    // The single worker is busy: fill the queue exactly to the bound.
+    let queued: Vec<_> = (0..BOUND)
+        .map(|i| {
+            handle
+                .submit(q.clone(), Statistic::Probability)
+                .unwrap_or_else(|e| panic!("submit {i} within the bound: {e}"))
+        })
+        .collect();
+    assert_eq!(handle.stats().queue_depth, BOUND as u64);
+
+    // One past the bound fails fast.
+    let start = Instant::now();
+    let err = handle
+        .submit(q.clone(), Statistic::Probability)
+        .unwrap_err();
+    assert_eq!(err, ProbDbError::Overloaded);
+    assert!(
+        start.elapsed() < Duration::from_millis(250),
+        "admission refusal must not block: took {:?}",
+        start.elapsed()
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.rejected, 1);
+    // The bounce unwound its provisional count.
+    assert_eq!(stats.queue_depth, BOUND as u64);
+    // A rejected submit is not a query: nothing was enqueued or served.
+    assert_eq!(stats.queries, 0);
+
+    // Everything actually admitted still answers.
+    blocker.wait().expect("blocker answers");
+    for ticket in queued {
+        ticket.wait().expect("queued within the bound answers");
+    }
+    server.shutdown();
+    assert_eq!(handle.stats().queue_depth, 0);
+}
+
+/// `wait_timeout` comes back within the deadline plus scheduling jitter,
+/// the abandoned answer is discarded cleanly, and a request whose
+/// deadline expires while queued is dropped by the worker unevaluated.
+#[test]
+fn deadlines_bound_waits_and_expire_queued_work() {
+    let catalog = chain_catalog([0.3, 0.7], [0.2, 0.5, 0.8], [0.6, 0.4]);
+    let q = chain_query();
+    let server = ProbDbServer::with_config(catalog, overload_config(1, 0, SLOW_SAMPLES));
+    let handle = server.handle();
+    let blocker = occupy_worker(&handle, &q);
+
+    // A request stamped with a deadline far shorter than the blocker's
+    // runtime: the client-side wait gives up on time...
+    let deadline = Duration::from_millis(100);
+    let expired = handle
+        .submit_with_deadline(q.clone(), Statistic::Probability, deadline)
+        .expect("admitted");
+    let start = Instant::now();
+    let err = expired.wait_timeout(deadline).unwrap_err();
+    let waited = start.elapsed();
+    assert_eq!(err, ProbDbError::DeadlineExceeded);
+    assert!(waited >= deadline, "woke early: {waited:?}");
+    assert!(
+        waited < deadline + Duration::from_secs(2),
+        "wait_timeout overshot the deadline past scheduling jitter: {waited:?}"
+    );
+
+    // ...and a second stamped request, left queued past its deadline
+    // with its ticket alive, is dropped by the worker without being
+    // evaluated and answers `DeadlineExceeded`.
+    let doomed = handle
+        .submit_with_deadline(q.clone(), Statistic::Probability, deadline)
+        .expect("admitted");
+    assert_eq!(doomed.wait().unwrap_err(), ProbDbError::DeadlineExceeded);
+    let stats = handle.stats();
+    assert_eq!(stats.expired, 1, "{stats:?}");
+    // The first stamped request was abandoned by its timed-out wait, so
+    // the worker skipped it too: only the blocker was ever evaluated.
+    assert_eq!(stats.abandoned, 1, "{stats:?}");
+    assert_eq!(stats.queries, 1, "{stats:?}");
+
+    blocker.wait().expect("blocker answers");
+    server.shutdown();
+    assert_eq!(handle.stats().queue_depth, 0);
+}
+
+/// Dropping a ticket is a real cancellation: workers skip the job at
+/// pickup instead of paying for an evaluation nobody will read.
+#[test]
+fn dropped_tickets_skip_evaluation_entirely() {
+    const DROPPED: usize = 6;
+    let catalog = chain_catalog([0.3, 0.7], [0.2, 0.5, 0.8], [0.6, 0.4]);
+    let q = chain_query();
+    let server = ProbDbServer::with_config(catalog, overload_config(1, 0, SLOW_SAMPLES));
+    let handle = server.handle();
+    let blocker = occupy_worker(&handle, &q);
+
+    // Queue N requests behind the blocker, then walk away from all of
+    // them before the worker can start any.
+    let tickets: Vec<_> = (0..DROPPED)
+        .map(|_| {
+            handle
+                .submit(q.clone(), Statistic::Probability)
+                .expect("admitted")
+        })
+        .collect();
+    drop(tickets);
+
+    blocker.wait().expect("blocker answers");
+    assert!(
+        eventually(Duration::from_secs(20), || {
+            handle.stats().abandoned == DROPPED as u64
+        }),
+        "workers did not skip the abandoned jobs: {:?}",
+        handle.stats()
+    );
+    let stats = handle.stats();
+    // Only the blocker was evaluated; the abandoned jobs cost nothing.
+    assert_eq!(stats.queries, 1, "{stats:?}");
+    server.shutdown();
+    assert_eq!(handle.stats().queue_depth, 0);
+}
+
+/// Acceptance criterion: an identical-shape storm shares evaluations.
+/// With one worker evaluating and another draining the queue, at least
+/// 75% of the requests attach to an in-flight evaluation, and every
+/// waiter gets bit-identical answers stamped with the same generation.
+#[test]
+fn identical_shape_storm_coalesces_to_shared_evaluations() {
+    const STORM: usize = 16;
+    let catalog = chain_catalog([0.3, 0.7], [0.2, 0.5, 0.8], [0.6, 0.4]);
+    let q = chain_query();
+    let server = ProbDbServer::with_config(catalog, overload_config(2, 0, SLOW_SAMPLES));
+    let handle = server.handle();
+
+    let tickets: Vec<_> = (0..STORM)
+        .map(|_| {
+            handle
+                .submit(q.clone(), Statistic::Probability)
+                .expect("admitted")
+        })
+        .collect();
+    let served: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("storm request answers"))
+        .collect();
+
+    // Bit-identical fan-out, all stamped with the same generation.
+    let reference = answer_bits(&served[0].answer);
+    for s in &served {
+        assert_eq!(answer_bits(&s.answer), reference);
+        assert_eq!(s.generation, served[0].generation);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.queries, STORM as u64);
+    // Coalesced answers are served answers: the path invariant holds.
+    assert_eq!(
+        stats.exact + stats.monte_carlo + stats.hybrid,
+        stats.queries,
+        "{stats:?}"
+    );
+    assert!(
+        stats.coalesced >= (STORM * 3 / 4) as u64,
+        "storm did not coalesce: {stats:?}"
+    );
+    server.shutdown();
+    assert_eq!(handle.stats().queue_depth, 0);
+}
+
+/// Coalescing can be opted out of; identical requests then each pay for
+/// their own evaluation.
+#[test]
+fn coalescing_can_be_disabled() {
+    let catalog = join_catalog(&[(0, 0.3), (1, 0.6)], &[(0, 0.5)]);
+    let q = join_query();
+    let config = ServeConfig {
+        coalesce_requests: false,
+        ..serve_config(2, 0)
+    };
+    let server = ProbDbServer::with_config(catalog, config);
+    let handle = server.handle();
+    for _ in 0..8 {
+        handle.evaluate(&q, Statistic::Probability).unwrap();
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.coalesced, 0);
+    assert_eq!(stats.queries, 8);
+    server.shutdown();
+}
+
+/// `workers: 0` never degrades to a single worker, even on a 1-core
+/// host: a long evaluation must not starve every other read. A fast
+/// query completes while a slow one holds a worker.
+#[test]
+fn default_pool_reserves_a_second_worker_for_progress() {
+    let catalog = chain_catalog([0.3, 0.7], [0.2, 0.5, 0.8], [0.6, 0.4]);
+    let server = ProbDbServer::with_config(
+        catalog,
+        ServeConfig {
+            engine: overload_config(0, 0, SLOW_SAMPLES).engine,
+            ..ServeConfig::default()
+        },
+    );
+    assert!(
+        server.worker_count() >= 2,
+        "workers: 0 resolved to {} workers",
+        server.worker_count()
+    );
+    let handle = server.handle();
+    // Different statistic → different coalesce key: the fast read is
+    // never parked behind the slow one's in-flight entry.
+    let blocker = handle
+        .submit(chain_query(), Statistic::Probability)
+        .expect("admitted");
+    let fast = handle
+        .evaluate(&chain_query(), Statistic::ExpectedCount)
+        .expect("fast read completes while the blocker runs");
+    assert!(matches!(fast.answer, QueryAnswer::Count { .. }));
+    blocker.wait().expect("blocker answers");
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Queue-depth accounting is exact under racing submitters, dropped
+    /// tickets, admission bounces and a concurrent shutdown: whatever
+    /// interleaving happens, the gauge returns to zero (RAII decrements
+    /// exactly once per enqueue) and every admitted ticket resolves.
+    #[test]
+    fn queue_accounting_survives_submit_shutdown_races(ops in prop::collection::vec(0u8..3, 24)) {
+        const SUBMITTERS: usize = 3;
+        let catalog = join_catalog(&[(0, 0.3), (1, 0.6)], &[(0, 0.5), (1, 0.25)]);
+        let q = join_query();
+        let server = ProbDbServer::with_config(
+            catalog,
+            ServeConfig { max_queue_depth: 2, ..serve_config(2, 0) },
+        );
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            for chunk in ops.chunks(ops.len() / SUBMITTERS) {
+                let handle = handle.clone();
+                let q = q.clone();
+                scope.spawn(move || {
+                    for &op in chunk {
+                        // Admission bounces are expected under the tiny
+                        // bound; admitted tickets are waited, timed out
+                        // or dropped depending on the op.
+                        let Ok(ticket) = handle.submit(q.clone(), Statistic::Probability) else {
+                            continue;
+                        };
+                        match op {
+                            0 => drop(ticket),
+                            1 => {
+                                let _ = ticket.wait_timeout(Duration::from_millis(1));
+                            }
+                            _ => {
+                                let _ = ticket.wait();
+                            }
+                        }
+                    }
+                });
+            }
+            // Race a shutdown into the middle of the storm.
+            scope.spawn(|| server.shutdown());
+        });
+        // Every enqueue was matched by exactly one dequeue, no matter
+        // which path each job left by.
+        prop_assert_eq!(handle.stats().queue_depth, 0);
+    }
 }
